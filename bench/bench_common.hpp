@@ -1,0 +1,84 @@
+// Shared benchmark harness: builds (runtime, registry, pool) per
+// configuration, runs repetitions with distinct seeds, and aggregates the
+// quantities the paper's figures plot.
+//
+// Every bench binary accepts:
+//   --pes 2,4,8,16,32,64   PE sweep
+//   --reps 5               repetitions per configuration
+//   --csv                  emit CSV instead of aligned tables
+//   --seed 42              base seed
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/options.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sws.hpp"
+
+namespace sws::bench {
+
+/// Given a registry, register the workload's task functions and return the
+/// per-PE seeder. Captured state must stay alive in the closure.
+using SeederFactory =
+    std::function<std::function<void(core::Worker&)>(core::TaskRegistry&)>;
+
+struct BenchSettings {
+  std::vector<int> pe_counts{2, 4, 8, 16, 32, 64};
+  int reps = 5;
+  bool csv = false;
+  std::uint64_t seed = 42;
+
+  static BenchSettings from_options(const Options& opt);
+};
+
+/// One configuration's aggregation over repetitions.
+struct ConfigResult {
+  Summary runtime_ms;        ///< whole-program time (max across PEs)
+  Summary throughput;        ///< tasks per second
+  Summary steal_ms_per_pe;   ///< mean per-PE successful-steal time
+  Summary search_ms_per_pe;  ///< mean per-PE search time
+  std::uint64_t tasks = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t steal_attempts = 0;
+  net::Nanos total_compute_ns = 0;  ///< charged compute (for efficiency)
+  LogHistogram steal_latency;       ///< per-steal latency across all reps
+
+  double efficiency_pct(int npes) const {
+    if (runtime_ms.mean() <= 0) return 0;
+    const double ideal_ms =
+        static_cast<double>(total_compute_ns) / npes / 1e6;
+    return 100.0 * ideal_ms / runtime_ms.mean();
+  }
+};
+
+struct PoolTweaks {
+  std::uint32_t capacity = 8192;
+  std::uint32_t slot_bytes = 64;
+  core::SwsConfig sws{};
+  core::SdcConfig sdc{};
+  net::NetworkParams net{};
+  std::size_t heap_bytes = 0;  ///< 0 = derive from capacity/slot_bytes
+};
+
+/// Run `reps` independent executions of a workload on `npes` PEs with the
+/// given queue kind; aggregate the figures-of-merit.
+ConfigResult run_config(core::QueueKind kind, int npes,
+                        const BenchSettings& settings,
+                        const PoolTweaks& tweaks,
+                        const SeederFactory& factory);
+
+/// Emit a table in the format selected by the settings.
+void emit(const Table& t, const BenchSettings& settings);
+
+const char* kind_name(core::QueueKind k);
+
+/// The paper's six evaluation panels for one workload (Figs 7a–f / 8a–f).
+void run_six_panels(const std::string& figure, const std::string& workload,
+                    const BenchSettings& settings, const PoolTweaks& tweaks,
+                    const SeederFactory& factory);
+
+}  // namespace sws::bench

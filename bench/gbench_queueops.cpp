@@ -1,0 +1,137 @@
+// Google-benchmark microbenchmarks for the host-side primitives: stealval
+// packing, steal-half sequence math, SHA-1 / UTS child derivation, task
+// serialization, and local queue operations. These quantify the paper's
+// claim that the compact representation "adds minimal processing to queue
+// metadata upkeep".
+#include <benchmark/benchmark.h>
+
+#include "core/queue_buffer.hpp"
+#include "core/sdc_queue.hpp"
+#include "core/stealval.hpp"
+#include "core/sws_queue.hpp"
+#include "sha1/sha1.hpp"
+
+namespace {
+
+using namespace sws;
+
+void BM_StealvalEncodeDecode(benchmark::State& state) {
+  std::uint64_t x = 12345;
+  for (auto _ : state) {
+    const core::StealVal sv{static_cast<std::uint32_t>(x & 0xffff), 1,
+                            static_cast<std::uint32_t>(x & 0x7ffff),
+                            static_cast<std::uint32_t>(x & 0x7ffff)};
+    const std::uint64_t w = sv.encode();
+    benchmark::DoNotOptimize(core::StealVal::decode(w));
+    x = x * 6364136223846793005ULL + 1;
+  }
+}
+BENCHMARK(BM_StealvalEncodeDecode);
+
+void BM_StealBlockMath(benchmark::State& state) {
+  const auto itasks = static_cast<std::uint32_t>(state.range(0));
+  std::uint32_t idx = 0;
+  const std::uint32_t n = core::steal_block_count(itasks);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::steal_block(itasks, idx));
+    idx = (idx + 1) % (n + 1);
+  }
+}
+BENCHMARK(BM_StealBlockMath)->Arg(150)->Arg(8192)->Arg(262144);
+
+void BM_Sha1UtsChild(benchmark::State& state) {
+  Sha1Digest d = Sha1::hash("bench", 5);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    d = uts_child_digest(d, i++);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_Sha1UtsChild);
+
+void BM_TaskSerializeRoundTrip(benchmark::State& state) {
+  const auto payload = static_cast<std::uint32_t>(state.range(0));
+  std::vector<std::byte> data(payload, std::byte{7});
+  const core::Task t(1, data.data(), payload);
+  std::byte slot[256];
+  for (auto _ : state) {
+    t.serialize(slot, sizeof(slot));
+    benchmark::DoNotOptimize(core::Task::deserialize(slot, sizeof(slot)));
+  }
+}
+BENCHMARK(BM_TaskSerializeRoundTrip)->Arg(16)->Arg(184);
+
+template <typename QueueT, typename ConfigT>
+void bench_local_ops(benchmark::State& state) {
+  pgas::RuntimeConfig rcfg;
+  rcfg.npes = 1;
+  rcfg.mode = pgas::TimeMode::kReal;  // no sequencer: pure op cost
+  rcfg.heap_bytes = 4 << 20;
+  pgas::Runtime rt(rcfg);
+  ConfigT qc;
+  qc.capacity = 8192;
+  qc.slot_bytes = 32;
+  QueueT q(rt, qc);
+  rt.run([&](pgas::PeContext& ctx) {
+    q.reset_pe(ctx);
+    const core::Task t = core::Task::of(0, std::uint32_t{1});
+    core::Task out;
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(q.push_local(ctx, t));
+      benchmark::DoNotOptimize(q.pop_local(ctx, out));
+    }
+  });
+}
+
+void BM_SwsLocalPushPop(benchmark::State& state) {
+  bench_local_ops<core::SwsQueue, core::SwsConfig>(state);
+}
+BENCHMARK(BM_SwsLocalPushPop);
+
+void BM_SdcLocalPushPop(benchmark::State& state) {
+  bench_local_ops<core::SdcQueue, core::SdcConfig>(state);
+}
+BENCHMARK(BM_SdcLocalPushPop);
+
+template <typename QueueT, typename ConfigT>
+void bench_release_acquire(benchmark::State& state) {
+  pgas::RuntimeConfig rcfg;
+  rcfg.npes = 1;
+  rcfg.mode = pgas::TimeMode::kReal;
+  rcfg.net.local_overhead = 0;  // isolate the metadata bookkeeping
+  rcfg.heap_bytes = 4 << 20;
+  pgas::Runtime rt(rcfg);
+  ConfigT qc;
+  qc.capacity = 8192;
+  qc.slot_bytes = 32;
+  QueueT q(rt, qc);
+  rt.run([&](pgas::PeContext& ctx) {
+    q.reset_pe(ctx);
+    const core::Task t = core::Task::of(0, std::uint32_t{1});
+    core::Task out;
+    for (auto _ : state) {
+      // One full cycle: expose half, pull it back, drain.
+      (void)q.push_local(ctx, t);
+      (void)q.push_local(ctx, t);
+      benchmark::DoNotOptimize(q.try_release(ctx));
+      while (q.pop_local(ctx, out)) {}
+      benchmark::DoNotOptimize(q.try_acquire(ctx));
+      while (q.pop_local(ctx, out)) {}
+      q.progress(ctx);
+    }
+  });
+}
+
+void BM_SwsReleaseAcquireCycle(benchmark::State& state) {
+  bench_release_acquire<core::SwsQueue, core::SwsConfig>(state);
+}
+BENCHMARK(BM_SwsReleaseAcquireCycle);
+
+void BM_SdcReleaseAcquireCycle(benchmark::State& state) {
+  bench_release_acquire<core::SdcQueue, core::SdcConfig>(state);
+}
+BENCHMARK(BM_SdcReleaseAcquireCycle);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""ASCII-plot SWS benchmark results (no third-party dependencies).
+
+Feed it the CSV output of any bench binary:
+
+    build/bench/fig8_uts --csv > fig8.csv
+    scripts/plot_results.py fig8.csv
+
+Each CSV block ("# title" line, header row, data rows) becomes one chart:
+the first column is the x axis, every numeric column after it a series.
+Log-scaled x is chosen automatically when x spans >= 2 decades.
+"""
+
+import math
+import sys
+
+WIDTH = 64
+HEIGHT = 16
+MARKS = "ox+*#@%&"
+
+
+def parse_blocks(lines):
+    blocks = []
+    title, header, rows = None, None, []
+    for raw in lines + ["#"]:
+        line = raw.strip()
+        if line.startswith("#") or not line:
+            if title and header and rows:
+                blocks.append((title, header, rows))
+            title, header, rows = line.lstrip("# ").strip() or None, None, []
+            continue
+        cells = [c.strip() for c in line.split(",")]
+        if header is None:
+            header = cells
+        else:
+            rows.append(cells)
+    return blocks
+
+
+def to_float(s):
+    try:
+        return float(s.replace("%", "").replace("us", "").replace("ms", ""))
+    except ValueError:
+        return None
+
+
+def plot(title, header, rows):
+    # Drop trailing prose/invalid rows (bench binaries print notes after
+    # their tables).
+    rows = [r for r in rows if to_float(r[0]) is not None]
+    if not rows:
+        return
+    xs = [to_float(r[0]) for r in rows]
+    series = []
+    for col in range(1, len(header)):
+        ys = [to_float(r[col]) if col < len(r) else None for r in rows]
+        if all(y is not None for y in ys):
+            series.append((header[col], ys))
+    if not series:
+        return
+
+    logx = min(xs) > 0 and max(xs) / min(xs) >= 100
+    fx = (lambda v: math.log10(v)) if logx else (lambda v: v)
+    x0, x1 = fx(min(xs)), fx(max(xs))
+    ally = [y for _, ys in series for y in ys]
+    y0, y1 = min(ally), max(ally)
+    if x1 == x0:
+        x1 = x0 + 1
+    if y1 == y0:
+        y1 = y0 + 1
+
+    grid = [[" "] * WIDTH for _ in range(HEIGHT)]
+    for si, (_, ys) in enumerate(series):
+        for x, y in zip(xs, ys):
+            cx = round((fx(x) - x0) / (x1 - x0) * (WIDTH - 1))
+            cy = round((y - y0) / (y1 - y0) * (HEIGHT - 1))
+            grid[HEIGHT - 1 - cy][cx] = MARKS[si % len(MARKS)]
+
+    print(f"\n== {title} ==")
+    for si, (name, _) in enumerate(series):
+        print(f"   {MARKS[si % len(MARKS)]} = {name}")
+    print(f"  {y1:>10.3g} +" + "-" * WIDTH + "+")
+    for row in grid:
+        print(" " * 13 + "|" + "".join(row) + "|")
+    print(f"  {y0:>10.3g} +" + "-" * WIDTH + "+")
+    xl = f"{min(xs):g}"
+    xr = f"{max(xs):g}" + (" (log x)" if logx else "")
+    pad = WIDTH - len(xl) - len(xr) + 1
+    print(" " * 14 + xl + " " * max(pad, 1) + xr)
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    for path in sys.argv[1:]:
+        with open(path) as f:
+            for title, header, rows in parse_blocks(f.read().splitlines()):
+                plot(title, header, rows)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

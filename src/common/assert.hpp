@@ -1,0 +1,43 @@
+// Assertion macros for SWS.
+//
+// SWS_ASSERT is an internal-invariant check compiled in all build types
+// (the runtime is a concurrency library; silent corruption is worse than
+// the branch cost). SWS_CHECK is for user-facing argument validation and
+// throws std::invalid_argument. SWS_UNREACHABLE marks impossible paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace sws {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "SWS_ASSERT failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace sws
+
+#define SWS_ASSERT(expr)                                        \
+  do {                                                          \
+    if (!(expr)) ::sws::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define SWS_ASSERT_MSG(expr, msg)                                  \
+  do {                                                             \
+    if (!(expr)) ::sws::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#define SWS_CHECK(expr, msg)                                          \
+  do {                                                                \
+    if (!(expr))                                                      \
+      throw std::invalid_argument(std::string("SWS_CHECK failed: ") + \
+                                  (msg) + " (" #expr ")");            \
+  } while (0)
+
+#define SWS_UNREACHABLE() \
+  ::sws::assert_fail("unreachable", __FILE__, __LINE__, "")

@@ -1,0 +1,63 @@
+// Compile-time helpers for packing multiple unsigned fields into one
+// 64-bit word — the representation trick at the heart of the SWS stealval
+// (paper §4, Figures 3 and 4).
+//
+// A Field<Shift, Width> describes a contiguous bit range. All operations
+// are constexpr and mask-safe: writing a value wider than the field is a
+// programming error caught by SWS_ASSERT in debug paths via checked_set.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace sws {
+
+template <unsigned Shift, unsigned Width>
+struct Field {
+  static_assert(Width >= 1 && Width <= 64, "field width out of range");
+  static_assert(Shift < 64 && Shift + Width <= 64, "field exceeds 64 bits");
+
+  static constexpr unsigned kShift = Shift;
+  static constexpr unsigned kWidth = Width;
+  /// Maximum representable value of the field.
+  static constexpr std::uint64_t kMax =
+      (Width == 64) ? std::numeric_limits<std::uint64_t>::max()
+                    : ((std::uint64_t{1} << Width) - 1);
+  /// Mask of the field within the packed word.
+  static constexpr std::uint64_t kMask = kMax << Shift;
+
+  /// Extract this field's value from a packed word.
+  static constexpr std::uint64_t get(std::uint64_t word) noexcept {
+    return (word >> Shift) & kMax;
+  }
+
+  /// Return `word` with this field replaced by `value` (value truncated
+  /// to the field width).
+  static constexpr std::uint64_t set(std::uint64_t word,
+                                     std::uint64_t value) noexcept {
+    return (word & ~kMask) | ((value & kMax) << Shift);
+  }
+
+  /// As set(), but asserts the value fits.
+  static std::uint64_t checked_set(std::uint64_t word, std::uint64_t value) {
+    SWS_ASSERT_MSG(value <= kMax, "bitfield value overflow");
+    return set(word, value);
+  }
+
+  /// The packed-word increment that adds 1 to this field.
+  /// This is what makes a remote fetch-add on the *whole word* act as a
+  /// fetch-add on the *field* — the key enabler of the SWS single-AMO steal.
+  static constexpr std::uint64_t unit() noexcept {
+    return std::uint64_t{1} << Shift;
+  }
+
+  /// True if adding `n` field-units to `word` would carry out of the field.
+  static constexpr bool would_overflow(std::uint64_t word,
+                                       std::uint64_t n) noexcept {
+    return get(word) + n > kMax;
+  }
+};
+
+}  // namespace sws

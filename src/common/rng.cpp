@@ -1,0 +1,23 @@
+#include "common/rng.hpp"
+
+#include "common/assert.hpp"
+
+namespace sws {
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) noexcept {
+  SWS_ASSERT(bound > 0);
+  // Lemire's method: take the high 64 bits of a 128-bit product; reject
+  // the small biased region at the bottom of the range.
+  __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      m = static_cast<__uint128_t>(next()) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace sws

@@ -1,0 +1,82 @@
+// Deterministic pseudo-random number generation.
+//
+// The runtime needs per-PE streams that are (a) reproducible across runs
+// given a seed, (b) statistically independent between PEs, and (c) cheap.
+// SplitMix64 seeds Xoshiro256** streams; stream i for seed s is derived by
+// jumping the SplitMix sequence, matching the standard recommendation.
+#pragma once
+
+#include <cstdint>
+
+namespace sws {
+
+/// SplitMix64: tiny, passes BigCrush, used for seeding.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: the workhorse generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seed via SplitMix64 so that low-entropy seeds still give good state.
+  explicit Xoshiro256(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  /// Derive the generator for logical stream `stream` of `seed` —
+  /// distinct streams for distinct (seed, stream) pairs.
+  Xoshiro256(std::uint64_t seed, std::uint64_t stream) noexcept
+      : Xoshiro256(mix(seed, stream)) {}
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  std::uint64_t operator()() noexcept { return next(); }
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~std::uint64_t{0}; }
+
+  /// Uniform integer in [0, bound), bound > 0. Uses Lemire's multiply-shift
+  /// with rejection to remove modulo bias.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  static std::uint64_t mix(std::uint64_t seed, std::uint64_t stream) noexcept {
+    SplitMix64 sm(seed ^ (0x6a09e667f3bcc909ULL + stream * 0x9e3779b97f4a7c15ULL));
+    return sm.next();
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace sws

@@ -1,0 +1,90 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace sws {
+
+void Summary::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Summary::merge(const Summary& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel combination of Welford partials.
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  mean_ += delta * nb / n;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Summary::variance() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Summary::rel_stddev_pct() const noexcept {
+  return mean() != 0.0 ? 100.0 * stddev() / mean() : 0.0;
+}
+
+double Summary::rel_range_pct() const noexcept {
+  return mean() != 0.0 ? 100.0 * range() / mean() : 0.0;
+}
+
+void LogHistogram::add(std::uint64_t x) noexcept {
+  const auto b = static_cast<std::size_t>(x == 0 ? 0 : std::bit_width(x) - 1);
+  ++buckets_[b];
+  ++total_;
+}
+
+void LogHistogram::merge(const LogHistogram& other) noexcept {
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  total_ += other.total_;
+}
+
+std::uint64_t LogHistogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen > target) return b == 0 ? 0 : (std::uint64_t{1} << b);
+  }
+  return std::uint64_t{1} << (kBuckets - 1);
+}
+
+std::string LogHistogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    os << "[2^" << b << ", 2^" << b + 1 << "): " << buckets_[b] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sws

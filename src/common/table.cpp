@@ -1,0 +1,70 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace sws {
+
+void Table::set_header(std::vector<std::string> header) {
+  SWS_CHECK(rows_.empty(), "set_header must precede add_row");
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  SWS_CHECK(header_.empty() || row.size() == header_.size(),
+            "row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::num(std::uint64_t v) { return std::to_string(v); }
+std::string Table::num(std::int64_t v) { return std::to_string(v); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width.resize(std::max(width.size(), row.size())),
+          width[c] = std::max(width[c], row[c].size());
+
+  os << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "  " : "") << std::setw(static_cast<int>(width[c]))
+         << std::right << row[c];
+    }
+    os << "\n";
+  };
+  if (!header_.empty()) {
+    emit_row(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+      total += width[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+  }
+  for (const auto& row : rows_) emit_row(row);
+  os << "\n";
+}
+
+void Table::print_csv(std::ostream& os) const {
+  os << "# " << title_ << "\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) os << (c ? "," : "") << row[c];
+    os << "\n";
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace sws

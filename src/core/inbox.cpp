@@ -1,0 +1,92 @@
+#include "core/inbox.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace sws::core {
+
+TaskInbox::TaskInbox(pgas::Runtime& rt, std::uint32_t capacity,
+                     std::uint32_t slot_bytes)
+    : base_(rt.heap().alloc(
+          kSlotsOff + static_cast<std::size_t>(capacity) * (8 + slot_bytes),
+          64)),
+      capacity_(capacity),
+      slot_bytes_(slot_bytes) {
+  SWS_CHECK(capacity > 0, "inbox capacity must be positive");
+  SWS_CHECK(slot_bytes >= kTaskHeaderBytes, "inbox slot too small");
+  SWS_CHECK(slot_bytes % 8 == 0, "inbox slot size must be 8-byte aligned");
+}
+
+void TaskInbox::reset_pe(pgas::PeContext& ctx) {
+  std::memset(ctx.local(base_), 0,
+              kSlotsOff +
+                  static_cast<std::size_t>(capacity_) * (8 + slot_bytes_));
+}
+
+bool TaskInbox::remote_push(pgas::PeContext& sender, int target,
+                            const Task& t) {
+  auto& fab = sender.fabric();
+  // Bounded reservation: CAS the reserve cursor only while the ring has
+  // room. The drained cursor read may be stale, which can only make us
+  // refuse — never overrun.
+  std::uint64_t seq;
+  for (;;) {
+    const std::uint64_t reserve =
+        fab.amo_fetch(sender.pe(), target, base_.off + kReserveOff);
+    const std::uint64_t drained =
+        fab.amo_fetch(sender.pe(), target, base_.off + kDrainedOff);
+    if (reserve - drained >= capacity_) return false;  // full
+    if (fab.amo_compare_swap(sender.pe(), target, base_.off + kReserveOff,
+                             reserve, reserve + 1) == reserve) {
+      seq = reserve;
+      break;
+    }
+    // Lost the race to another sender; re-check occupancy and retry.
+  }
+
+  // Stage the payload, then publish with the generation tag. Blocking ops
+  // complete in order, so the owner can never see a tagged-but-torn slot.
+  std::vector<std::byte> staged(slot_bytes_);
+  t.serialize(staged.data(), slot_bytes_);
+  sender.put(target, base_, slot_off(seq) + 8, staged.data(), slot_bytes_);
+  fab.amo_set(sender.pe(), target, base_.off + slot_off(seq), seq + 1);
+  return true;
+}
+
+std::uint32_t TaskInbox::drain(pgas::PeContext& owner,
+                               const std::function<void(const Task&)>& sink) {
+  const std::uint64_t drained_ptr = base_.off + kDrainedOff;
+  std::uint64_t drained = owner.local_load(pgas::SymPtr{drained_ptr});
+  std::uint32_t n = 0;
+  for (;;) {
+    const std::uint64_t tag_off = slot_off(drained);
+    const std::uint64_t tag = owner.local_load(base_.plus(tag_off));
+    if (tag != drained + 1) break;  // next-in-order task not published yet
+    const Task t = Task::deserialize(owner.local(base_, tag_off + 8),
+                                     slot_bytes_);
+    // Clear the tag before advancing so the slot is reusable one full
+    // ring later.
+    std::atomic_ref<std::uint64_t>(
+        *reinterpret_cast<std::uint64_t*>(owner.local(base_, tag_off)))
+        .store(0, std::memory_order_seq_cst);
+    ++drained;
+    std::atomic_ref<std::uint64_t>(
+        *reinterpret_cast<std::uint64_t*>(owner.local(pgas::SymPtr{drained_ptr})))
+        .store(drained, std::memory_order_seq_cst);
+    sink(t);
+    ++n;
+  }
+  return n;
+}
+
+bool TaskInbox::looks_empty(pgas::PeContext& owner) const {
+  const std::uint64_t reserve =
+      owner.local_load(base_.plus(kReserveOff));
+  const std::uint64_t drained =
+      owner.local_load(base_.plus(kDrainedOff));
+  return reserve == drained;
+}
+
+}  // namespace sws::core

@@ -1,0 +1,64 @@
+// Remote task spawning (paper §3: "a process may spawn tasks onto remote
+// queues, although with more overhead due to communication").
+//
+// Each PE owns a symmetric MPSC inbox ring. A sender reserves a slot with
+// a bounded CAS on the reserve cursor, one-sided-puts the serialized task,
+// then publishes it by setting the slot's generation tag. The owner drains
+// published slots in order during scheduler progress. Per remote spawn:
+// 2 AMOs + a get + a put + a set — deliberately heavier than local
+// spawning, matching the paper's caveat.
+//
+// Symmetric layout:
+//   +0   reserve   next slot sequence number (senders, CAS)
+//   +8   drained   next sequence the owner will consume (owner, set)
+//   +16  slots     per slot: [u64 tag][slot_bytes task payload]
+// A slot with tag == seq+1 holds the task for sequence `seq`; tag 0 is
+// empty. Tags are full sequence numbers, so ring reuse can't ABA.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/task.hpp"
+#include "pgas/runtime.hpp"
+
+namespace sws::core {
+
+class TaskInbox {
+ public:
+  TaskInbox(pgas::Runtime& rt, std::uint32_t capacity,
+            std::uint32_t slot_bytes);
+
+  std::uint32_t capacity() const noexcept { return capacity_; }
+
+  /// Collective per-PE reset; barrier before use.
+  void reset_pe(pgas::PeContext& ctx);
+
+  /// Deliver `t` to `target`'s inbox. Returns false when the inbox is
+  /// full (sender should retry later or fall back to local execution).
+  bool remote_push(pgas::PeContext& sender, int target, const Task& t);
+
+  /// Owner: consume every published task in sequence order.
+  /// Returns the number drained.
+  std::uint32_t drain(pgas::PeContext& owner,
+                      const std::function<void(const Task&)>& sink);
+
+  /// Owner: tasks currently published but not yet drained (approximate —
+  /// senders may be mid-publish).
+  bool looks_empty(pgas::PeContext& owner) const;
+
+ private:
+  static constexpr std::uint64_t kReserveOff = 0;
+  static constexpr std::uint64_t kDrainedOff = 8;
+  static constexpr std::uint64_t kSlotsOff = 16;
+
+  std::uint64_t slot_off(std::uint64_t seq) const noexcept {
+    return kSlotsOff + (seq % capacity_) * (8 + slot_bytes_);
+  }
+
+  pgas::SymPtr base_;
+  std::uint32_t capacity_;
+  std::uint32_t slot_bytes_;
+};
+
+}  // namespace sws::core

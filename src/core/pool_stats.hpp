@@ -1,0 +1,63 @@
+// Per-PE and aggregated task-pool statistics — the quantities the paper's
+// evaluation plots: steal time (successful steals), search time (failed
+// attempts while hunting for work), task counts, and load-balance data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "net/types.hpp"
+
+namespace sws::core {
+
+struct WorkerStats {
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t tasks_spawned = 0;   ///< children + seeds added by this PE
+  std::uint64_t tasks_stolen = 0;    ///< tasks this PE pulled from victims
+  std::uint64_t steals_ok = 0;
+  std::uint64_t steal_attempts = 0;  ///< successful + failed
+  net::Nanos steal_time_ns = 0;      ///< time in successful steal operations
+  net::Nanos search_time_ns = 0;     ///< failed attempts + inter-attempt backoff
+  net::Nanos term_check_ns = 0;      ///< time in termination detection
+  net::Nanos compute_time_ns = 0;    ///< task bodies (charged compute)
+  net::Nanos run_time_ns = 0;        ///< this PE's whole-run time
+  /// Per-successful-steal latency distribution (ns, log2 buckets) — the
+  /// tail view behind the Fig 6/7e/8e means.
+  LogHistogram steal_latency;
+
+  void merge(const WorkerStats& o) noexcept {
+    tasks_executed += o.tasks_executed;
+    tasks_spawned += o.tasks_spawned;
+    tasks_stolen += o.tasks_stolen;
+    steals_ok += o.steals_ok;
+    steal_attempts += o.steal_attempts;
+    steal_time_ns += o.steal_time_ns;
+    search_time_ns += o.search_time_ns;
+    term_check_ns += o.term_check_ns;
+    compute_time_ns += o.compute_time_ns;
+    run_time_ns = run_time_ns > o.run_time_ns ? run_time_ns : o.run_time_ns;
+    steal_latency.merge(o.steal_latency);
+  }
+};
+
+/// Pool-level aggregation with per-PE distribution summaries.
+struct PoolRunReport {
+  WorkerStats total;             ///< sums (run_time = max across PEs)
+  Summary per_pe_executed;       ///< load balance across PEs
+  Summary per_pe_steal_ms;
+  Summary per_pe_search_ms;
+  int npes = 0;
+
+  /// Approximate steal-latency quantile in nanoseconds (q in [0,1]).
+  std::uint64_t steal_latency_ns(double q) const {
+    return total.steal_latency.quantile(q);
+  }
+
+  std::string to_string() const;
+};
+
+PoolRunReport aggregate_reports(const std::vector<WorkerStats>& per_pe);
+
+}  // namespace sws::core

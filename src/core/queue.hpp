@@ -1,0 +1,101 @@
+// Abstract split task queue: the contract shared by the SDC baseline and
+// the SWS structured-atomic implementation.
+//
+// One queue object serves the whole pool; every method takes the calling
+// PE's context and internally routes to that PE's owner- or thief-side
+// state. Owner-side calls must come from the owning PE; steal() may be
+// called by any PE against any victim.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/queue_buffer.hpp"
+#include "core/task.hpp"
+#include "net/types.hpp"
+#include "pgas/runtime.hpp"
+
+namespace sws::core {
+
+enum class QueueKind { kSdc, kSws };
+
+enum class StealOutcome {
+  kSuccess,   ///< tasks claimed and copied
+  kEmpty,     ///< victim had no stealable work
+  kRetry,     ///< victim busy/locked; worth trying again later
+};
+
+struct StealResult {
+  StealOutcome outcome = StealOutcome::kEmpty;
+  std::uint32_t ntasks = 0;
+};
+
+/// Per-PE queue-op counters (owner and thief sides), aggregated by the
+/// pool into the paper's steal/search statistics.
+struct QueueOpStats {
+  std::uint64_t releases = 0;
+  std::uint64_t acquires = 0;
+  std::uint64_t acquire_poll_ns = 0;  ///< time acquire spent waiting on epochs
+  std::uint64_t steals_ok = 0;
+  std::uint64_t steals_empty = 0;
+  std::uint64_t steals_retry = 0;
+  std::uint64_t tasks_stolen = 0;     ///< tasks this PE stole from others
+  std::uint64_t damping_probes = 0;   ///< SWS empty-mode read-only probes
+
+  void merge(const QueueOpStats& o) noexcept {
+    releases += o.releases;
+    acquires += o.acquires;
+    acquire_poll_ns += o.acquire_poll_ns;
+    steals_ok += o.steals_ok;
+    steals_empty += o.steals_empty;
+    steals_retry += o.steals_retry;
+    tasks_stolen += o.tasks_stolen;
+    damping_probes += o.damping_probes;
+  }
+};
+
+class TaskQueue {
+ public:
+  virtual ~TaskQueue() = default;
+
+  virtual QueueKind kind() const noexcept = 0;
+
+  /// Reset all queue state (owner cursors, metadata, stats) for a fresh
+  /// run. Collective: call once per PE, then barrier before use.
+  virtual void reset_pe(pgas::PeContext& ctx) = 0;
+
+  // --- owner side --------------------------------------------------------
+  /// Enqueue at the head of the local portion. Returns false when the ring
+  /// is full even after reclaiming completed steals.
+  virtual bool push_local(pgas::PeContext& ctx, const Task& t) = 0;
+
+  /// LIFO pop from the head of the local portion.
+  virtual bool pop_local(pgas::PeContext& ctx, Task& out) = 0;
+
+  /// Number of tasks currently in the local portion.
+  virtual std::uint32_t local_count(pgas::PeContext& ctx) const = 0;
+
+  /// Owner's view: does the shared portion still hold unclaimed tasks?
+  virtual bool shared_available(pgas::PeContext& ctx) const = 0;
+
+  /// Move half the local tasks into the shared portion (valid only when
+  /// the shared portion is exhausted). Returns true if tasks were exposed.
+  virtual bool try_release(pgas::PeContext& ctx) = 0;
+
+  /// Move half the unclaimed shared tasks back to the local portion.
+  /// Returns true if tasks were reacquired.
+  virtual bool try_acquire(pgas::PeContext& ctx) = 0;
+
+  /// Process asynchronous steal completions; reclaims ring space.
+  virtual void progress(pgas::PeContext& ctx) = 0;
+
+  // --- thief side --------------------------------------------------------
+  /// Attempt to steal from `victim`; stolen tasks are appended to `out`.
+  virtual StealResult steal(pgas::PeContext& thief, int victim,
+                            std::vector<Task>& out) = 0;
+
+  // --- introspection -----------------------------------------------------
+  virtual const QueueOpStats& op_stats(int pe) const = 0;
+};
+
+}  // namespace sws::core

@@ -1,0 +1,222 @@
+#include "core/scheduler.hpp"
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace sws::core {
+
+// ----------------------------------------------------------------- worker
+
+Worker::Worker(TaskPool& pool, pgas::PeContext& ctx)
+    : pool_(pool), ctx_(ctx) {}
+
+void Worker::spawn(const Task& t) {
+  pool_.term_->count_created(ctx_, 1);
+  ++stats_.tasks_spawned;
+  if (pool_.tracer_.enabled())
+    pool_.tracer_.record(pe(), ctx_.now(), TraceKind::kSpawn);
+  if (pool_.queue_->push_local(ctx_, t)) return;
+  // Ring full even after reclaim: run the task inline. Depth-first
+  // execution keeps this bounded; it only triggers on under-sized queues.
+  SWS_WARN("PE " << ctx_.pe() << ": task ring full, executing inline");
+  execute(t);
+}
+
+void Worker::spawn_on(int target, const Task& t) {
+  if (target == pe() || !pool_.inbox_) {
+    spawn(t);
+    return;
+  }
+  pool_.term_->count_created(ctx_, 1);
+  ++stats_.tasks_spawned;
+  if (pool_.tracer_.enabled())
+    pool_.tracer_.record(pe(), ctx_.now(), TraceKind::kSpawnRemote,
+                         static_cast<std::uint64_t>(target));
+  // Bounded retries against a full inbox, then run it here — the task
+  // must execute somewhere, and local execution is always legal under the
+  // Scioto model (tasks are location-independent).
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    if (pool_.inbox_->remote_push(ctx_, target, t)) return;
+    ctx_.compute(pool_.cfg_.steal_backoff_ns);
+  }
+  SWS_WARN("PE " << pe() << ": inbox of PE " << target
+                 << " stayed full; executing task locally");
+  execute(t);
+}
+
+void Worker::compute(net::Nanos dt) {
+  stats_.compute_time_ns += dt;
+  ctx_.compute(dt);
+}
+
+void Worker::execute(const Task& t) {
+  if (pool_.tracer_.enabled())
+    pool_.tracer_.record(pe(), ctx_.now(), TraceKind::kTaskExec, t.fn());
+  pool_.registry_.fn(t.fn())(*this, t.payload());
+  ++stats_.tasks_executed;
+  pool_.term_->count_completed(ctx_, 1);
+  // Flush policy: never sit on a positive (created-heavy) delta — the
+  // counter detector's safety invariant.
+  pool_.term_->task_boundary(ctx_);
+}
+
+// ------------------------------------------------------------------- pool
+
+TaskPool::TaskPool(pgas::Runtime& rt, TaskRegistry& registry, PoolConfig cfg)
+    : rt_(rt),
+      registry_(registry),
+      cfg_(cfg),
+      last_stats_(static_cast<std::size_t>(rt.npes())) {
+  switch (cfg_.kind) {
+    case QueueKind::kSws: {
+      SwsConfig qc = cfg_.sws;
+      qc.capacity = cfg_.capacity;
+      qc.slot_bytes = cfg_.slot_bytes;
+      queue_ = std::make_unique<SwsQueue>(rt, qc);
+      break;
+    }
+    case QueueKind::kSdc: {
+      SdcConfig qc = cfg_.sdc;
+      qc.capacity = cfg_.capacity;
+      qc.slot_bytes = cfg_.slot_bytes;
+      queue_ = std::make_unique<SdcQueue>(rt, qc);
+      break;
+    }
+  }
+  term_ = make_detector(rt, cfg_.termination);
+  if (cfg_.remote_spawn)
+    inbox_ = std::make_unique<TaskInbox>(rt, cfg_.inbox_capacity,
+                                         cfg_.slot_bytes);
+  if (cfg_.trace) tracer_ = Tracer(rt.npes(), cfg_.trace_events);
+}
+
+std::uint32_t TaskPool::drain_inbox(Worker& w) {
+  if (!inbox_) return 0;
+  const std::uint32_t n = inbox_->drain(w.ctx(), [&](const Task& t) {
+    // Already counted as created by the sender.
+    if (!queue_->push_local(w.ctx(), t)) w.execute(t);
+  });
+  if (n > 0 && tracer_.enabled())
+    tracer_.record(w.pe(), w.ctx().now(), TraceKind::kInboxDrain, n);
+  return n;
+}
+
+WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
+                             const std::function<void(Worker&)>& seed) {
+  Worker w(*this, ctx);
+
+  queue_->reset_pe(ctx);
+  term_->reset_pe(ctx);
+  if (inbox_) inbox_->reset_pe(ctx);
+  if (ctx.pe() == 0) tracer_.clear();
+  ctx.barrier();
+
+  seed(w);
+  term_->task_boundary(ctx);  // flush seed counts before anyone checks
+  ctx.barrier();
+
+  const net::Nanos t_start = ctx.now();
+  const VictimConfig vcfg{cfg_.victim, rt_.config().net.pes_per_node,
+                          cfg_.victim_local_bias};
+  VictimSelector victims(vcfg, ctx.pe(), ctx.npes(), rt_.config().seed);
+  std::vector<Task> loot;
+  Task t;
+
+  bool done = false;
+  while (!done) {
+    queue_->progress(ctx);
+    drain_inbox(w);
+
+    // Release: shared portion exhausted but local work remains (paper §3).
+    if (!queue_->shared_available(ctx) &&
+        queue_->local_count(ctx) >= cfg_.release_threshold) {
+      if (queue_->try_release(ctx) && tracer_.enabled())
+        tracer_.record(ctx.pe(), ctx.now(), TraceKind::kRelease);
+    }
+
+    if (queue_->pop_local(ctx, t)) {
+      w.execute(t);
+      continue;
+    }
+    if (queue_->try_acquire(ctx)) {
+      if (tracer_.enabled())
+        tracer_.record(ctx.pe(), ctx.now(), TraceKind::kAcquire);
+      continue;
+    }
+
+    // Out of local and own-shared work: search the system. Successful
+    // attempts count as steal time, failures as search time (§5.3).
+    std::uint32_t fails = 0;
+    while (true) {
+      // Remotely-spawned tasks may land while we search.
+      if (drain_inbox(w) > 0) break;
+
+      if (ctx.npes() > 1) {
+        const net::Nanos t0 = ctx.now();
+        loot.clear();
+        const int victim = victims.next();
+        const StealResult res = queue_->steal(ctx, victim, loot);
+        const net::Nanos dt = ctx.now() - t0;
+        ++w.stats_.steal_attempts;
+        if (res.outcome == StealOutcome::kSuccess) {
+          w.stats_.steal_time_ns += dt;
+          ++w.stats_.steals_ok;
+          w.stats_.tasks_stolen += res.ntasks;
+          w.stats_.steal_latency.add(dt);
+          if (tracer_.enabled())
+            tracer_.record(ctx.pe(), ctx.now(), TraceKind::kStealOk,
+                           static_cast<std::uint64_t>(victim), res.ntasks);
+          for (const Task& stolen : loot) {
+            if (!queue_->push_local(ctx, stolen)) w.execute(stolen);
+          }
+          break;  // back to processing
+        }
+        w.stats_.search_time_ns += dt;
+        if (tracer_.enabled())
+          tracer_.record(ctx.pe(), ctx.now(),
+                         res.outcome == StealOutcome::kRetry
+                             ? TraceKind::kStealRetry
+                             : TraceKind::kStealEmpty,
+                         static_cast<std::uint64_t>(victim));
+        ++fails;
+      } else {
+        ++fails;
+      }
+
+      if (fails % cfg_.term_check_interval == 0 || ctx.npes() == 1) {
+        const net::Nanos t0 = ctx.now();
+        const bool finished = term_->check(ctx);
+        w.stats_.term_check_ns += ctx.now() - t0;
+        if (tracer_.enabled())
+          tracer_.record(ctx.pe(), ctx.now(), TraceKind::kTermCheck,
+                         finished ? 1 : 0);
+        if (finished) {
+          done = true;
+          break;
+        }
+      }
+
+      const net::Nanos t0 = ctx.now();
+      ctx.compute(cfg_.steal_backoff_ns);
+      w.stats_.search_time_ns += ctx.now() - t0;
+    }
+  }
+  if (tracer_.enabled())
+    tracer_.record(ctx.pe(), ctx.now(), TraceKind::kTerminated);
+
+  w.stats_.run_time_ns = ctx.now() - t_start;
+  ctx.quiet();  // complete our in-flight completion notifications
+  ctx.barrier();
+
+  last_stats_[static_cast<std::size_t>(ctx.pe())] = w.stats_;
+  return w.stats_;
+}
+
+PoolRunReport TaskPool::report() const { return aggregate_reports(last_stats_); }
+
+const WorkerStats& TaskPool::worker_stats(int pe) const {
+  SWS_ASSERT(pe >= 0 && pe < static_cast<int>(last_stats_.size()));
+  return last_stats_[static_cast<std::size_t>(pe)];
+}
+
+}  // namespace sws::core

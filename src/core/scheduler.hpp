@@ -1,0 +1,136 @@
+// The task-pool scheduler (paper §2.1): per-PE LIFO processing over a
+// split queue, release/acquire split management, random-victim steal-half
+// work stealing, and distributed termination detection.
+//
+// Usage (SPMD):
+//   TaskRegistry reg;                       // register task functions
+//   TaskPool pool(runtime, reg, cfg);       // allocates symmetric state
+//   runtime.run([&](PeContext& ctx) {
+//     pool.run_pe(ctx, [&](Worker& w) {     // seed on whichever PEs
+//       if (w.pe() == 0) w.spawn(Task::of(fn, Args{...}));
+//     });
+//   });
+//   PoolRunReport r = pool.report();
+//
+// The pool may be re-run; all queue/termination state resets per run.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/inbox.hpp"
+#include "core/pool_stats.hpp"
+#include "core/queue.hpp"
+#include "core/sdc_queue.hpp"
+#include "core/sws_queue.hpp"
+#include "core/task_registry.hpp"
+#include "core/termination.hpp"
+#include "core/trace.hpp"
+#include "core/victim.hpp"
+
+namespace sws::core {
+
+struct PoolConfig {
+  QueueKind kind = QueueKind::kSws;
+  std::uint32_t capacity = 8192;    ///< task slots per PE
+  std::uint32_t slot_bytes = 64;    ///< bytes per task slot
+  SwsConfig sws{};                  ///< capacity/slot_bytes overridden
+  SdcConfig sdc{};                  ///< capacity/slot_bytes overridden
+  TerminationKind termination = TerminationKind::kCounter;
+  VictimPolicy victim = VictimPolicy::kRandom;
+  /// kHierarchical: probability of trying an intra-node victim first.
+  /// The node size comes from the runtime's NetworkParams::pes_per_node.
+  double victim_local_bias = 0.75;
+  /// Pause between failed steal attempts (attributed to search time).
+  net::Nanos steal_backoff_ns = 1000;
+  /// Failed steal attempts between termination-detector polls.
+  std::uint32_t term_check_interval = 4;
+  /// Minimum local tasks before release considers exposing work.
+  std::uint32_t release_threshold = 2;
+  /// Enable Worker::spawn_on (remote task spawning via symmetric inboxes).
+  bool remote_spawn = true;
+  std::uint32_t inbox_capacity = 1024;
+  /// Record scheduler events into a per-PE trace ring (off by default —
+  /// recording is cheap but reading the clock per event is not free).
+  bool trace = false;
+  std::size_t trace_events = 4096;
+};
+
+class TaskPool;
+
+/// Per-PE execution handle; task bodies receive it to spawn subtasks and
+/// charge compute time.
+class Worker {
+ public:
+  Worker(TaskPool& pool, pgas::PeContext& ctx);
+
+  int pe() const noexcept { return ctx_.pe(); }
+  int npes() const noexcept { return ctx_.npes(); }
+  pgas::PeContext& ctx() noexcept { return ctx_; }
+  Xoshiro256& rng() noexcept { return ctx_.rng(); }
+
+  /// Add a task to this PE's queue (counts toward termination detection).
+  /// Falls back to inline execution if the ring is full.
+  void spawn(const Task& t);
+
+  /// Spawn onto another PE's queue via its symmetric inbox (paper §3:
+  /// possible "although with more overhead due to communication").
+  /// Requires PoolConfig::remote_spawn; falls back to local execution if
+  /// the target inbox stays full.
+  void spawn_on(int target, const Task& t);
+
+  /// Charge task computation time (virtual in DES mode).
+  void compute(net::Nanos dt);
+
+  const WorkerStats& stats() const noexcept { return stats_; }
+
+ private:
+  friend class TaskPool;
+  void execute(const Task& t);
+
+  TaskPool& pool_;
+  pgas::PeContext& ctx_;
+  WorkerStats stats_;
+};
+
+class TaskPool {
+ public:
+  /// Allocates all symmetric state; construct before Runtime::run.
+  TaskPool(pgas::Runtime& rt, TaskRegistry& registry, PoolConfig cfg);
+
+  /// SPMD entry point: call once per PE inside Runtime::run. `seed` runs
+  /// after the collective reset (spawn initial tasks from any PE); the
+  /// processing loop then runs to global termination.
+  WorkerStats run_pe(pgas::PeContext& ctx,
+                     const std::function<void(Worker&)>& seed);
+
+  /// Aggregated statistics of the last completed run.
+  PoolRunReport report() const;
+  const WorkerStats& worker_stats(int pe) const;
+
+  TaskQueue& queue() noexcept { return *queue_; }
+  TaskRegistry& registry() noexcept { return registry_; }
+  TerminationDetector& detector() noexcept { return *term_; }
+  const PoolConfig& config() const noexcept { return cfg_; }
+  /// Disabled (records nothing) unless PoolConfig::trace is set.
+  Tracer& tracer() noexcept { return tracer_; }
+  /// Null when remote_spawn is disabled.
+  TaskInbox* inbox() noexcept { return inbox_.get(); }
+
+ private:
+  friend class Worker;
+
+  /// Drain the inbox into the local queue; returns tasks moved.
+  std::uint32_t drain_inbox(Worker& w);
+
+  pgas::Runtime& rt_;
+  TaskRegistry& registry_;
+  PoolConfig cfg_;
+  std::unique_ptr<TaskQueue> queue_;
+  std::unique_ptr<TerminationDetector> term_;
+  std::unique_ptr<TaskInbox> inbox_;
+  Tracer tracer_;
+  std::vector<WorkerStats> last_stats_;
+};
+
+}  // namespace sws::core

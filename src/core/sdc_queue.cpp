@@ -1,0 +1,201 @@
+#include "core/sdc_queue.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace sws::core {
+
+SdcQueue::SdcQueue(pgas::Runtime& rt, SdcConfig cfg)
+    : cfg_(cfg),
+      meta_(rt.heap().alloc(
+          kRingOff + sizeof(std::uint64_t) * cfg.completion_ring, 64)),
+      buffer_(rt.heap(), cfg.capacity, cfg.slot_bytes),
+      owners_(static_cast<std::size_t>(rt.npes())) {
+  SWS_CHECK(cfg.completion_ring > 0, "completion ring must be non-empty");
+}
+
+void SdcQueue::reset_pe(pgas::PeContext& ctx) {
+  auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
+  o = OwnerState{};
+  std::memset(ctx.local(meta_), 0,
+              kRingOff + sizeof(std::uint64_t) * cfg_.completion_ring);
+}
+
+std::uint64_t SdcQueue::owner_tail(pgas::PeContext& ctx) const {
+  return ctx.local_load(meta_.plus(kTailOff));
+}
+
+// ------------------------------------------------------------ owner side
+
+bool SdcQueue::push_local(pgas::PeContext& ctx, const Task& t) {
+  auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
+  if (o.head_abs - o.reclaim_abs >= buffer_.capacity()) {
+    progress(ctx);
+    if (o.head_abs - o.reclaim_abs >= buffer_.capacity()) return false;
+  }
+  buffer_.write_local(ctx, o.head_abs, t);
+  ++o.head_abs;
+  return true;
+}
+
+bool SdcQueue::pop_local(pgas::PeContext& ctx, Task& out) {
+  auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
+  if (o.head_abs == o.split_cache) return false;
+  --o.head_abs;
+  out = buffer_.read_local(ctx, o.head_abs);
+  return true;
+}
+
+std::uint32_t SdcQueue::local_count(pgas::PeContext& ctx) const {
+  const auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
+  return static_cast<std::uint32_t>(o.head_abs - o.split_cache);
+}
+
+bool SdcQueue::shared_available(pgas::PeContext& ctx) const {
+  const auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
+  // Thieves advance the tail; read it atomically.
+  return owner_tail(ctx) < o.split_cache;
+}
+
+bool SdcQueue::try_release(pgas::PeContext& ctx) {
+  auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
+  // Release is legal without locking only because it happens when the
+  // shared portion is empty (paper §3.1): a racing thief sees an empty
+  // queue and aborts.
+  if (owner_tail(ctx) != o.split_cache) return false;
+  const auto nlocal = static_cast<std::uint32_t>(o.head_abs - o.split_cache);
+  if (nlocal < 2) return false;
+  const std::uint32_t expose = nlocal / 2;
+  o.split_cache += expose;
+  // Single atomic update of the split point — no lock required.
+  ctx.fabric().amo_set(ctx.pe(), ctx.pe(), meta_.off + kSplitOff,
+                       o.split_cache);
+  ++o.stats.releases;
+  return true;
+}
+
+void SdcQueue::lock_own(pgas::PeContext& ctx) {
+  // Owner competes for its own spinlock against thieves.
+  const auto want = static_cast<std::uint64_t>(ctx.pe()) + 1;
+  while (ctx.fabric().amo_compare_swap(ctx.pe(), ctx.pe(),
+                                       meta_.off + kLockOff, 0, want) != 0) {
+    ctx.compute(cfg_.lock_backoff_ns);
+  }
+}
+
+void SdcQueue::unlock(pgas::PeContext& ctx, int target) {
+  ctx.fabric().amo_set(ctx.pe(), target, meta_.off + kLockOff, 0);
+}
+
+bool SdcQueue::try_acquire(pgas::PeContext& ctx) {
+  auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
+  if (o.head_abs != o.split_cache) return false;  // local work remains
+  if (!shared_available(ctx)) return false;
+
+  // The split index is read by thieves mid-steal, so moving it backwards
+  // requires the queue lock (paper §3.1).
+  lock_own(ctx);
+  const std::uint64_t tail = owner_tail(ctx);
+  const std::uint64_t avail = o.split_cache - tail;
+  bool took = false;
+  if (avail > 0) {
+    const std::uint64_t take = (avail + 1) / 2;
+    o.split_cache -= take;
+    ctx.fabric().amo_set(ctx.pe(), ctx.pe(), meta_.off + kSplitOff,
+                         o.split_cache);
+    took = true;
+    ++o.stats.acquires;
+  }
+  unlock(ctx, ctx.pe());
+  return took;
+}
+
+void SdcQueue::progress(pgas::PeContext& ctx) {
+  auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
+  // Drain the deferred-copy ring in claim order; each finished slot frees
+  // its block of ring space.
+  for (;;) {
+    const std::uint64_t slot_off =
+        kRingOff + (o.reclaim_seq % cfg_.completion_ring) * 8;
+    const std::uint64_t v = ctx.local_load(meta_.plus(slot_off));
+    if (v == 0) break;
+    o.reclaim_abs += v;
+    std::atomic_ref<std::uint64_t>(
+        *reinterpret_cast<std::uint64_t*>(ctx.local(meta_.plus(slot_off))))
+        .store(0, std::memory_order_seq_cst);
+    ++o.reclaim_seq;
+  }
+}
+
+// ------------------------------------------------------------ thief side
+
+StealResult SdcQueue::steal(pgas::PeContext& thief, int victim,
+                            std::vector<Task>& out) {
+  SWS_ASSERT(victim != thief.pe());
+  auto& st = owners_[static_cast<std::size_t>(thief.pe())].stats;
+  auto& fab = thief.fabric();
+  const auto want = static_cast<std::uint64_t>(thief.pe()) + 1;
+
+  // (1) acquire the remote queue lock, aborting early if the queue drains
+  // while we wait (the "aborting steals" in SDC).
+  std::uint32_t attempts = 0;
+  while (fab.amo_compare_swap(thief.pe(), victim, meta_.off + kLockOff, 0,
+                              want) != 0) {
+    std::uint64_t meta[3];  // split, tail, seq
+    fab.get_words(thief.pe(), victim, meta_.off + kSplitOff, meta, 3);
+    if (meta[1] >= meta[0]) {
+      ++st.steals_empty;
+      return {StealOutcome::kEmpty, 0};
+    }
+    if (++attempts >= cfg_.max_lock_attempts) {
+      ++st.steals_retry;
+      return {StealOutcome::kRetry, 0};
+    }
+    thief.compute(cfg_.lock_backoff_ns);
+  }
+
+  // (2) fetch the metadata to size the steal.
+  std::uint64_t meta[3];  // split, tail, seq
+  fab.get_words(thief.pe(), victim, meta_.off + kSplitOff, meta, 3);
+  const std::uint64_t split = meta[0];
+  const std::uint64_t tail = meta[1];
+  const std::uint64_t seq = meta[2];
+  const std::uint64_t avail = split > tail ? split - tail : 0;
+  if (avail == 0) {
+    unlock(thief, victim);
+    ++st.steals_empty;
+    return {StealOutcome::kEmpty, 0};
+  }
+
+  // Steal half of the available work (work-stealing's sweet spot, §2).
+  const auto take =
+      static_cast<std::uint32_t>(avail > 1 ? avail / 2 : 1);
+
+  // (3) claim: advance the tail and the steal sequence in one put.
+  const std::uint64_t claim[2] = {tail + take, seq + 1};
+  fab.put_words(thief.pe(), victim, meta_.off + kTailOff, claim, 2);
+
+  // (4) release the lock — the copy proceeds outside the critical section.
+  unlock(thief, victim);
+
+  // (5) copy the stolen block (deferred copy).
+  buffer_.get_remote(thief, victim, buffer_.wrap(tail), take, out);
+
+  // (6) passive completion notification; the owner reclaims ring space on
+  // its next progress() pass.
+  fab.nbi_amo_add(thief.pe(), victim,
+                  meta_.off + kRingOff + (seq % cfg_.completion_ring) * 8,
+                  take);
+
+  ++st.steals_ok;
+  st.tasks_stolen += take;
+  return {StealOutcome::kSuccess, take};
+}
+
+const QueueOpStats& SdcQueue::op_stats(int pe) const {
+  return owners_[static_cast<std::size_t>(pe)].stats;
+}
+
+}  // namespace sws::core

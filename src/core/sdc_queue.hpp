@@ -1,0 +1,91 @@
+// Baseline: Scioto's "Split queue, Deferred Copy, aborting steals" (SDC)
+// task queue (paper §3), ported to one-sided operations.
+//
+// Symmetric metadata layout (per PE):
+//   +0   lock       spinlock word: 0 free, else thief_pe + 1
+//   +8   split_abs  boundary between shared [tail,split) and local [split,head)
+//   +16  tail_abs   oldest unclaimed shared task (thieves advance, under lock)
+//   +24  steal_seq  number of claims so far (indexes the completion ring)
+//   +32  ring[R]    deferred-copy completion ring: slot = stolen task count
+//
+// A steal is the paper's six communications:
+//   (1) lock CAS  (2) metadata get  (3) tail+seq put  (4) unlock
+//   (5) task-block get  (6) non-blocking completion update
+// with early abort while the lock is contended and the metadata shows an
+// empty shared portion.
+//
+// All indices are absolute (monotonic); ring positions are index mod
+// capacity. The owner's head/split cursors live in host memory (only the
+// owner touches them — split is mirrored symmetrically for thieves).
+#pragma once
+
+#include <memory>
+
+#include "core/queue.hpp"
+
+namespace sws::core {
+
+struct SdcConfig {
+  std::uint32_t capacity = 8192;
+  std::uint32_t slot_bytes = 64;
+  /// CAS attempts against a held lock before giving up with kRetry.
+  std::uint32_t max_lock_attempts = 4;
+  /// Thief backoff between lock attempts.
+  net::Nanos lock_backoff_ns = 400;
+  /// Completion-ring slots; bounds claimed-but-uncopied steals in flight.
+  std::uint32_t completion_ring = 1024;
+};
+
+class SdcQueue final : public TaskQueue {
+ public:
+  SdcQueue(pgas::Runtime& rt, SdcConfig cfg);
+
+  QueueKind kind() const noexcept override { return QueueKind::kSdc; }
+  void reset_pe(pgas::PeContext& ctx) override;
+
+  bool push_local(pgas::PeContext& ctx, const Task& t) override;
+  bool pop_local(pgas::PeContext& ctx, Task& out) override;
+  std::uint32_t local_count(pgas::PeContext& ctx) const override;
+  bool shared_available(pgas::PeContext& ctx) const override;
+  bool try_release(pgas::PeContext& ctx) override;
+  bool try_acquire(pgas::PeContext& ctx) override;
+  void progress(pgas::PeContext& ctx) override;
+
+  StealResult steal(pgas::PeContext& thief, int victim,
+                    std::vector<Task>& out) override;
+
+  const QueueOpStats& op_stats(int pe) const override;
+  const SdcConfig& config() const noexcept { return cfg_; }
+
+  /// Symmetric offset of the queue spinlock (tests/diagnostics).
+  std::uint64_t lock_offset_for_test() const noexcept {
+    return meta_.off + kLockOff;
+  }
+
+ private:
+  struct alignas(64) OwnerState {
+    std::uint64_t head_abs = 0;
+    std::uint64_t split_cache = 0;   ///< owner-authoritative copy of split
+    std::uint64_t reclaim_abs = 0;   ///< ring space below this is free
+    std::uint64_t reclaim_seq = 0;   ///< next completion-ring slot to drain
+    QueueOpStats stats;
+  };
+
+  // Metadata word offsets within meta_.
+  static constexpr std::uint64_t kLockOff = 0;
+  static constexpr std::uint64_t kSplitOff = 8;
+  static constexpr std::uint64_t kTailOff = 16;
+  static constexpr std::uint64_t kSeqOff = 24;
+  static constexpr std::uint64_t kRingOff = 32;
+
+  std::uint64_t owner_tail(pgas::PeContext& ctx) const;
+  void lock_own(pgas::PeContext& ctx);
+  void unlock(pgas::PeContext& ctx, int target);
+
+  SdcConfig cfg_;
+  pgas::SymPtr meta_;
+  QueueBuffer buffer_;
+  std::vector<OwnerState> owners_;
+};
+
+}  // namespace sws::core

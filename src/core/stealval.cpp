@@ -1,0 +1,38 @@
+#include "core/stealval.hpp"
+
+namespace sws::core {
+
+std::uint32_t steal_block_count(std::uint32_t itasks) noexcept {
+  std::uint32_t remaining = itasks;
+  std::uint32_t count = 0;
+  while (remaining > 0) {
+    const std::uint32_t take = remaining > 1 ? remaining / 2 : 1;
+    remaining -= take;
+    ++count;
+  }
+  return count;
+}
+
+StealBlock steal_block(std::uint32_t itasks, std::uint32_t idx) noexcept {
+  std::uint32_t remaining = itasks;
+  std::uint32_t offset = 0;
+  for (std::uint32_t i = 0;; ++i) {
+    if (remaining == 0) return StealBlock{offset, 0};  // past the last block
+    const std::uint32_t take = remaining > 1 ? remaining / 2 : 1;
+    if (i == idx) return StealBlock{offset, take};
+    offset += take;
+    remaining -= take;
+  }
+}
+
+std::uint32_t steal_block_size(std::uint32_t itasks,
+                               std::uint32_t idx) noexcept {
+  return steal_block(itasks, idx).size;
+}
+
+std::uint32_t steal_block_offset(std::uint32_t itasks,
+                                 std::uint32_t idx) noexcept {
+  return steal_block(itasks, idx).offset;
+}
+
+}  // namespace sws::core

@@ -1,0 +1,116 @@
+// The SWS `stealval`: the paper's central idea (§4, Figures 3–4).
+//
+// All queue metadata a thief needs to both *discover* and *claim* work is
+// packed into one 64-bit word so that a single remote fetch-add performs
+// both steps at once:
+//
+//      63           40 39 38    37         19 18          0
+//     +---------------+-----+----------------+-------------+
+//     |  asteals (24) |epoch|  itasks (19)   |  tail (19)  |
+//     +---------------+-----+----------------+-------------+
+//
+//  * asteals — number of steal attempts against the current allotment.
+//    Thieves add AStealsField::unit() (1 << 40); the fetched prior value
+//    tells them exactly which steal-half block is theirs.
+//  * epoch — completion-epoch index (§4.2). Values >= kNumEpochs mean the
+//    owner has the queue disabled (acquire/release in progress); thieves
+//    abort. This subsumes the Figure-3 valid bit.
+//  * itasks — size of the allotment the owner released to the shared
+//    portion; with asteals it determines every block size and offset.
+//  * tail — queue-slot index (mod capacity) of the allotment's first task.
+//
+// Owner-only fields (epoch/itasks/tail) are the low 40 bits; thief
+// increments touch only the high 24, so concurrent fetch-adds can never
+// corrupt owner data — the structural property the paper's title is about.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitfield.hpp"
+
+namespace sws::core {
+
+using AStealsField = Field<40, 24>;
+using EpochField = Field<38, 2>;
+using ITasksField = Field<19, 19>;
+using TailField = Field<0, 19>;
+
+/// Live completion epochs (paper: "the use of two completion epochs was
+/// sufficient to avoid polling").
+inline constexpr std::uint32_t kNumEpochs = 2;
+/// Epoch value that marks the queue disabled ("anything greater than
+/// MAX_EPOCHS signifies that the queue is locked", §4.2).
+inline constexpr std::uint32_t kLockedEpoch = 3;
+/// Largest allotment representable.
+inline constexpr std::uint32_t kMaxITasks =
+    static_cast<std::uint32_t>(ITasksField::kMax);
+/// Largest queue capacity addressable by the tail field.
+inline constexpr std::uint32_t kMaxQueueCapacity =
+    static_cast<std::uint32_t>(TailField::kMax) + 1;
+
+struct StealVal {
+  std::uint32_t asteals = 0;
+  std::uint32_t epoch = 0;
+  std::uint32_t itasks = 0;
+  std::uint32_t tail = 0;
+
+  static StealVal decode(std::uint64_t word) noexcept {
+    return StealVal{
+        static_cast<std::uint32_t>(AStealsField::get(word)),
+        static_cast<std::uint32_t>(EpochField::get(word)),
+        static_cast<std::uint32_t>(ITasksField::get(word)),
+        static_cast<std::uint32_t>(TailField::get(word)),
+    };
+  }
+
+  std::uint64_t encode() const noexcept {
+    std::uint64_t w = 0;
+    w = AStealsField::set(w, asteals);
+    w = EpochField::set(w, epoch);
+    w = ITasksField::set(w, itasks);
+    w = TailField::set(w, tail);
+    return w;
+  }
+
+  bool locked() const noexcept { return epoch >= kNumEpochs; }
+
+  friend bool operator==(const StealVal& a, const StealVal& b) noexcept {
+    return a.asteals == b.asteals && a.epoch == b.epoch &&
+           a.itasks == b.itasks && a.tail == b.tail;
+  }
+};
+
+/// The sentinel the owner swaps in to disable stealing. itasks = 0 keeps
+/// even a thief that ignores the epoch from computing a block.
+inline constexpr std::uint64_t locked_sentinel() noexcept {
+  std::uint64_t w = 0;
+  w = EpochField::set(w, kLockedEpoch);
+  return w;
+}
+
+// ----------------------------------------------------------------------
+// Steal-half block sequence. An allotment of `itasks` is consumed in
+// halving blocks: block i takes max(1, remaining/2). For itasks = 150 the
+// sequence is {75,37,19,9,5,2,1,1,1} — the paper's §4 worked example.
+
+/// Number of blocks (i.e. the number of successful steals an allotment
+/// supports). 0 for an empty allotment.
+std::uint32_t steal_block_count(std::uint32_t itasks) noexcept;
+
+/// Size of block `idx` (idx < steal_block_count(itasks)).
+std::uint32_t steal_block_size(std::uint32_t itasks, std::uint32_t idx) noexcept;
+
+/// Tasks preceding block `idx` — the displacement from the allotment tail
+/// ("skipping previously claimed work", §4.1). Valid for
+/// idx <= steal_block_count(itasks); at idx == count it returns itasks.
+std::uint32_t steal_block_offset(std::uint32_t itasks,
+                                 std::uint32_t idx) noexcept;
+
+/// Convenience: size and offset together (one walk of the sequence).
+struct StealBlock {
+  std::uint32_t offset = 0;  ///< tasks before this block
+  std::uint32_t size = 0;    ///< 0 when idx is past the last block
+};
+StealBlock steal_block(std::uint32_t itasks, std::uint32_t idx) noexcept;
+
+}  // namespace sws::core

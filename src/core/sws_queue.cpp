@@ -1,0 +1,277 @@
+#include "core/sws_queue.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace sws::core {
+
+namespace {
+
+/// Validate before any symmetric allocation so bad parameters fail with a
+/// clear error instead of heap exhaustion.
+SwsConfig validated(SwsConfig cfg) {
+  SWS_CHECK(cfg.capacity <= kMaxITasks,
+            "capacity exceeds the stealval itasks field");
+  return cfg;
+}
+
+}  // namespace
+
+SwsQueue::SwsQueue(pgas::Runtime& rt, SwsConfig cfg)
+    : cfg_(validated(cfg)),
+      stealval_(rt.heap().alloc(sizeof(std::uint64_t), 8)),
+      completion_(rt.heap()),
+      buffer_(rt.heap(), cfg.capacity, cfg.slot_bytes),
+      owners_(static_cast<std::size_t>(rt.npes())),
+      thieves_(static_cast<std::size_t>(rt.npes())) {
+  for (auto& t : thieves_)
+    t.empty_mode.assign(static_cast<std::size_t>(rt.npes()), 0);
+}
+
+void SwsQueue::reset_pe(pgas::PeContext& ctx) {
+  auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
+  o = OwnerState{};
+  auto& t = thieves_[static_cast<std::size_t>(ctx.pe())];
+  std::fill(t.empty_mode.begin(), t.empty_mode.end(), std::uint8_t{0});
+  // Valid-but-empty stealval: thieves decode itasks == 0 and give up
+  // without claiming anything.
+  std::memset(ctx.local(stealval_), 0, sizeof(std::uint64_t));
+  for (std::uint32_t e = 0; e < kNumEpochs; ++e)
+    completion_.clear_epoch(ctx, e);
+}
+
+// ------------------------------------------------------------ owner side
+
+bool SwsQueue::push_local(pgas::PeContext& ctx, const Task& t) {
+  auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
+  if (o.head_abs - o.reclaim_abs >= buffer_.capacity()) {
+    progress(ctx);
+    if (o.head_abs - o.reclaim_abs >= buffer_.capacity()) return false;
+  }
+  buffer_.write_local(ctx, o.head_abs, t);
+  ++o.head_abs;
+  return true;
+}
+
+bool SwsQueue::pop_local(pgas::PeContext& ctx, Task& out) {
+  auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
+  if (o.head_abs == o.split_abs) return false;
+  --o.head_abs;
+  out = buffer_.read_local(ctx, o.head_abs);
+  return true;
+}
+
+std::uint32_t SwsQueue::local_count(pgas::PeContext& ctx) const {
+  const auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
+  return static_cast<std::uint32_t>(o.head_abs - o.split_abs);
+}
+
+StealVal SwsQueue::owner_stealval(pgas::PeContext& ctx) const {
+  return StealVal::decode(ctx.local_load(stealval_));
+}
+
+bool SwsQueue::shared_available(pgas::PeContext& ctx) const {
+  // Unclaimed tasks remain while the claimed prefix hasn't consumed the
+  // whole allotment. Local atomic read — no communication.
+  const StealVal sv = owner_stealval(ctx);
+  if (sv.itasks == 0) return false;
+  const std::uint32_t nblocks = steal_block_count(sv.itasks);
+  const std::uint32_t claimed = std::min(sv.asteals, nblocks);
+  return steal_block_offset(sv.itasks, claimed) < sv.itasks;
+}
+
+std::uint32_t SwsQueue::retire_allotment(pgas::PeContext& ctx) {
+  auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
+
+  // Disable stealing: thieves that hit the sentinel see a locked epoch and
+  // abort; their stray asteals increments die with the sentinel.
+  const std::uint64_t old_word = ctx.fabric().amo_swap(
+      ctx.pe(), ctx.pe(), stealval_.off, locked_sentinel());
+  const StealVal old = StealVal::decode(old_word);
+  SWS_ASSERT_MSG(!old.locked(), "queue was already locked by its owner");
+  SWS_ASSERT(old.epoch == o.epoch && old.itasks == o.itasks);
+
+  const std::uint32_t nblocks = steal_block_count(o.itasks);
+  const std::uint32_t claimed = std::min(old.asteals, nblocks);
+  if (claimed > 0) {
+    o.outstanding.push_back(
+        AllotmentRecord{o.epoch, o.alloc_base_abs, o.itasks, claimed});
+  }
+
+  const std::uint32_t next_epoch =
+      cfg_.epochs ? (o.epoch + 1) % kNumEpochs : o.epoch;
+  // Wait until the completion array we are about to reuse is free. With
+  // epochs on, that is only the *other* epoch's outstanding record; with
+  // epochs off we must drain everything — the §4.1 behaviour the epochs
+  // optimization removes.
+  auto must_wait = [&]() {
+    for (const auto& rec : o.outstanding) {
+      if (!cfg_.epochs) return true;  // any outstanding record blocks us
+      if (rec.epoch == next_epoch) return true;
+    }
+    return false;
+  };
+  while (true) {
+    progress(ctx);
+    if (!must_wait()) break;
+    ctx.compute(cfg_.epoch_poll_ns);
+    o.stats.acquire_poll_ns += cfg_.epoch_poll_ns;
+  }
+
+  completion_.clear_epoch(ctx, next_epoch);
+  o.epoch = next_epoch;
+  return claimed;
+}
+
+void SwsQueue::publish(pgas::PeContext& ctx, std::uint32_t itasks) {
+  auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
+  o.itasks = itasks;
+  const StealVal sv{0, o.epoch, itasks, buffer_.wrap(o.alloc_base_abs)};
+  // Atomic store re-enables stealing in one local AMO.
+  ctx.fabric().amo_set(ctx.pe(), ctx.pe(), stealval_.off, sv.encode());
+}
+
+bool SwsQueue::try_release(pgas::PeContext& ctx) {
+  auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
+  // Release requires the shared portion exhausted and spare local work.
+  if (shared_available(ctx)) return false;
+  const auto nlocal = static_cast<std::uint32_t>(o.head_abs - o.split_abs);
+  if (nlocal < 2) return false;
+
+  retire_allotment(ctx);
+  // Expose the oldest half of the local portion as the new allotment.
+  std::uint32_t expose = nlocal / 2;
+  expose = std::min(expose, kMaxITasks);
+  o.alloc_base_abs = o.split_abs;
+  o.split_abs += expose;
+  publish(ctx, expose);
+  ++o.stats.releases;
+  return true;
+}
+
+bool SwsQueue::try_acquire(pgas::PeContext& ctx) {
+  auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
+  if (o.head_abs != o.split_abs) return false;  // local work remains
+  if (!shared_available(ctx)) return false;
+
+  // The swap inside retire_allotment is authoritative: thieves may have
+  // claimed more blocks since our shared_available peek.
+  const std::uint32_t claimed = retire_allotment(ctx);
+  const std::uint64_t claim_end =
+      o.alloc_base_abs + steal_block_offset(o.itasks, claimed);
+  const auto unclaimed =
+      static_cast<std::uint32_t>(o.alloc_base_abs + o.itasks - claim_end);
+
+  bool took = false;
+  if (unclaimed > 0) {
+    // Pull the upper half back into the local portion; the lower half
+    // becomes the new (smaller) allotment.
+    const std::uint32_t take = (unclaimed + 1) / 2;
+    o.split_abs -= take;
+    took = true;
+    ++o.stats.acquires;
+  }
+  o.alloc_base_abs = claim_end;
+  publish(ctx, static_cast<std::uint32_t>(o.split_abs - claim_end));
+  return took;
+}
+
+void SwsQueue::progress(pgas::PeContext& ctx) {
+  auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
+  // Retired allotments reclaim in order; within one, only the finished
+  // *prefix* of blocks frees space (paper §4.2).
+  while (!o.outstanding.empty()) {
+    const AllotmentRecord& rec = o.outstanding.front();
+    const std::uint32_t prefix =
+        completion_.finished_prefix(ctx, rec.epoch, rec.claimed_blocks);
+    o.reclaim_abs = std::max(
+        o.reclaim_abs, rec.base_abs + steal_block_offset(rec.itasks, prefix));
+    if (prefix < rec.claimed_blocks) return;  // oldest epoch still pending
+    o.outstanding.pop_front();
+  }
+  // All retired allotments drained: the live allotment's finished prefix
+  // is also reclaimable.
+  if (o.itasks > 0) {
+    const std::uint32_t nblocks = steal_block_count(o.itasks);
+    const std::uint32_t prefix = completion_.finished_prefix(
+        ctx, o.epoch, std::min(nblocks, CompletionSpace::kSlotsPerEpoch));
+    o.reclaim_abs =
+        std::max(o.reclaim_abs,
+                 o.alloc_base_abs + steal_block_offset(o.itasks, prefix));
+  } else {
+    o.reclaim_abs = std::max(o.reclaim_abs, o.alloc_base_abs);
+  }
+}
+
+// ------------------------------------------------------------ thief side
+
+bool SwsQueue::has_work(const StealVal& sv) noexcept {
+  if (sv.locked() || sv.itasks == 0) return false;
+  return sv.asteals < steal_block_count(sv.itasks);
+}
+
+StealResult SwsQueue::steal(pgas::PeContext& thief, int victim,
+                            std::vector<Task>& out) {
+  SWS_ASSERT(victim != thief.pe());
+  auto& st = owners_[static_cast<std::size_t>(thief.pe())].stats;
+  auto& fab = thief.fabric();
+  auto& mode =
+      thieves_[static_cast<std::size_t>(thief.pe())].empty_mode[static_cast<std::size_t>(victim)];
+
+  if (cfg_.damping && mode != 0) {
+    // Empty-mode (§4.3): read-only probe so exhausted targets don't have
+    // their asteals counter inflated toward overflow.
+    ++st.damping_probes;
+    const StealVal probe =
+        StealVal::decode(fab.amo_fetch(thief.pe(), victim, stealval_.off));
+    if (!has_work(probe)) {
+      ++st.steals_empty;
+      return {StealOutcome::kEmpty, 0};
+    }
+    mode = 0;  // back to full-mode; fall through and claim for real
+  }
+
+  // (1) The single-communication discover+claim: fetch-add the packed
+  // asteals field. The returned prior value is our claim ticket.
+  const std::uint64_t word =
+      fab.amo_fetch_add(thief.pe(), victim, stealval_.off,
+                        AStealsField::unit());
+  const StealVal sv = StealVal::decode(word);
+
+  if (sv.locked()) {
+    ++st.steals_retry;
+    return {StealOutcome::kRetry, 0};
+  }
+  const std::uint32_t nblocks = steal_block_count(sv.itasks);
+  if (sv.itasks == 0 || sv.asteals >= nblocks) {
+    if (cfg_.damping && sv.asteals >= nblocks + cfg_.damping_slack) mode = 1;
+    ++st.steals_empty;
+    return {StealOutcome::kEmpty, 0};
+  }
+
+  // Our block is fully determined by (itasks, asteals): volume by repeated
+  // halving, displacement by the claimed prefix (§4.1).
+  const StealBlock blk = steal_block(sv.itasks, sv.asteals);
+  SWS_ASSERT(blk.size > 0);
+  const std::uint32_t start_mod =
+      (sv.tail + blk.offset) % buffer_.capacity();
+
+  // (2) copy the claimed block (blocking, wrap-aware).
+  buffer_.get_remote(thief, victim, start_mod, blk.size, out);
+
+  // (3) passive completion notification.
+  completion_.notify_finished(thief, victim, sv.epoch, sv.asteals, blk.size);
+
+  ++st.steals_ok;
+  st.tasks_stolen += blk.size;
+  return {StealOutcome::kSuccess, blk.size};
+}
+
+const QueueOpStats& SwsQueue::op_stats(int pe) const {
+  return owners_[static_cast<std::size_t>(pe)].stats;
+}
+
+}  // namespace sws::core

@@ -1,0 +1,108 @@
+// SWS: the structured-atomic work-stealing queue (paper §4).
+//
+// Thief side — a steal is three communications, two blocking:
+//   (1) atomic fetch-add of AStealsField::unit() on the victim's stealval
+//       — discovers AND claims a steal-half block in one round trip;
+//   (2) one-sided get of the claimed block;
+//   (3) non-blocking atomic completion notification
+//       (completion[epoch][block]).
+//
+// Owner side — release/acquire retire the live allotment by atomically
+// swapping the stealval to a locked sentinel, rotating to the next
+// completion epoch (§4.2), and publishing a fresh
+// {asteals=0, epoch, itasks, tail}. Ring space under claimed blocks is
+// reclaimed by progress() as completion notifications arrive — in block
+// order, per the longest-finished-prefix rule.
+//
+// Geometry (absolute indices): reclaim <= retired-claimed regions <=
+// live allotment [alloc_base, split) <= local portion [split, head).
+#pragma once
+
+#include <deque>
+
+#include "core/completion.hpp"
+#include "core/queue.hpp"
+#include "core/stealval.hpp"
+
+namespace sws::core {
+
+struct SwsConfig {
+  std::uint32_t capacity = 8192;
+  std::uint32_t slot_bytes = 64;
+  /// Completion epochs (§4.2). When false, allotment resets wait for every
+  /// outstanding steal to finish first — the paper's initial
+  /// implementation, kept for the ablation study.
+  bool epochs = true;
+  /// Steal damping (§4.3): thieves that find a target empty past the
+  /// threshold fall back to read-only probes until work reappears.
+  bool damping = true;
+  /// Extra failed attempts past exhaustion before a target enters
+  /// empty-mode.
+  std::uint32_t damping_slack = 8;
+  /// Owner poll interval while waiting for an epoch's steals to finish.
+  net::Nanos epoch_poll_ns = 400;
+};
+
+class SwsQueue final : public TaskQueue {
+ public:
+  SwsQueue(pgas::Runtime& rt, SwsConfig cfg);
+
+  QueueKind kind() const noexcept override { return QueueKind::kSws; }
+  void reset_pe(pgas::PeContext& ctx) override;
+
+  bool push_local(pgas::PeContext& ctx, const Task& t) override;
+  bool pop_local(pgas::PeContext& ctx, Task& out) override;
+  std::uint32_t local_count(pgas::PeContext& ctx) const override;
+  bool shared_available(pgas::PeContext& ctx) const override;
+  bool try_release(pgas::PeContext& ctx) override;
+  bool try_acquire(pgas::PeContext& ctx) override;
+  void progress(pgas::PeContext& ctx) override;
+
+  StealResult steal(pgas::PeContext& thief, int victim,
+                    std::vector<Task>& out) override;
+
+  const QueueOpStats& op_stats(int pe) const override;
+  const SwsConfig& config() const noexcept { return cfg_; }
+
+  /// Owner's decoded view of its own stealval (for tests/diagnostics).
+  StealVal owner_stealval(pgas::PeContext& ctx) const;
+
+  /// Symmetric location of the stealval word (tests/diagnostics).
+  pgas::SymPtr stealval_ptr() const noexcept { return stealval_; }
+
+ private:
+  struct alignas(64) OwnerState {
+    std::uint64_t head_abs = 0;
+    std::uint64_t split_abs = 0;       ///< local portion starts here
+    std::uint64_t alloc_base_abs = 0;  ///< live allotment's first task
+    std::uint32_t itasks = 0;          ///< live allotment size
+    std::uint32_t epoch = 0;
+    std::uint64_t reclaim_abs = 0;
+    std::deque<AllotmentRecord> outstanding;
+    QueueOpStats stats;
+  };
+  /// Thief-side damping state, one row per thief (padded against false
+  /// sharing), one entry per potential victim.
+  struct alignas(64) ThiefState {
+    std::vector<std::uint8_t> empty_mode;  // 1 = probe-first
+  };
+
+  /// True when the decoded value offers an unclaimed block.
+  static bool has_work(const StealVal& sv) noexcept;
+
+  /// Retire the live allotment: swap in the locked sentinel, record the
+  /// outstanding claims, rotate/clear the next epoch. Returns the number
+  /// of blocks that were claimed from the retired allotment.
+  std::uint32_t retire_allotment(pgas::PeContext& ctx);
+  /// Publish a fresh allotment (must follow retire_allotment).
+  void publish(pgas::PeContext& ctx, std::uint32_t itasks);
+
+  SwsConfig cfg_;
+  pgas::SymPtr stealval_;
+  CompletionSpace completion_;
+  QueueBuffer buffer_;
+  std::vector<OwnerState> owners_;
+  std::vector<ThiefState> thieves_;
+};
+
+}  // namespace sws::core

@@ -1,0 +1,24 @@
+#include "core/task.hpp"
+
+namespace sws::core {
+
+void Task::serialize(std::byte* slot, std::uint32_t slot_bytes) const {
+  SWS_ASSERT_MSG(serialized_bytes() <= slot_bytes,
+                 "task does not fit in queue slot");
+  std::memcpy(slot, &fn_, sizeof(fn_));
+  std::memcpy(slot + sizeof(fn_), &len_, sizeof(len_));
+  if (len_ > 0) std::memcpy(slot + kTaskHeaderBytes, buf_.data(), len_);
+}
+
+Task Task::deserialize(const std::byte* slot, std::uint32_t slot_bytes) {
+  Task t;
+  std::memcpy(&t.fn_, slot, sizeof(t.fn_));
+  std::memcpy(&t.len_, slot + sizeof(t.fn_), sizeof(t.len_));
+  SWS_ASSERT_MSG(t.len_ <= kMaxTaskPayload &&
+                     kTaskHeaderBytes + t.len_ <= slot_bytes,
+                 "corrupt task slot");
+  if (t.len_ > 0) std::memcpy(t.buf_.data(), slot + kTaskHeaderBytes, t.len_);
+  return t;
+}
+
+}  // namespace sws::core

@@ -1,0 +1,147 @@
+#include "core/termination.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace sws::core {
+
+// -------------------------------------------------------------- counter
+
+CounterTermination::CounterTermination(pgas::Runtime& rt)
+    : counter_(rt.heap().alloc(sizeof(std::uint64_t), 8)),
+      local_(static_cast<std::size_t>(rt.npes())) {}
+
+void CounterTermination::reset_pe(pgas::PeContext& ctx) {
+  local_[static_cast<std::size_t>(ctx.pe())] = PerPe{};
+  if (ctx.pe() == 0)
+    std::atomic_ref<std::uint64_t>(
+        *reinterpret_cast<std::uint64_t*>(ctx.local(counter_)))
+        .store(0, std::memory_order_seq_cst);
+}
+
+void CounterTermination::flush(pgas::PeContext& ctx) {
+  auto& me = local_[static_cast<std::size_t>(ctx.pe())];
+  if (me.unflushed == 0) return;
+  // Two's-complement add applies signed deltas to the u64 counter.
+  ctx.fabric().amo_fetch_add(ctx.pe(), /*target=*/0, counter_.off,
+                             static_cast<std::uint64_t>(me.unflushed));
+  me.unflushed = 0;
+}
+
+void CounterTermination::count_created(pgas::PeContext& ctx,
+                                       std::uint64_t n) {
+  local_[static_cast<std::size_t>(ctx.pe())].unflushed +=
+      static_cast<std::int64_t>(n);
+}
+
+void CounterTermination::count_completed(pgas::PeContext& ctx,
+                                         std::uint64_t n) {
+  local_[static_cast<std::size_t>(ctx.pe())].unflushed -=
+      static_cast<std::int64_t>(n);
+}
+
+void CounterTermination::task_boundary(pgas::PeContext& ctx) {
+  // The safety invariant: never sit on a positive delta. Negative deltas
+  // only make the global counter an over-estimate, so they may batch until
+  // the next idle check.
+  if (local_[static_cast<std::size_t>(ctx.pe())].unflushed > 0) flush(ctx);
+}
+
+bool CounterTermination::check(pgas::PeContext& ctx) {
+  flush(ctx);
+  return ctx.fetch(/*target=*/0, counter_) == 0;
+}
+
+// ---------------------------------------------------------------- token
+
+TokenTermination::TokenTermination(pgas::Runtime& rt)
+    : space_(rt.heap().alloc(kBytes, 8)),
+      local_(static_cast<std::size_t>(rt.npes())) {}
+
+void TokenTermination::reset_pe(pgas::PeContext& ctx) {
+  local_[static_cast<std::size_t>(ctx.pe())] = PerPe{};
+  std::memset(ctx.local(space_), 0, kBytes);
+}
+
+void TokenTermination::count_created(pgas::PeContext& ctx, std::uint64_t n) {
+  local_[static_cast<std::size_t>(ctx.pe())].created += n;
+}
+
+void TokenTermination::count_completed(pgas::PeContext& ctx,
+                                       std::uint64_t n) {
+  local_[static_cast<std::size_t>(ctx.pe())].executed += n;
+}
+
+void TokenTermination::task_boundary(pgas::PeContext& ctx) { (void)ctx; }
+
+void TokenTermination::forward_token(pgas::PeContext& ctx,
+                                     std::uint64_t created,
+                                     std::uint64_t executed,
+                                     std::uint64_t wave) {
+  const int next = (ctx.pe() + 1) % ctx.npes();
+  const std::uint64_t payload[3] = {created, executed, wave};
+  ctx.fabric().put_words(ctx.pe(), next, space_.off + kCreatedOff, payload, 3);
+  // Data first, then the valid flag — blocking ops complete in order, so
+  // the receiver can never observe a half-written token.
+  ctx.fabric().amo_set(ctx.pe(), next, space_.off + kValidOff, 1);
+}
+
+bool TokenTermination::check(pgas::PeContext& ctx) {
+  auto& me = local_[static_cast<std::size_t>(ctx.pe())];
+
+  if (ctx.npes() == 1) return me.created == me.executed;
+  if (ctx.local_load(space_.plus(kFlagOff)) != 0) return true;
+
+  const bool token_here = ctx.local_load(space_.plus(kValidOff)) != 0;
+
+  if (ctx.pe() != 0) {
+    if (!token_here) return false;
+    const std::uint64_t c = ctx.local_load(space_.plus(kCreatedOff));
+    const std::uint64_t e = ctx.local_load(space_.plus(kExecutedOff));
+    const std::uint64_t w = ctx.local_load(space_.plus(kWaveOff));
+    ctx.fabric().amo_set(ctx.pe(), ctx.pe(), space_.off + kValidOff, 0);
+    forward_token(ctx, c + me.created, e + me.executed, w);
+    return false;
+  }
+
+  // PE 0: wave initiator and terminator.
+  if (!me.initiated) {
+    me.initiated = true;
+    forward_token(ctx, me.created, me.executed, /*wave=*/1);
+    return false;
+  }
+  if (!token_here) return false;
+
+  const std::uint64_t c = ctx.local_load(space_.plus(kCreatedOff));
+  const std::uint64_t e = ctx.local_load(space_.plus(kExecutedOff));
+  const std::uint64_t w = ctx.local_load(space_.plus(kWaveOff));
+  ctx.fabric().amo_set(ctx.pe(), ctx.pe(), space_.off + kValidOff, 0);
+
+  // Four-counter criterion (conservative form): two consecutive waves with
+  // identical, balanced monotonic sums ⇒ no task was created or executed
+  // between them and none is outstanding.
+  if (me.prev_valid && c == e && c == me.prev_c && e == me.prev_e) {
+    for (int pe = 1; pe < ctx.npes(); ++pe)
+      ctx.fabric().amo_set(ctx.pe(), pe, space_.off + kFlagOff, 1);
+    return true;
+  }
+  me.prev_c = c;
+  me.prev_e = e;
+  me.prev_valid = true;
+  forward_token(ctx, me.created, me.executed, w + 1);
+  return false;
+}
+
+std::unique_ptr<TerminationDetector> make_detector(pgas::Runtime& rt,
+                                                   TerminationKind kind) {
+  switch (kind) {
+    case TerminationKind::kCounter:
+      return std::make_unique<CounterTermination>(rt);
+    case TerminationKind::kToken:
+      return std::make_unique<TokenTermination>(rt);
+  }
+  SWS_UNREACHABLE();
+}
+
+}  // namespace sws::core

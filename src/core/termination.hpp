@@ -1,0 +1,118 @@
+// Distributed termination detection (paper §2.1: "this mode of operation
+// requires distributed termination detection").
+//
+// Two detectors, selectable per pool:
+//
+//  * CounterTermination (default) — a single outstanding-task counter on
+//    PE 0. Each worker applies the net delta (children spawned − tasks
+//    completed) with batched remote fetch-adds under the invariant that a
+//    worker's *unflushed* delta is never positive: positive deltas flush
+//    immediately, negative deltas may batch. Then
+//        global_counter = outstanding − Σ unflushed_i  with unflushed_i ≤ 0
+//    so global_counter == 0 implies outstanding == 0 — a single remote
+//    read suffices and can never report termination early.
+//
+//  * TokenTermination — Mattern's four-counter / two-wave scheme over a
+//    ring: a token gathers every PE's (created, executed) totals; two
+//    consecutive waves observing the same quiescent sums prove
+//    termination. Message-free between waves; kept as the conservative
+//    alternative and as a cross-check in tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "pgas/runtime.hpp"
+
+namespace sws::core {
+
+enum class TerminationKind { kCounter, kToken };
+
+class TerminationDetector {
+ public:
+  virtual ~TerminationDetector() = default;
+
+  virtual TerminationKind kind() const noexcept = 0;
+
+  /// Collective per-PE reset; barrier before use.
+  virtual void reset_pe(pgas::PeContext& ctx) = 0;
+
+  /// Account `n` tasks entering the pool from this PE (seeds or spawns).
+  virtual void count_created(pgas::PeContext& ctx, std::uint64_t n) = 0;
+  /// Account `n` tasks fully executed by this PE.
+  virtual void count_completed(pgas::PeContext& ctx, std::uint64_t n) = 0;
+
+  /// Hook at every task boundary — flush policy lives here.
+  virtual void task_boundary(pgas::PeContext& ctx) = 0;
+
+  /// Idle-time poll: true once global termination is certain.
+  virtual bool check(pgas::PeContext& ctx) = 0;
+};
+
+class CounterTermination final : public TerminationDetector {
+ public:
+  explicit CounterTermination(pgas::Runtime& rt);
+
+  TerminationKind kind() const noexcept override {
+    return TerminationKind::kCounter;
+  }
+  void reset_pe(pgas::PeContext& ctx) override;
+  void count_created(pgas::PeContext& ctx, std::uint64_t n) override;
+  void count_completed(pgas::PeContext& ctx, std::uint64_t n) override;
+  void task_boundary(pgas::PeContext& ctx) override;
+  bool check(pgas::PeContext& ctx) override;
+
+ private:
+  void flush(pgas::PeContext& ctx);
+
+  struct alignas(64) PerPe {
+    std::int64_t unflushed = 0;
+  };
+  pgas::SymPtr counter_;  ///< lives on PE 0
+  std::vector<PerPe> local_;
+};
+
+class TokenTermination final : public TerminationDetector {
+ public:
+  explicit TokenTermination(pgas::Runtime& rt);
+
+  TerminationKind kind() const noexcept override {
+    return TerminationKind::kToken;
+  }
+  void reset_pe(pgas::PeContext& ctx) override;
+  void count_created(pgas::PeContext& ctx, std::uint64_t n) override;
+  void count_completed(pgas::PeContext& ctx, std::uint64_t n) override;
+  void task_boundary(pgas::PeContext& ctx) override;
+  bool check(pgas::PeContext& ctx) override;
+
+ private:
+  // Symmetric layout per PE: {token_valid, token_created, token_executed,
+  // token_wave, term_flag} — the token is "present" at a PE when its
+  // token_valid word is nonzero.
+  static constexpr std::uint64_t kValidOff = 0;
+  static constexpr std::uint64_t kCreatedOff = 8;
+  static constexpr std::uint64_t kExecutedOff = 16;
+  static constexpr std::uint64_t kWaveOff = 24;
+  static constexpr std::uint64_t kFlagOff = 32;
+  static constexpr std::size_t kBytes = 40;
+
+  void forward_token(pgas::PeContext& ctx, std::uint64_t created,
+                     std::uint64_t executed, std::uint64_t wave);
+
+  struct alignas(64) PerPe {
+    std::uint64_t created = 0;   ///< exact local totals (no remote flushes)
+    std::uint64_t executed = 0;
+    std::uint64_t prev_c = 0;    ///< PE0: sums seen by the previous wave
+    std::uint64_t prev_e = 0;
+    bool prev_valid = false;
+    bool initiated = false;      ///< PE0: a wave is in flight
+  };
+  pgas::SymPtr space_;
+  std::vector<PerPe> local_;
+};
+
+/// Factory.
+std::unique_ptr<TerminationDetector> make_detector(pgas::Runtime& rt,
+                                                   TerminationKind kind);
+
+}  // namespace sws::core

@@ -1,0 +1,107 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/assert.hpp"
+
+namespace sws::core {
+
+const char* trace_kind_name(TraceKind k) noexcept {
+  switch (k) {
+    case TraceKind::kTaskExec: return "task_exec";
+    case TraceKind::kSpawn: return "spawn";
+    case TraceKind::kSpawnRemote: return "spawn_remote";
+    case TraceKind::kRelease: return "release";
+    case TraceKind::kAcquire: return "acquire";
+    case TraceKind::kStealOk: return "steal_ok";
+    case TraceKind::kStealEmpty: return "steal_empty";
+    case TraceKind::kStealRetry: return "steal_retry";
+    case TraceKind::kInboxDrain: return "inbox_drain";
+    case TraceKind::kTermCheck: return "term_check";
+    case TraceKind::kTerminated: return "terminated";
+  }
+  return "?";
+}
+
+Tracer::Tracer(int npes, std::size_t events_per_pe) {
+  SWS_CHECK(npes > 0 && events_per_pe > 0, "bad tracer dimensions");
+  rings_.resize(static_cast<std::size_t>(npes));
+  for (auto& r : rings_) r.buf.resize(events_per_pe);
+}
+
+void Tracer::record(int pe, net::Nanos time, TraceKind kind, std::uint64_t a,
+                    std::uint64_t b) noexcept {
+  if (rings_.empty()) return;
+  Ring& r = rings_[static_cast<std::size_t>(pe)];
+  r.buf[r.next] = TraceEvent{time, kind, pe, a, b};
+  r.next = (r.next + 1) % r.buf.size();
+  ++r.total;
+}
+
+void Tracer::clear() {
+  for (auto& r : rings_) {
+    r.next = 0;
+    r.total = 0;
+    std::fill(r.buf.begin(), r.buf.end(), TraceEvent{});
+  }
+}
+
+std::vector<TraceEvent> Tracer::events(int pe) const {
+  std::vector<TraceEvent> out;
+  if (rings_.empty()) return out;
+  const Ring& r = rings_[static_cast<std::size_t>(pe)];
+  const std::size_t retained = std::min<std::uint64_t>(r.total, r.buf.size());
+  out.reserve(retained);
+  // Oldest retained event sits at `next` once the ring has wrapped.
+  const std::size_t start = r.total > r.buf.size() ? r.next : 0;
+  for (std::size_t i = 0; i < retained; ++i)
+    out.push_back(r.buf[(start + i) % r.buf.size()]);
+  return out;
+}
+
+std::vector<TraceEvent> Tracer::merged() const {
+  std::vector<TraceEvent> out;
+  for (int pe = 0; pe < static_cast<int>(rings_.size()); ++pe) {
+    const auto evs = events(pe);
+    out.insert(out.end(), evs.begin(), evs.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& x, const TraceEvent& y) {
+                     return x.time != y.time ? x.time < y.time : x.pe < y.pe;
+                   });
+  return out;
+}
+
+void Tracer::dump(std::ostream& os) const {
+  for (const TraceEvent& e : merged()) {
+    os << e.time << "ns pe" << e.pe << " " << trace_kind_name(e.kind);
+    if (e.a || e.b) os << " a=" << e.a << " b=" << e.b;
+    os << "\n";
+  }
+}
+
+void Tracer::dump_chrome_json(std::ostream& os) const {
+  os << "[";
+  bool first = true;
+  for (const TraceEvent& e : merged()) {
+    if (!first) os << ",";
+    first = false;
+    // Timestamps are microseconds in the trace-event format.
+    os << "\n{\"name\":\"" << trace_kind_name(e.kind) << "\",\"ph\":\"i\","
+       << "\"s\":\"t\",\"ts\":" << static_cast<double>(e.time) / 1e3
+       << ",\"pid\":0,\"tid\":" << e.pe << ",\"args\":{\"a\":" << e.a
+       << ",\"b\":" << e.b << "}}";
+  }
+  os << "\n]\n";
+}
+
+std::uint64_t Tracer::count(TraceKind kind) const {
+  std::uint64_t n = 0;
+  for (int pe = 0; pe < static_cast<int>(rings_.size()); ++pe)
+    for (const TraceEvent& e : events(pe))
+      if (e.kind == kind) ++n;
+  return n;
+}
+
+}  // namespace sws::core

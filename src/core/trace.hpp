@@ -1,0 +1,79 @@
+// Lightweight per-PE event tracing for the scheduler.
+//
+// Each PE records fixed-size events into its own bounded ring (newest
+// overwrite oldest); recording is a couple of stores, cheap enough to
+// leave on in benchmarks. Dumps merge all PEs in time order — the tool we
+// use to inspect steal storms, release/acquire churn, and termination
+// behaviour.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace sws::core {
+
+enum class TraceKind : std::uint8_t {
+  kTaskExec = 0,
+  kSpawn,
+  kSpawnRemote,
+  kRelease,
+  kAcquire,
+  kStealOk,
+  kStealEmpty,
+  kStealRetry,
+  kInboxDrain,
+  kTermCheck,
+  kTerminated,
+};
+
+const char* trace_kind_name(TraceKind k) noexcept;
+
+struct TraceEvent {
+  net::Nanos time = 0;
+  TraceKind kind = TraceKind::kTaskExec;
+  std::int32_t pe = 0;
+  std::uint64_t a = 0;  ///< kind-specific (victim, task count, …)
+  std::uint64_t b = 0;
+};
+
+class Tracer {
+ public:
+  /// A disabled tracer records nothing and costs one branch per event.
+  Tracer() = default;
+  Tracer(int npes, std::size_t events_per_pe);
+
+  bool enabled() const noexcept { return !rings_.empty(); }
+
+  void record(int pe, net::Nanos time, TraceKind kind, std::uint64_t a = 0,
+              std::uint64_t b = 0) noexcept;
+
+  void clear();
+
+  /// All retained events of one PE, oldest first.
+  std::vector<TraceEvent> events(int pe) const;
+  /// All PEs' retained events merged in (time, pe) order.
+  std::vector<TraceEvent> merged() const;
+  /// Human-readable dump of merged(), one event per line.
+  void dump(std::ostream& os) const;
+
+  /// Chrome trace-event JSON (load in chrome://tracing or Perfetto):
+  /// one instant event per record, one lane per PE.
+  void dump_chrome_json(std::ostream& os) const;
+
+  /// Count of retained events of one kind across all PEs.
+  std::uint64_t count(TraceKind kind) const;
+
+ private:
+  struct alignas(64) Ring {
+    std::vector<TraceEvent> buf;
+    std::size_t next = 0;
+    std::uint64_t total = 0;  ///< lifetime events (>= retained)
+  };
+  std::vector<Ring> rings_;
+};
+
+}  // namespace sws::core

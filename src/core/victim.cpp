@@ -1,0 +1,62 @@
+#include "core/victim.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace sws::core {
+
+VictimSelector::VictimSelector(const VictimConfig& cfg, int self, int npes,
+                               std::uint64_t seed) noexcept
+    : cfg_(cfg),
+      self_(self),
+      npes_(npes),
+      cursor_((self + 1) % npes),
+      rng_(seed, static_cast<std::uint64_t>(self) | (std::uint64_t{1} << 32)) {
+  if (cfg_.pes_per_node > 0) {
+    node_begin_ = (self / cfg_.pes_per_node) * cfg_.pes_per_node;
+    node_end_ = std::min(node_begin_ + cfg_.pes_per_node, npes);
+  } else {
+    node_begin_ = 0;
+    node_end_ = npes;
+  }
+}
+
+int VictimSelector::random_other() noexcept {
+  const auto r =
+      static_cast<int>(rng_.below(static_cast<std::uint64_t>(npes_ - 1)));
+  return r >= self_ ? r + 1 : r;
+}
+
+int VictimSelector::random_on_node() noexcept {
+  const int node_size = node_end_ - node_begin_;
+  if (node_size < 2) return -1;  // nobody else here
+  const auto r = static_cast<int>(
+      rng_.below(static_cast<std::uint64_t>(node_size - 1)));
+  const int pick = node_begin_ + r;
+  return pick >= self_ ? pick + 1 : pick;
+}
+
+int VictimSelector::next() noexcept {
+  SWS_ASSERT(npes_ >= 2);
+  switch (cfg_.policy) {
+    case VictimPolicy::kRandom:
+      return random_other();
+    case VictimPolicy::kRoundRobin: {
+      const int v = cursor_;
+      cursor_ = (cursor_ + 1) % npes_;
+      if (cursor_ == self_) cursor_ = (cursor_ + 1) % npes_;
+      return v;
+    }
+    case VictimPolicy::kHierarchical: {
+      if (rng_.uniform() < cfg_.local_bias) {
+        const int v = random_on_node();
+        if (v >= 0) return v;
+      }
+      return random_other();
+    }
+  }
+  SWS_UNREACHABLE();
+}
+
+}  // namespace sws::core

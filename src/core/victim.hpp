@@ -1,0 +1,55 @@
+// Victim-selection policies for steal attempts.
+//
+// The paper (and Cilk's theory) uses uniform random selection. Round-robin
+// is a deterministic alternative for tests/ablations, and kHierarchical is
+// the locality-aware strategy of the SLAW/HotSLAW line the paper cites
+// (§2.2): on a two-level fabric, prefer victims on the initiator's own
+// node with probability `local_bias` and fall back to a uniform global
+// pick otherwise.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace sws::core {
+
+enum class VictimPolicy { kRandom, kRoundRobin, kHierarchical };
+
+struct VictimConfig {
+  VictimPolicy policy = VictimPolicy::kRandom;
+  /// Node size for kHierarchical (0 = flat; the policy degrades to
+  /// kRandom). Should match NetworkParams::pes_per_node.
+  int pes_per_node = 0;
+  /// Probability of trying an intra-node victim first (kHierarchical).
+  double local_bias = 0.75;
+};
+
+class VictimSelector {
+ public:
+  VictimSelector(VictimPolicy policy, int self, int npes,
+                 std::uint64_t seed) noexcept
+      : VictimSelector(VictimConfig{policy, 0, 0.75}, self, npes, seed) {}
+
+  VictimSelector(const VictimConfig& cfg, int self, int npes,
+                 std::uint64_t seed) noexcept;
+
+  /// Next victim to try; never returns `self`. npes must be >= 2.
+  int next() noexcept;
+
+  VictimPolicy policy() const noexcept { return cfg_.policy; }
+
+ private:
+  int random_other() noexcept;
+  int random_on_node() noexcept;  ///< -1 when alone on the node
+
+  VictimConfig cfg_;
+  int self_;
+  int npes_;
+  int node_begin_ = 0;  ///< [node_begin_, node_end_) = my node's PEs
+  int node_end_ = 0;
+  int cursor_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace sws::core

@@ -1,0 +1,311 @@
+#include "net/fabric.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace sws::net {
+
+Fabric::Fabric(TimeModel& time, NetworkModel model, int npes)
+    : time_(time), model_(model) {
+  reset(npes);
+  if (time_.is_virtual()) {
+    time_.set_delivery_hook([this](Nanos now) { deliver_until(now); });
+  } else {
+    // Real-time backend: a progress thread plays the NIC, applying nbi
+    // effects once their wall-clock deadline passes.
+    delivery_thread_ = std::thread([this] { delivery_loop(); });
+  }
+}
+
+Fabric::~Fabric() {
+  if (delivery_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(pend_mu_);
+      stopping_ = true;
+    }
+    pend_cv_.notify_all();
+    delivery_thread_.join();
+  }
+}
+
+void Fabric::delivery_loop() {
+  std::unique_lock<std::mutex> lk(pend_mu_);
+  while (!stopping_) {
+    if (pending_.empty()) {
+      pend_cv_.wait(lk);
+      continue;
+    }
+    const Nanos due = pending_.top().deadline;
+    const Nanos now = time_.now(0);  // real backend: one global clock
+    if (now < due) {
+      pend_cv_.wait_for(lk, std::chrono::nanoseconds(due - now));
+      continue;
+    }
+    auto& top = const_cast<PendingOp&>(pending_.top());
+    auto effect = std::move(top.effect);
+    const int initiator = top.initiator;
+    pending_.pop();
+    effect();  // atomics/memcpy on arenas: safe off-thread
+    pending_per_pe_[static_cast<std::size_t>(initiator)].fetch_sub(
+        1, std::memory_order_relaxed);
+    pend_cv_.notify_all();  // wake quiet() waiters
+  }
+}
+
+void Fabric::reset(int npes) {
+  SWS_CHECK(npes >= 0, "npes must be non-negative");
+  {
+    std::lock_guard<std::mutex> lk(pend_mu_);
+    while (!pending_.empty()) pending_.pop();
+    next_seq_ = 0;
+  }
+  arenas_.assign(static_cast<std::size_t>(npes), Arena{});
+  busy_until_.assign(static_cast<std::size_t>(npes), Nanos{0});
+  stats_.assign(static_cast<std::size_t>(npes), PaddedStats{});
+  pending_per_pe_ = std::vector<std::atomic<int>>(static_cast<std::size_t>(npes));
+  for (auto& p : pending_per_pe_) p.store(0, std::memory_order_relaxed);
+}
+
+void Fabric::new_run() {
+  {
+    std::lock_guard<std::mutex> lk(pend_mu_);
+    // Apply any leftovers so no memory effect is silently dropped.
+    while (!pending_.empty()) {
+      auto& top = const_cast<PendingOp&>(pending_.top());
+      auto effect = std::move(top.effect);
+      const int initiator = top.initiator;
+      pending_.pop();
+      effect();
+      pending_per_pe_[static_cast<std::size_t>(initiator)].fetch_sub(
+          1, std::memory_order_relaxed);
+    }
+  }
+  std::fill(busy_until_.begin(), busy_until_.end(), Nanos{0});
+}
+
+void Fabric::register_arena(int pe, std::byte* base, std::size_t size) {
+  SWS_CHECK(pe >= 0 && pe < npes(), "arena PE out of range");
+  arenas_[static_cast<std::size_t>(pe)] = Arena{base, size};
+}
+
+std::byte* Fabric::translate(int target, std::uint64_t offset,
+                             std::size_t n) const {
+  SWS_ASSERT(target >= 0 && target < npes());
+  const Arena& a = arenas_[static_cast<std::size_t>(target)];
+  SWS_ASSERT_MSG(a.base != nullptr, "target arena not registered");
+  SWS_ASSERT_MSG(offset + n <= a.size, "one-sided access out of arena bounds");
+  return a.base + offset;
+}
+
+std::uint64_t* Fabric::translate_u64(int target, std::uint64_t offset) const {
+  SWS_ASSERT_MSG(offset % 8 == 0, "AMO target must be 8-byte aligned");
+  return reinterpret_cast<std::uint64_t*>(translate(target, offset, 8));
+}
+
+void Fabric::charge(int initiator, int target, OpKind kind,
+                    std::size_t bytes) {
+  SWS_ASSERT(initiator >= 0 && initiator < npes());
+  const Locality loc = model_.locality(initiator, target);
+  const bool remote = loc != Locality::kSelf;
+  Nanos c = model_.cost(kind, bytes, loc);
+  FabricStats& s = stats_[static_cast<std::size_t>(initiator)].s;
+  ++s.ops[static_cast<int>(kind)];
+  (remote ? s.remote_ops : s.local_ops) += 1;
+
+  // Target-NIC occupancy: concurrent remote ops against one PE queue
+  // behind each other. Only meaningful (and only safe without locking —
+  // the baton serializes us) under the virtual-time backend.
+  const Nanos occ = model_.params().target_occupancy;
+  if (remote && occ > 0 && time_.is_virtual()) {
+    const Nanos now = time_.now(initiator);
+    Nanos& busy = busy_until_[static_cast<std::size_t>(target)];
+    const Nanos start = std::max(now, busy);
+    busy = start + occ;
+    const Nanos wait = start - now;
+    s.occupancy_wait_ns += wait;
+    c += wait;
+  }
+
+  s.blocking_ns += c;
+  time_.advance(initiator, c);
+}
+
+// ------------------------------------------------------------- blocking
+
+void Fabric::put(int initiator, int target, std::uint64_t offset,
+                 const void* src, std::size_t n) {
+  charge(initiator, target, OpKind::kPut, n);
+  std::memcpy(translate(target, offset, n), src, n);
+  stats_[static_cast<std::size_t>(initiator)].s.bytes_put += n;
+}
+
+void Fabric::get(int initiator, int target, std::uint64_t offset, void* dst,
+                 std::size_t n) {
+  charge(initiator, target, OpKind::kGet, n);
+  std::memcpy(dst, translate(target, offset, n), n);
+  stats_[static_cast<std::size_t>(initiator)].s.bytes_got += n;
+}
+
+void Fabric::put_words(int initiator, int target, std::uint64_t offset,
+                       const std::uint64_t* src, std::size_t nwords) {
+  charge(initiator, target, OpKind::kPut, nwords * 8);
+  SWS_ASSERT_MSG(offset % 8 == 0, "word put must be 8-byte aligned");
+  auto* dst =
+      reinterpret_cast<std::uint64_t*>(translate(target, offset, nwords * 8));
+  for (std::size_t i = 0; i < nwords; ++i)
+    std::atomic_ref<std::uint64_t>(dst[i]).store(src[i],
+                                                 std::memory_order_seq_cst);
+  stats_[static_cast<std::size_t>(initiator)].s.bytes_put += nwords * 8;
+}
+
+void Fabric::get_words(int initiator, int target, std::uint64_t offset,
+                       std::uint64_t* dst, std::size_t nwords) {
+  charge(initiator, target, OpKind::kGet, nwords * 8);
+  SWS_ASSERT_MSG(offset % 8 == 0, "word get must be 8-byte aligned");
+  const auto* src = reinterpret_cast<const std::uint64_t*>(
+      translate(target, offset, nwords * 8));
+  for (std::size_t i = 0; i < nwords; ++i)
+    dst[i] = std::atomic_ref<const std::uint64_t>(src[i]).load(
+        std::memory_order_seq_cst);
+  stats_[static_cast<std::size_t>(initiator)].s.bytes_got += nwords * 8;
+}
+
+std::uint64_t Fabric::amo_fetch_add(int initiator, int target,
+                                    std::uint64_t offset,
+                                    std::uint64_t value) {
+  charge(initiator, target, OpKind::kAmoFetchAdd, 8);
+  return std::atomic_ref<std::uint64_t>(*translate_u64(target, offset))
+      .fetch_add(value, std::memory_order_seq_cst);
+}
+
+std::uint64_t Fabric::amo_compare_swap(int initiator, int target,
+                                       std::uint64_t offset,
+                                       std::uint64_t expected,
+                                       std::uint64_t desired) {
+  charge(initiator, target, OpKind::kAmoCompareSwap, 8);
+  std::uint64_t e = expected;
+  std::atomic_ref<std::uint64_t>(*translate_u64(target, offset))
+      .compare_exchange_strong(e, desired, std::memory_order_seq_cst);
+  return e;  // OpenSHMEM cswap returns the prior value
+}
+
+std::uint64_t Fabric::amo_swap(int initiator, int target, std::uint64_t offset,
+                               std::uint64_t value) {
+  charge(initiator, target, OpKind::kAmoSwap, 8);
+  return std::atomic_ref<std::uint64_t>(*translate_u64(target, offset))
+      .exchange(value, std::memory_order_seq_cst);
+}
+
+std::uint64_t Fabric::amo_fetch(int initiator, int target,
+                                std::uint64_t offset) {
+  charge(initiator, target, OpKind::kAmoFetch, 8);
+  return std::atomic_ref<std::uint64_t>(*translate_u64(target, offset))
+      .load(std::memory_order_seq_cst);
+}
+
+void Fabric::amo_set(int initiator, int target, std::uint64_t offset,
+                     std::uint64_t value) {
+  charge(initiator, target, OpKind::kAmoSet, 8);
+  std::atomic_ref<std::uint64_t>(*translate_u64(target, offset))
+      .store(value, std::memory_order_seq_cst);
+}
+
+// --------------------------------------------------------- non-blocking
+
+void Fabric::enqueue_nbi(int initiator, int target, std::size_t bytes,
+                         std::function<void()> effect) {
+  const Nanos deadline =
+      time_.now(initiator) +
+      model_.delivery_delay(bytes, model_.locality(initiator, target));
+  {
+    std::lock_guard<std::mutex> lk(pend_mu_);
+    pending_per_pe_[static_cast<std::size_t>(initiator)].fetch_add(
+        1, std::memory_order_relaxed);
+    pending_.push(
+        PendingOp{deadline, next_seq_++, initiator, std::move(effect)});
+  }
+  if (!time_.is_virtual()) pend_cv_.notify_all();
+}
+
+void Fabric::nbi_put(int initiator, int target, std::uint64_t offset,
+                     const void* src, std::size_t n) {
+  charge(initiator, target, OpKind::kNbiPut, n);
+  stats_[static_cast<std::size_t>(initiator)].s.bytes_put += n;
+  std::byte* dst = translate(target, offset, n);
+  std::vector<std::byte> copy(static_cast<const std::byte*>(src),
+                              static_cast<const std::byte*>(src) + n);
+  enqueue_nbi(initiator, target, n, [dst, data = std::move(copy)]() {
+    std::memcpy(dst, data.data(), data.size());
+  });
+}
+
+void Fabric::nbi_amo_add(int initiator, int target, std::uint64_t offset,
+                         std::uint64_t value) {
+  charge(initiator, target, OpKind::kNbiAmoAdd, 8);
+  std::uint64_t* dst = translate_u64(target, offset);
+  enqueue_nbi(initiator, target, 8, [dst, value]() {
+    std::atomic_ref<std::uint64_t>(*dst).fetch_add(value,
+                                                   std::memory_order_seq_cst);
+  });
+}
+
+void Fabric::deliver_until(Nanos now) {
+  // Called from the sequencer (under its lock) each time global virtual
+  // time reaches a new floor. Applies every effect whose deadline passed,
+  // in (deadline, issue-sequence) order — deterministic.
+  std::lock_guard<std::mutex> lk(pend_mu_);
+  while (!pending_.empty() && pending_.top().deadline <= now) {
+    // priority_queue::top is const; the effect is moved via const_cast,
+    // which is safe because pop() immediately discards the slot.
+    auto& top = const_cast<PendingOp&>(pending_.top());
+    auto effect = std::move(top.effect);
+    const int initiator = top.initiator;
+    pending_.pop();
+    effect();
+    pending_per_pe_[static_cast<std::size_t>(initiator)].fetch_sub(
+        1, std::memory_order_relaxed);
+  }
+}
+
+int Fabric::pending(int pe) const {
+  return pending_per_pe_[static_cast<std::size_t>(pe)].load(
+      std::memory_order_relaxed);
+}
+
+void Fabric::quiet(int pe) {
+  if (time_.is_virtual()) {
+    // Advance until all of our in-flight ops are delivered. Deliveries
+    // fire from the sequencer hook as time passes; the step is the nbi
+    // delay so we overshoot by at most one delivery window.
+    const Nanos step =
+        model_.params().nbi_delay > 0 ? model_.params().nbi_delay : Nanos{100};
+    while (pending(pe) > 0) time_.advance(pe, step);
+    return;
+  }
+  // Real backend: block until the progress thread drains our ops.
+  std::unique_lock<std::mutex> lk(pend_mu_);
+  pend_cv_.wait(lk, [&] {
+    return pending_per_pe_[static_cast<std::size_t>(pe)].load(
+               std::memory_order_relaxed) == 0;
+  });
+}
+
+// ------------------------------------------------------------ accounting
+
+const FabricStats& Fabric::stats(int pe) const {
+  SWS_ASSERT(pe >= 0 && pe < npes());
+  return stats_[static_cast<std::size_t>(pe)].s;
+}
+
+FabricStats Fabric::total_stats() const {
+  FabricStats t;
+  for (const auto& p : stats_) t.merge(p.s);
+  return t;
+}
+
+void Fabric::reset_stats() {
+  for (auto& p : stats_) p.s = FabricStats{};
+}
+
+}  // namespace sws::net

@@ -1,0 +1,152 @@
+// The simulated RDMA fabric: executes one-sided operations against
+// registered per-PE memory arenas, charges time through the TimeModel,
+// and accounts traffic per PE.
+//
+// Semantics (DESIGN.md §5):
+//  * Blocking ops stall the initiator for the modeled cost, then apply
+//    their memory effect. Under the virtual sequencer this serializes all
+//    effects in virtual-clock order, so protocol races resolve
+//    deterministically.
+//  * Non-blocking ops (nbi_*) charge only an issue overhead; their memory
+//    effect is queued and delivered when time passes `now +
+//    delivery_delay` — i.e. completions genuinely arrive late, which is
+//    what the paper's completion epochs (§4.2) exist to absorb. The
+//    virtual backend delivers via the sequencer hook; the real-time
+//    backend via a fabric progress thread.
+//  * quiet(pe) blocks until all of pe's outstanding nbi ops delivered
+//    (the OpenSHMEM shmem_quiet contract).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <condition_variable>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "net/network_model.hpp"
+#include "net/time_model.hpp"
+#include "net/types.hpp"
+
+namespace sws::net {
+
+class Fabric {
+ public:
+  Fabric(TimeModel& time, NetworkModel model, int npes);
+  ~Fabric();
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Drop all pending ops and stats; size the fabric for `npes` PEs.
+  /// Arenas must be re-registered afterwards.
+  void reset(int npes);
+
+  /// Per-run reset: clocks restart at 0, so drop the NIC busy horizons
+  /// and any stray pending non-blocking ops. Arenas and stats survive.
+  void new_run();
+
+  /// Expose PE `pe`'s symmetric arena to one-sided access.
+  void register_arena(int pe, std::byte* base, std::size_t size);
+
+  int npes() const noexcept { return static_cast<int>(arenas_.size()); }
+  TimeModel& time() noexcept { return time_; }
+  const NetworkModel& model() const noexcept { return model_; }
+
+  // --- blocking one-sided data movement --------------------------------
+  void put(int initiator, int target, std::uint64_t offset, const void* src,
+           std::size_t n);
+  void get(int initiator, int target, std::uint64_t offset, void* dst,
+           std::size_t n);
+
+  /// Word-granular variants for metadata that other PEs mutate
+  /// concurrently: charged as a single put/get of 8*nwords bytes, applied
+  /// as per-word atomics so no torn values are observable under the
+  /// real-time backend.
+  void put_words(int initiator, int target, std::uint64_t offset,
+                 const std::uint64_t* src, std::size_t nwords);
+  void get_words(int initiator, int target, std::uint64_t offset,
+                 std::uint64_t* dst, std::size_t nwords);
+
+  // --- blocking 64-bit atomics (OpenSHMEM AMO set) ---------------------
+  std::uint64_t amo_fetch_add(int initiator, int target, std::uint64_t offset,
+                              std::uint64_t value);
+  std::uint64_t amo_compare_swap(int initiator, int target,
+                                 std::uint64_t offset, std::uint64_t expected,
+                                 std::uint64_t desired);
+  std::uint64_t amo_swap(int initiator, int target, std::uint64_t offset,
+                         std::uint64_t value);
+  std::uint64_t amo_fetch(int initiator, int target, std::uint64_t offset);
+  void amo_set(int initiator, int target, std::uint64_t offset,
+               std::uint64_t value);
+
+  // --- non-blocking ops -------------------------------------------------
+  void nbi_put(int initiator, int target, std::uint64_t offset,
+               const void* src, std::size_t n);
+  void nbi_amo_add(int initiator, int target, std::uint64_t offset,
+                   std::uint64_t value);
+
+  /// Block until all nbi ops issued by `pe` have been delivered.
+  void quiet(int pe);
+
+  /// Count of `pe`'s not-yet-delivered nbi ops.
+  int pending(int pe) const;
+
+  // --- accounting -------------------------------------------------------
+  const FabricStats& stats(int pe) const;
+  FabricStats total_stats() const;
+  void reset_stats();
+
+ private:
+  struct Arena {
+    std::byte* base = nullptr;
+    std::size_t size = 0;
+  };
+  struct PendingOp {
+    Nanos deadline;
+    std::uint64_t seq;  // tie-break for determinism
+    int initiator;
+    std::function<void()> effect;
+    bool operator>(const PendingOp& o) const noexcept {
+      return deadline != o.deadline ? deadline > o.deadline : seq > o.seq;
+    }
+  };
+  struct alignas(64) PaddedStats {
+    FabricStats s;
+  };
+
+  std::byte* translate(int target, std::uint64_t offset, std::size_t n) const;
+  std::uint64_t* translate_u64(int target, std::uint64_t offset) const;
+  /// Charge a blocking op: stats + advance; returns nothing, effect is the
+  /// caller's next statement.
+  void charge(int initiator, int target, OpKind kind, std::size_t bytes);
+  void enqueue_nbi(int initiator, int target, std::size_t bytes,
+                   std::function<void()> effect);
+  void deliver_until(Nanos now);
+
+  TimeModel& time_;
+  NetworkModel model_;
+  std::vector<Arena> arenas_;
+  /// Per-target NIC busy horizon (virtual mode only; baton-serialized).
+  std::vector<Nanos> busy_until_;
+  mutable std::vector<PaddedStats> stats_;
+
+  mutable std::mutex pend_mu_;
+  std::priority_queue<PendingOp, std::vector<PendingOp>, std::greater<>>
+      pending_;
+  std::vector<std::atomic<int>> pending_per_pe_;
+  std::uint64_t next_seq_ = 0;
+
+  // Real-time backend: a progress thread applies queued nbi effects once
+  // their wall-clock deadline passes, so completion notifications arrive
+  // late under true concurrency as well. (The virtual backend delivers
+  // through the sequencer hook instead.)
+  void delivery_loop();
+  std::thread delivery_thread_;
+  std::condition_variable pend_cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace sws::net

@@ -1,0 +1,88 @@
+#include "net/network_model.hpp"
+
+#include <cmath>
+
+namespace sws::net {
+
+const char* op_kind_name(OpKind k) noexcept {
+  switch (k) {
+    case OpKind::kPut: return "put";
+    case OpKind::kGet: return "get";
+    case OpKind::kAmoFetchAdd: return "amo_fetch_add";
+    case OpKind::kAmoCompareSwap: return "amo_cswap";
+    case OpKind::kAmoSwap: return "amo_swap";
+    case OpKind::kAmoFetch: return "amo_fetch";
+    case OpKind::kAmoSet: return "amo_set";
+    case OpKind::kNbiPut: return "nbi_put";
+    case OpKind::kNbiAmoAdd: return "nbi_amo_add";
+    case OpKind::kCount_: break;
+  }
+  return "?";
+}
+
+NetworkParams NetworkParams::scaled(double factor) const noexcept {
+  NetworkParams s = *this;
+  auto scale = [factor](Nanos v) {
+    return static_cast<Nanos>(std::llround(static_cast<double>(v) * factor));
+  };
+  s.amo_latency = scale(amo_latency);
+  s.get_latency = scale(get_latency);
+  s.put_latency = scale(put_latency);
+  s.nbi_delay = scale(nbi_delay);
+  return s;
+}
+
+Locality NetworkModel::locality(int initiator, int target) const noexcept {
+  if (initiator == target) return Locality::kSelf;
+  if (p_.pes_per_node > 0 &&
+      initiator / p_.pes_per_node == target / p_.pes_per_node)
+    return Locality::kIntraNode;
+  return Locality::kInterNode;
+}
+
+Nanos NetworkModel::cost(OpKind kind, std::size_t bytes,
+                         Locality loc) const noexcept {
+  if (loc == Locality::kSelf) {
+    // Local op: NIC loopback / plain memory; payload at memcpy speed.
+    return p_.local_overhead +
+           static_cast<Nanos>(static_cast<double>(bytes) / p_.local_bandwidth);
+  }
+  const bool intra = loc == Locality::kIntraNode;
+  const double bw = intra ? p_.intra_bandwidth : p_.bandwidth;
+  const auto payload = static_cast<Nanos>(static_cast<double>(bytes) / bw);
+  const auto lat = [&](Nanos inter) {
+    return intra ? static_cast<Nanos>(
+                       std::llround(static_cast<double>(inter) * p_.intra_scale))
+                 : inter;
+  };
+  switch (kind) {
+    case OpKind::kPut: return lat(p_.put_latency) + payload;
+    case OpKind::kGet: return lat(p_.get_latency) + payload;
+    case OpKind::kAmoFetchAdd:
+    case OpKind::kAmoCompareSwap:
+    case OpKind::kAmoSwap:
+    case OpKind::kAmoFetch:
+    case OpKind::kAmoSet:
+      return lat(p_.amo_latency);
+    case OpKind::kNbiPut:
+    case OpKind::kNbiAmoAdd:
+      // Non-blocking ops only charge the initiator the issue overhead;
+      // the transfer itself completes asynchronously (delivery_delay).
+      return p_.nbi_issue_overhead;
+    case OpKind::kCount_: break;
+  }
+  return 0;
+}
+
+Nanos NetworkModel::delivery_delay(std::size_t bytes,
+                                   Locality loc) const noexcept {
+  const bool intra = loc == Locality::kIntraNode;
+  const Nanos base =
+      intra ? static_cast<Nanos>(std::llround(
+                  static_cast<double>(p_.nbi_delay) * p_.intra_scale))
+            : p_.nbi_delay;
+  const double bw = intra ? p_.intra_bandwidth : p_.bandwidth;
+  return base + static_cast<Nanos>(static_cast<double>(bytes) / bw);
+}
+
+}  // namespace sws::net

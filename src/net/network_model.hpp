@@ -1,0 +1,76 @@
+// Network cost model: maps (operation, payload size, locality) to the
+// initiator-blocking time the fabric charges.
+//
+// The defaults approximate an EDR InfiniBand fabric of the class the paper
+// used (ConnectX-6, ~1.5 µs one-sided small-op completion latency,
+// 100 Gb/s ≈ 12.5 B/ns payload bandwidth). Both protocols run over the
+// same model, so the SDC:SWS comparisons depend only on *relative* costs,
+// which is exactly what the reproduction needs (see DESIGN.md §2).
+#pragma once
+
+#include <cstddef>
+
+#include "net/types.hpp"
+
+namespace sws::net {
+
+/// Where an operation's target sits relative to its initiator.
+enum class Locality { kSelf, kIntraNode, kInterNode };
+
+struct NetworkParams {
+  Nanos amo_latency = 1500;    ///< remote fetching atomic, initiator-blocking
+  Nanos get_latency = 1500;    ///< remote get base latency
+  Nanos put_latency = 1400;    ///< remote put base latency
+  double bandwidth = 12.5;     ///< remote payload bytes per nanosecond
+
+  /// Two-level fabric: PEs are grouped into nodes of this many; targets on
+  /// the initiator's node pay `intra_scale` of the remote latencies and
+  /// enjoy `intra_bandwidth`. 0 = flat fabric (everything inter-node),
+  /// which is the default the paper-figure benches use. The evaluation
+  /// cluster was 44 nodes x 48 cores.
+  int pes_per_node = 0;
+  double intra_scale = 0.15;       ///< shared-memory ops ~200 ns vs 1.5 µs
+  double intra_bandwidth = 40.0;   ///< bytes per nanosecond within a node
+  Nanos local_overhead = 60;   ///< any op whose target is the initiator
+  double local_bandwidth = 100.0;  ///< local payload bytes per nanosecond
+  Nanos nbi_delay = 1800;      ///< delivery delay of non-blocking ops
+  Nanos nbi_issue_overhead = 80;  ///< initiator cost to *issue* an nbi op
+  /// NIC occupancy at the target: each remote op holds the target's NIC
+  /// for this long, so concurrent ops against one PE serialize — what
+  /// makes a contended victim (thief storms, lock convoys) expensive.
+  /// 0 disables the queueing model. Applied by the virtual-time backend.
+  Nanos target_occupancy = 250;
+
+  /// Uniform scaling helper for latency-sweep ablations.
+  NetworkParams scaled(double factor) const noexcept;
+};
+
+class NetworkModel {
+ public:
+  NetworkModel() = default;
+  explicit NetworkModel(NetworkParams p) noexcept : p_(p) {}
+
+  const NetworkParams& params() const noexcept { return p_; }
+
+  /// Locality of `target` as seen by `initiator`.
+  Locality locality(int initiator, int target) const noexcept;
+
+  /// Initiator-blocking cost of an operation.
+  Nanos cost(OpKind kind, std::size_t bytes, Locality loc) const noexcept;
+  /// Back-compat convenience: remote == inter-node.
+  Nanos cost(OpKind kind, std::size_t bytes, bool remote) const noexcept {
+    return cost(kind, bytes, remote ? Locality::kInterNode : Locality::kSelf);
+  }
+
+  /// Virtual delay between issuing a non-blocking op and its memory effect
+  /// becoming visible at the target.
+  Nanos delivery_delay(std::size_t bytes, Locality loc) const noexcept;
+  Nanos delivery_delay(std::size_t bytes) const noexcept {
+    return delivery_delay(bytes, Locality::kInterNode);
+  }
+
+ private:
+  NetworkParams p_{};
+};
+
+}  // namespace sws::net

@@ -1,0 +1,125 @@
+#include "net/time_model.hpp"
+
+#include <thread>
+
+#include "common/assert.hpp"
+
+namespace sws::net {
+
+// ---------------------------------------------------------------- virtual
+
+VirtualTimeModel::VirtualTimeModel(int npes) { reset(npes); }
+
+VirtualTimeModel::~VirtualTimeModel() = default;
+
+void VirtualTimeModel::reset(int npes) {
+  SWS_CHECK(npes >= 0, "npes must be non-negative");
+  std::lock_guard<std::mutex> lk(mu_);
+  slots_.clear();
+  slots_.reserve(static_cast<std::size_t>(npes));
+  for (int i = 0; i < npes; ++i) slots_.push_back(std::make_unique<PeSlot>());
+  // The baton starts with PE 0: all clocks are 0 and ties break by id.
+  active_ = npes > 0 ? 0 : -1;
+}
+
+void VirtualTimeModel::set_delivery_hook(DeliveryHook hook) {
+  std::lock_guard<std::mutex> lk(mu_);
+  hook_ = std::move(hook);
+}
+
+int VirtualTimeModel::pick_next_locked() const noexcept {
+  int best = -1;
+  for (int i = 0; i < static_cast<int>(slots_.size()); ++i) {
+    const auto& s = *slots_[static_cast<std::size_t>(i)];
+    if (s.finished) continue;
+    if (best < 0 || s.vtime < slots_[static_cast<std::size_t>(best)]->vtime)
+      best = i;
+  }
+  return best;
+}
+
+void VirtualTimeModel::activate_locked(int next) {
+  active_ = next;
+  if (next < 0) return;
+  // Deliver everything that is now in the past before the PE resumes, so
+  // it observes a consistent "nothing from the future" memory state.
+  if (hook_) hook_(slots_[static_cast<std::size_t>(next)]->vtime);
+  slots_[static_cast<std::size_t>(next)]->cv.notify_one();
+}
+
+void VirtualTimeModel::pe_begin(int pe) {
+  std::unique_lock<std::mutex> lk(mu_);
+  SWS_ASSERT(pe >= 0 && pe < static_cast<int>(slots_.size()));
+  auto& slot = *slots_[static_cast<std::size_t>(pe)];
+  slot.cv.wait(lk, [&] { return active_ == pe; });
+}
+
+void VirtualTimeModel::pe_end(int pe) {
+  std::unique_lock<std::mutex> lk(mu_);
+  SWS_ASSERT(active_ == pe);
+  slots_[static_cast<std::size_t>(pe)]->finished = true;
+  activate_locked(pick_next_locked());
+}
+
+void VirtualTimeModel::advance(int pe, Nanos dt) {
+  std::unique_lock<std::mutex> lk(mu_);
+  SWS_ASSERT_MSG(active_ == pe, "advance() by a PE not holding the baton");
+  auto& slot = *slots_[static_cast<std::size_t>(pe)];
+  slot.vtime += dt;
+  const int next = pick_next_locked();
+  SWS_ASSERT(next >= 0);  // we are unfinished, so somebody is runnable
+  if (next == pe) {
+    // Fast path: still the global minimum — keep running, but let the
+    // fabric deliver anything that our own advance made due.
+    if (hook_) hook_(slot.vtime);
+    return;
+  }
+  activate_locked(next);
+  slot.cv.wait(lk, [&] { return active_ == pe; });
+}
+
+Nanos VirtualTimeModel::now(int pe) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  SWS_ASSERT(pe >= 0 && pe < static_cast<int>(slots_.size()));
+  return slots_[static_cast<std::size_t>(pe)]->vtime;
+}
+
+// ------------------------------------------------------------------ real
+
+RealTimeModel::RealTimeModel(int npes, Nanos spin_threshold)
+    : epoch_(std::chrono::steady_clock::now()),
+      spin_threshold_(spin_threshold),
+      npes_(npes) {}
+
+void RealTimeModel::reset(int npes) {
+  npes_ = npes;
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+void RealTimeModel::advance(int pe, Nanos dt) {
+  (void)pe;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(dt);
+  if (dt >= spin_threshold_) {
+    std::this_thread::sleep_until(deadline);
+  } else {
+    while (std::chrono::steady_clock::now() < deadline) {
+      // Busy-wait; yield so oversubscribed hosts still make progress.
+      std::this_thread::yield();
+    }
+  }
+}
+
+Nanos RealTimeModel::now(int pe) const {
+  (void)pe;
+  return static_cast<Nanos>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - epoch_)
+                                .count());
+}
+
+void RealTimeModel::set_delivery_hook(DeliveryHook hook) {
+  // Real mode applies non-blocking ops immediately; nothing to deliver.
+  (void)hook;
+}
+
+}  // namespace sws::net

@@ -1,0 +1,118 @@
+// Time backends for the simulated PGAS platform.
+//
+// The paper evaluates on a 44-node InfiniBand cluster. We reproduce its
+// experiments on one host by running each PE as a thread against one of
+// two interchangeable clocks:
+//
+//  * VirtualTimeModel — a discrete-event sequencer. Exactly one PE thread
+//    runs at a time; the runnable PE is always the one with the minimum
+//    (virtual clock, PE id). Communication latencies and task compute
+//    times are charged by advance(), so a 5 ms task costs nothing in wall
+//    time and results are bit-deterministic. All paper figures use this.
+//  * RealTimeModel — PE threads run concurrently and advance() injects
+//    real delays (spin for short, sleep for long). Used by stress tests
+//    that want genuinely preemptive interleavings, and by live examples.
+//
+// Both expose the same interface, so the whole runtime above this layer
+// is written once.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace sws::net {
+
+/// Callback invoked by the virtual sequencer whenever global time reaches
+/// a new floor `now`; the fabric uses it to deliver pending non-blocking
+/// operations whose deadline has passed. Runs under the sequencer lock —
+/// it must only touch fabric/pending state, never call back into the
+/// time model.
+using DeliveryHook = std::function<void(Nanos now)>;
+
+class TimeModel {
+ public:
+  virtual ~TimeModel() = default;
+
+  /// Re-initialize for a fresh run with `npes` participants. Must not be
+  /// called while PE threads are active.
+  virtual void reset(int npes) = 0;
+
+  /// Called by each PE thread when it starts/finishes executing.
+  virtual void pe_begin(int pe) = 0;
+  virtual void pe_end(int pe) = 0;
+
+  /// Advance PE `pe`'s clock by `dt`, blocking the caller accordingly.
+  virtual void advance(int pe, Nanos dt) = 0;
+
+  /// Current clock of PE `pe`.
+  virtual Nanos now(int pe) const = 0;
+
+  virtual void set_delivery_hook(DeliveryHook hook) = 0;
+
+  virtual bool is_virtual() const noexcept = 0;
+  virtual int npes() const noexcept = 0;
+};
+
+/// Deterministic discrete-event sequencer (see file comment).
+class VirtualTimeModel final : public TimeModel {
+ public:
+  explicit VirtualTimeModel(int npes = 0);
+  ~VirtualTimeModel() override;
+
+  void reset(int npes) override;
+  void pe_begin(int pe) override;
+  void pe_end(int pe) override;
+  void advance(int pe, Nanos dt) override;
+  Nanos now(int pe) const override;
+  void set_delivery_hook(DeliveryHook hook) override;
+  bool is_virtual() const noexcept override { return true; }
+  int npes() const noexcept override { return static_cast<int>(slots_.size()); }
+
+ private:
+  struct PeSlot {
+    Nanos vtime = 0;
+    bool finished = false;
+    std::condition_variable cv;
+  };
+
+  /// Pick the next runnable PE (min vtime, ties by id); -1 if none left.
+  int pick_next_locked() const noexcept;
+  /// Hand the baton to `next` (may equal current active) and fire the
+  /// delivery hook for the new time floor.
+  void activate_locked(int next);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<PeSlot>> slots_;
+  int active_ = -1;
+  DeliveryHook hook_;
+};
+
+/// Wall-clock backend with injected delays.
+class RealTimeModel final : public TimeModel {
+ public:
+  /// Delays below `spin_threshold` busy-wait (accuracy); longer ones sleep
+  /// (the host has few cores; spinning starves other PE threads).
+  explicit RealTimeModel(int npes = 0, Nanos spin_threshold = 100'000);
+
+  void reset(int npes) override;
+  void pe_begin(int pe) override {(void)pe;}
+  void pe_end(int pe) override {(void)pe;}
+  void advance(int pe, Nanos dt) override;
+  Nanos now(int pe) const override;
+  void set_delivery_hook(DeliveryHook hook) override;
+  bool is_virtual() const noexcept override { return false; }
+  int npes() const noexcept override { return npes_; }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  Nanos spin_threshold_;
+  int npes_ = 0;
+};
+
+}  // namespace sws::net

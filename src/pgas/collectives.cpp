@@ -1,0 +1,85 @@
+// Collectives built from one-sided operations, in the style PGAS runtimes
+// actually use: a dissemination barrier (log2 P rounds of 8-byte puts with
+// generation-number flags) and centralized reductions/broadcast for the
+// low-frequency setup/teardown paths.
+#include "common/assert.hpp"
+#include "pgas/runtime.hpp"
+
+namespace sws::pgas {
+namespace {
+
+/// Poll interval while waiting on a flag; every wait advances the PE's
+/// clock so the virtual sequencer always makes progress.
+constexpr net::Nanos kPollNs = 200;
+
+int dissemination_rounds(int npes) {
+  int rounds = 0;
+  for (int span = 1; span < npes; span <<= 1) ++rounds;
+  return rounds;
+}
+
+}  // namespace
+
+void PeContext::barrier() {
+  const int p = npes();
+  if (p == 1) return;
+  const auto& coll = rt_.coll();
+  const std::uint64_t gen = ++barrier_gen_;
+  const int rounds = dissemination_rounds(p);
+  SWS_ASSERT(rounds <= Runtime::CollectiveSpace::kMaxRounds);
+
+  for (int r = 0; r < rounds; ++r) {
+    const int partner = (pe_ + (1 << r)) % p;
+    const SymPtr flag = coll.barrier_flags.plus(static_cast<std::uint64_t>(r) * 8);
+    fabric().amo_set(pe_, partner, flag.off, gen);
+    // Wait for our own round-r flag to reach this generation. Flags are
+    // monotonic, so a fast partner being a generation ahead is harmless.
+    while (local_load(flag) < gen) compute(kPollNs);
+  }
+}
+
+std::uint64_t PeContext::sum_u64(std::uint64_t value) {
+  const auto& coll = rt_.coll();
+  const SymPtr slot =
+      coll.reduce_slots.plus(static_cast<std::uint64_t>(pe_) * 8);
+  fabric().amo_set(pe_, /*target=*/0, slot.off, value);
+  barrier();
+  if (pe_ == 0) {
+    std::uint64_t total = 0;
+    for (int i = 0; i < npes(); ++i)
+      total += local_load(coll.reduce_slots.plus(static_cast<std::uint64_t>(i) * 8));
+    fabric().amo_set(pe_, 0, coll.reduce_result.off, total);
+  }
+  barrier();
+  return fetch(/*target=*/0, coll.reduce_result);
+}
+
+std::uint64_t PeContext::max_u64(std::uint64_t value) {
+  const auto& coll = rt_.coll();
+  const SymPtr slot =
+      coll.reduce_slots.plus(static_cast<std::uint64_t>(pe_) * 8);
+  fabric().amo_set(pe_, /*target=*/0, slot.off, value);
+  barrier();
+  if (pe_ == 0) {
+    std::uint64_t best = 0;
+    for (int i = 0; i < npes(); ++i)
+      best = std::max(best, local_load(coll.reduce_slots.plus(
+                                static_cast<std::uint64_t>(i) * 8)));
+    fabric().amo_set(pe_, 0, coll.reduce_result.off, best);
+  }
+  barrier();
+  return fetch(/*target=*/0, coll.reduce_result);
+}
+
+std::uint64_t PeContext::bcast_u64(std::uint64_t value, int root) {
+  SWS_ASSERT(root >= 0 && root < npes());
+  const auto& coll = rt_.coll();
+  if (pe_ == root) fabric().amo_set(pe_, root, coll.bcast_slot.off, value);
+  barrier();
+  const std::uint64_t out =
+      pe_ == root ? value : fetch(root, coll.bcast_slot);
+  barrier();  // nobody re-publishes before every PE has read this round
+  return out;
+}
+
+}  // namespace pgas

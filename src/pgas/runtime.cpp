@@ -1,0 +1,105 @@
+#include "pgas/runtime.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace sws::pgas {
+
+Runtime::Runtime(RuntimeConfig cfg) : cfg_(cfg) {
+  SWS_CHECK(cfg_.npes > 0, "npes must be positive");
+  if (cfg_.mode == TimeMode::kVirtual)
+    time_ = std::make_unique<net::VirtualTimeModel>(cfg_.npes);
+  else
+    time_ = std::make_unique<net::RealTimeModel>(cfg_.npes);
+
+  fabric_ = std::make_unique<net::Fabric>(*time_, net::NetworkModel(cfg_.net),
+                                          cfg_.npes);
+  heap_ = std::make_unique<SymmetricHeap>(cfg_.npes, cfg_.heap_bytes);
+  for (int pe = 0; pe < cfg_.npes; ++pe)
+    fabric_->register_arena(pe, heap_->arena_base(pe), heap_->size());
+
+  // Control space for collectives, allocated once up front.
+  coll_.barrier_flags =
+      heap_->alloc(sizeof(std::uint64_t) * CollectiveSpace::kMaxRounds, 64);
+  coll_.reduce_slots = heap_->alloc(
+      sizeof(std::uint64_t) * static_cast<std::size_t>(cfg_.npes), 64);
+  coll_.reduce_result = heap_->alloc(sizeof(std::uint64_t), 8);
+  coll_.bcast_slot = heap_->alloc(sizeof(std::uint64_t), 8);
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::run(const std::function<void(PeContext&)>& body) {
+  time_->reset(cfg_.npes);
+  fabric_->new_run();
+
+  // Collective flags are generation counters that restart at 1 each run;
+  // clear the persistent symmetric space so stale generations can't
+  // satisfy the first barrier early.
+  for (int pe = 0; pe < cfg_.npes; ++pe) {
+    heap_->zero(pe, coll_.barrier_flags,
+                sizeof(std::uint64_t) * CollectiveSpace::kMaxRounds);
+    heap_->zero(pe, coll_.reduce_slots,
+                sizeof(std::uint64_t) * static_cast<std::size_t>(cfg_.npes));
+    heap_->zero(pe, coll_.reduce_result, sizeof(std::uint64_t));
+    heap_->zero(pe, coll_.bcast_slot, sizeof(std::uint64_t));
+  }
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(cfg_.npes));
+  for (int pe = 0; pe < cfg_.npes; ++pe) {
+    threads.emplace_back([this, pe, &body, &err_mu, &first_error] {
+      time_->pe_begin(pe);
+      try {
+        PeContext ctx(*this, pe);
+        body(ctx);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      // Always release the baton, even on error, or the sequencer stalls.
+      time_->pe_end(pe);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  net::Nanos max_t = 0;
+  for (int pe = 0; pe < cfg_.npes; ++pe)
+    max_t = std::max(max_t, time_->now(pe));
+  last_duration_ = max_t;
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+// ---------------------------------------------------------------- context
+
+PeContext::PeContext(Runtime& rt, int pe)
+    : rt_(rt), pe_(pe), rng_(rt.config().seed, static_cast<std::uint64_t>(pe)) {}
+
+int PeContext::npes() const noexcept { return rt_.npes(); }
+net::Fabric& PeContext::fabric() noexcept { return rt_.fabric(); }
+SymmetricHeap& PeContext::heap() noexcept { return rt_.heap(); }
+
+net::Nanos PeContext::now() const { return rt_.time().now(pe_); }
+
+void PeContext::compute(net::Nanos dt) { rt_.time().advance(pe_, dt); }
+
+std::byte* PeContext::local(SymPtr p, std::uint64_t delta) {
+  return rt_.heap().local(pe_, p, delta);
+}
+
+std::uint64_t PeContext::local_load(SymPtr p) const {
+  const std::byte* b = rt_.heap().local(pe_, p);
+  return std::atomic_ref<const std::uint64_t>(
+             *reinterpret_cast<const std::uint64_t*>(b))
+      .load(std::memory_order_seq_cst);
+}
+
+}  // namespace sws::pgas

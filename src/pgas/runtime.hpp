@@ -1,0 +1,133 @@
+// The PGAS runtime: spawns one thread per PE over the selected time
+// backend, wires the symmetric heap into the fabric, and hands each PE a
+// PeContext — the per-PE handle through which all communication flows
+// (the moral equivalent of the OpenSHMEM API surface).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/fabric.hpp"
+#include "pgas/symmetric_heap.hpp"
+
+namespace sws::pgas {
+
+enum class TimeMode { kVirtual, kReal };
+
+struct RuntimeConfig {
+  int npes = 4;
+  std::size_t heap_bytes = std::size_t{4} << 20;  ///< per-PE arena size
+  net::NetworkParams net{};
+  TimeMode mode = TimeMode::kVirtual;
+  std::uint64_t seed = 42;  ///< base seed for per-PE RNG streams
+};
+
+class Runtime;
+
+/// Per-PE handle; passed by reference to the SPMD body and to task code.
+/// Not thread-safe across PEs by design: each PE thread owns exactly one.
+class PeContext {
+ public:
+  PeContext(Runtime& rt, int pe);
+
+  int pe() const noexcept { return pe_; }
+  int npes() const noexcept;
+  Runtime& runtime() noexcept { return rt_; }
+  net::Fabric& fabric() noexcept;
+  SymmetricHeap& heap() noexcept;
+
+  /// Current time on this PE's clock (virtual ns in DES mode).
+  net::Nanos now() const;
+  /// Charge `dt` of task computation to this PE (the DES analogue of
+  /// "this task runs for 5 ms").
+  void compute(net::Nanos dt);
+  /// Deterministic per-(seed, PE) random stream.
+  Xoshiro256& rng() noexcept { return rng_; }
+
+  // --- one-sided operations against symmetric objects -------------------
+  void put(int target, SymPtr p, std::uint64_t delta, const void* src,
+           std::size_t n);
+  void get(int target, SymPtr p, std::uint64_t delta, void* dst,
+           std::size_t n);
+  std::uint64_t fetch_add(int target, SymPtr p, std::uint64_t value);
+  std::uint64_t compare_swap(int target, SymPtr p, std::uint64_t expected,
+                             std::uint64_t desired);
+  std::uint64_t swap(int target, SymPtr p, std::uint64_t value);
+  std::uint64_t fetch(int target, SymPtr p);
+  void set(int target, SymPtr p, std::uint64_t value);
+  void nbi_put(int target, SymPtr p, std::uint64_t delta, const void* src,
+               std::size_t n);
+  void nbi_add(int target, SymPtr p, std::uint64_t value);
+  /// Complete all of this PE's outstanding non-blocking ops.
+  void quiet();
+
+  /// Pointer into this PE's own arena (owner-side direct access).
+  std::byte* local(SymPtr p, std::uint64_t delta = 0);
+  /// Owner-side atomic view of a local 64-bit symmetric word. Direct
+  /// (uncharged) access — used for cheap local polling; mutation should go
+  /// through the fabric so accounting stays honest.
+  std::uint64_t local_load(SymPtr p) const;
+
+  // --- collectives -------------------------------------------------------
+  /// Dissemination barrier across all PEs (log2(P) rounds of puts).
+  void barrier();
+  /// All-reduce sum of a 64-bit value (centralized at PE 0).
+  std::uint64_t sum_u64(std::uint64_t value);
+  /// All-reduce max.
+  std::uint64_t max_u64(std::uint64_t value);
+  /// Broadcast from `root` to everyone.
+  std::uint64_t bcast_u64(std::uint64_t value, int root);
+
+ private:
+  Runtime& rt_;
+  int pe_;
+  Xoshiro256 rng_;
+  std::uint64_t barrier_gen_ = 0;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeConfig cfg);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  int npes() const noexcept { return cfg_.npes; }
+  const RuntimeConfig& config() const noexcept { return cfg_; }
+  SymmetricHeap& heap() noexcept { return *heap_; }
+  net::Fabric& fabric() noexcept { return *fabric_; }
+  net::TimeModel& time() noexcept { return *time_; }
+
+  /// Execute `body(ctx)` on every PE (SPMD); returns when all PEs finish.
+  /// Clocks restart at 0 each call; heap contents persist across calls.
+  /// The first exception thrown by any PE is rethrown here after join.
+  void run(const std::function<void(PeContext&)>& body);
+
+  /// Longest per-PE virtual runtime of the last run() — the paper's
+  /// whole-program time ("maximum runtime of any process", §5.3).
+  net::Nanos last_run_duration() const noexcept { return last_duration_; }
+
+  // --- internal symmetric control space used by collectives --------------
+  struct CollectiveSpace {
+    SymPtr barrier_flags;  ///< kMaxRounds u64 generation flags per PE
+    SymPtr reduce_slots;   ///< npes u64 contribution slots (used on root)
+    SymPtr reduce_result;  ///< 1 u64
+    SymPtr bcast_slot;     ///< 1 u64
+    static constexpr int kMaxRounds = 16;  // supports up to 65536 PEs
+  };
+  const CollectiveSpace& coll() const noexcept { return coll_; }
+
+ private:
+  RuntimeConfig cfg_;
+  std::unique_ptr<net::TimeModel> time_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::unique_ptr<SymmetricHeap> heap_;
+  CollectiveSpace coll_{};
+  net::Nanos last_duration_ = 0;
+};
+
+}  // namespace sws::pgas

@@ -1,0 +1,118 @@
+#include "pgas/symmetric_heap.hpp"
+
+#include <cstring>
+#include <new>
+
+#include "common/assert.hpp"
+
+namespace sws::pgas {
+
+// --------------------------------------------------------- OffsetAllocator
+
+OffsetAllocator::OffsetAllocator(std::uint64_t size)
+    : size_(size), free_bytes_(size) {
+  if (size > 0) free_.emplace(0, size);
+}
+
+std::uint64_t OffsetAllocator::alloc(std::uint64_t bytes,
+                                     std::uint64_t align) {
+  SWS_CHECK(bytes > 0, "zero-byte allocation");
+  SWS_CHECK(align > 0 && (align & (align - 1)) == 0,
+            "alignment must be a power of two");
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    const std::uint64_t start = it->first;
+    const std::uint64_t len = it->second;
+    const std::uint64_t aligned = (start + align - 1) & ~(align - 1);
+    const std::uint64_t pad = aligned - start;
+    if (len < pad + bytes) continue;
+
+    // Carve [aligned, aligned+bytes) out of this block. The padding
+    // prefix stays free; so does any suffix.
+    const std::uint64_t suffix = len - pad - bytes;
+    free_.erase(it);
+    if (pad > 0) free_.emplace(start, pad);
+    if (suffix > 0) free_.emplace(aligned + bytes, suffix);
+    live_.emplace(aligned, bytes);
+    free_bytes_ -= bytes;
+    return aligned;
+  }
+  return SymPtr::kNull;
+}
+
+void OffsetAllocator::free(std::uint64_t offset) {
+  const auto it = live_.find(offset);
+  SWS_CHECK(it != live_.end(), "free of unknown offset");
+  std::uint64_t start = offset;
+  std::uint64_t len = it->second;
+  live_.erase(it);
+  free_bytes_ += len;
+
+  // Coalesce with the following free block, if adjacent.
+  auto next = free_.lower_bound(start);
+  if (next != free_.end() && next->first == start + len) {
+    len += next->second;
+    next = free_.erase(next);
+  }
+  // Coalesce with the preceding free block, if adjacent.
+  if (next != free_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == start) {
+      start = prev->first;
+      len += prev->second;
+      free_.erase(prev);
+    }
+  }
+  free_.emplace(start, len);
+}
+
+// ----------------------------------------------------------- SymmetricHeap
+
+SymmetricHeap::SymmetricHeap(int npes, std::size_t bytes_per_pe)
+    : bytes_(bytes_per_pe), allocator_(bytes_per_pe) {
+  SWS_CHECK(npes > 0, "need at least one PE");
+  SWS_CHECK(bytes_per_pe >= 64, "arena too small");
+  arenas_.resize(static_cast<std::size_t>(npes));
+  for (auto& a : arenas_) a.assign(bytes_per_pe, std::byte{0});
+}
+
+SymPtr SymmetricHeap::alloc(std::size_t bytes, std::size_t align) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t off = allocator_.alloc(bytes, align);
+  if (off == SymPtr::kNull) throw std::bad_alloc();
+  return SymPtr{off};
+}
+
+void SymmetricHeap::free(SymPtr p) {
+  SWS_CHECK(!p.is_null(), "free of null SymPtr");
+  std::lock_guard<std::mutex> lk(mu_);
+  allocator_.free(p.off);
+}
+
+std::uint64_t SymmetricHeap::bytes_free() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return allocator_.bytes_free();
+}
+
+std::byte* SymmetricHeap::local(int pe, SymPtr p, std::uint64_t delta) const {
+  SWS_ASSERT(pe >= 0 && pe < npes());
+  SWS_ASSERT(!p.is_null());
+  SWS_ASSERT(p.off + delta <= bytes_);
+  // const_cast-free: arenas_ is mutable storage; this accessor is
+  // logically non-const but marked const for caller convenience.
+  auto& arena = const_cast<std::vector<std::byte>&>(
+      arenas_[static_cast<std::size_t>(pe)]);
+  return arena.data() + p.off + delta;
+}
+
+std::byte* SymmetricHeap::arena_base(int pe) const {
+  SWS_ASSERT(pe >= 0 && pe < npes());
+  auto& arena = const_cast<std::vector<std::byte>&>(
+      arenas_[static_cast<std::size_t>(pe)]);
+  return arena.data();
+}
+
+void SymmetricHeap::zero(int pe, SymPtr p, std::size_t bytes) const {
+  std::memset(local(pe, p), 0, bytes);
+}
+
+}  // namespace sws::pgas

@@ -1,0 +1,18 @@
+// Umbrella header for the SWS library.
+//
+// Pulls in the full public API: the PGAS runtime, the task pool with both
+// queue implementations (SDC baseline and SWS structured-atomic), and the
+// benchmark workloads.
+#pragma once
+
+#include "core/pool_stats.hpp"
+#include "core/scheduler.hpp"
+#include "core/sdc_queue.hpp"
+#include "core/stealval.hpp"
+#include "core/sws_queue.hpp"
+#include "core/task.hpp"
+#include "core/task_registry.hpp"
+#include "pgas/runtime.hpp"
+#include "workloads/bpc.hpp"
+#include "workloads/synthetic.hpp"
+#include "workloads/uts.hpp"

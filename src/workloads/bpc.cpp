@@ -1,0 +1,33 @@
+#include "workloads/bpc.hpp"
+
+namespace sws::workloads {
+
+BpcBenchmark::BpcBenchmark(core::TaskRegistry& registry, BpcParams params)
+    : params_(params) {
+  consumer_fn_ = registry.register_fn(
+      "bpc.consumer", [p = params_](core::Worker& w, std::span<const std::byte>) {
+        w.compute(p.consumer_ns);
+      });
+  producer_fn_ = registry.register_fn(
+      "bpc.producer",
+      [this, p = params_](core::Worker& w, std::span<const std::byte> bytes) {
+        Payload in;
+        SWS_ASSERT(bytes.size() == sizeof(in));
+        std::memcpy(&in, bytes.data(), sizeof(in));
+        w.compute(p.producer_ns);
+        if (in.remaining_depth == 0) return;
+        // Child producer first: it lands nearest the tail of the batch and
+        // is therefore the first task a thief will take — the "bounce".
+        w.spawn(core::Task::of(producer_fn_,
+                               Payload{in.remaining_depth - 1}));
+        for (std::uint32_t i = 0; i < p.consumers_per_producer; ++i)
+          w.spawn(core::Task(consumer_fn_, nullptr, 0));
+      });
+}
+
+void BpcBenchmark::seed(core::Worker& w) const {
+  if (w.pe() != 0) return;
+  w.spawn(core::Task::of(producer_fn_, Payload{params_.depth}));
+}
+
+}  // namespace sws::workloads

@@ -1,0 +1,129 @@
+#include "workloads/uts.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace sws::workloads {
+namespace {
+
+/// Uniform value in [0,1) from the leading digest bytes (UTS convention:
+/// the digest *is* the random stream).
+double digest_uniform(const Sha1Digest& d) noexcept {
+  return static_cast<double>(digest_to_u32(d)) * 0x1.0p-32;
+}
+
+}  // namespace
+
+std::uint32_t uts_num_children(const Sha1Digest& digest, std::uint32_t depth,
+                               const UtsParams& p) noexcept {
+  switch (p.shape) {
+    case UtsParams::Shape::kGeometric: {
+      if (depth >= p.gen_mx) return 0;
+      // Depth-dependent expected branching factor per the configured shape
+      // function; children drawn from a geometric distribution via inverse
+      // transform on the digest value.
+      const double frac =
+          static_cast<double>(depth) / static_cast<double>(p.gen_mx);
+      double b_d = static_cast<double>(p.b0);
+      switch (p.geo_shape) {
+        case UtsParams::GeoShape::kLinear:
+          b_d *= 1.0 - frac;
+          break;
+        case UtsParams::GeoShape::kExpDec:
+          b_d *= (1.0 - frac) * (1.0 - frac) * (1.0 - frac);
+          break;
+        case UtsParams::GeoShape::kCyclic:
+          // Branchy bands alternating with thin bands down the tree.
+          b_d *= 0.5 * (1.0 + std::cos(3.141592653589793 * frac * 4.0));
+          break;
+        case UtsParams::GeoShape::kFixed:
+          break;
+      }
+      if (b_d <= 0.0) return 0;
+      const double prob = 1.0 / (1.0 + b_d);
+      const double u = digest_uniform(digest);
+      const double m = std::floor(std::log(1.0 - u) / std::log(1.0 - prob));
+      if (m <= 0.0) return 0;
+      return static_cast<std::uint32_t>(
+          std::min<double>(m, p.max_children));
+    }
+    case UtsParams::Shape::kBinomial: {
+      if (depth == 0) return p.b0;
+      return digest_uniform(digest) < p.bin_q
+                 ? std::min(p.bin_m, p.max_children)
+                 : 0;
+    }
+  }
+  return 0;
+}
+
+Sha1Digest uts_root_digest(const UtsParams& p) noexcept {
+  std::uint8_t seed_be[4] = {
+      static_cast<std::uint8_t>(p.root_seed >> 24),
+      static_cast<std::uint8_t>(p.root_seed >> 16),
+      static_cast<std::uint8_t>(p.root_seed >> 8),
+      static_cast<std::uint8_t>(p.root_seed),
+  };
+  return Sha1::hash(seed_be, sizeof(seed_be));
+}
+
+UtsTreeInfo uts_sequential_count(const UtsParams& p) {
+  struct Frame {
+    Sha1Digest digest;
+    std::uint32_t depth;
+  };
+  UtsTreeInfo info;
+  std::vector<Frame> stack;
+  stack.push_back({uts_root_digest(p), 0});
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    ++info.nodes;
+    info.max_depth = std::max(info.max_depth, f.depth);
+    const std::uint32_t k = uts_num_children(f.digest, f.depth, p);
+    if (k == 0) {
+      ++info.leaves;
+      continue;
+    }
+    for (std::uint32_t i = 0; i < k; ++i)
+      stack.push_back({uts_child_digest(f.digest, i), f.depth + 1});
+  }
+  return info;
+}
+
+UtsBenchmark::UtsBenchmark(core::TaskRegistry& registry, UtsParams params)
+    : params_(params) {
+  node_fn_ = registry.register_fn(
+      "uts.node",
+      [this, p = params_](core::Worker& w, std::span<const std::byte> bytes) {
+        Payload in;
+        SWS_ASSERT(bytes.size() == sizeof(in));
+        std::memcpy(&in, bytes.data(), sizeof(in));
+        Sha1Digest digest;
+        std::memcpy(digest.data(), in.digest, sizeof(in.digest));
+
+        w.compute(p.node_compute_ns);
+        const std::uint32_t k = uts_num_children(digest, in.depth, p);
+        for (std::uint32_t i = 0; i < k; ++i) {
+          Payload child;
+          const Sha1Digest cd = uts_child_digest(digest, i);
+          std::memcpy(child.digest, cd.data(), cd.size());
+          child.depth = in.depth + 1;
+          w.spawn(core::Task::of(node_fn_, child));
+        }
+      });
+}
+
+void UtsBenchmark::seed(core::Worker& w) const {
+  if (w.pe() != 0) return;
+  Payload root{};
+  const Sha1Digest rd = uts_root_digest(params_);
+  std::memcpy(root.digest, rd.data(), rd.size());
+  root.depth = 0;
+  w.spawn(core::Task::of(node_fn_, root));
+}
+
+}  // namespace sws::workloads

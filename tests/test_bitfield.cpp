@@ -1,0 +1,97 @@
+// Unit + property tests for the bit-packing primitives underlying the
+// stealval.
+#include <gtest/gtest.h>
+
+#include "common/bitfield.hpp"
+#include "common/rng.hpp"
+
+namespace sws {
+namespace {
+
+using F0 = Field<0, 19>;
+using F19 = Field<19, 19>;
+using F38 = Field<38, 2>;
+using F40 = Field<40, 24>;
+using Full = Field<0, 64>;
+
+TEST(Bitfield, MaxAndMask) {
+  EXPECT_EQ(F0::kMax, (1u << 19) - 1);
+  EXPECT_EQ(F38::kMax, 3u);
+  EXPECT_EQ(F40::kMax, (1u << 24) - 1);
+  EXPECT_EQ(Full::kMax, ~std::uint64_t{0});
+  EXPECT_EQ(F0::kMask, std::uint64_t{(1u << 19) - 1});
+  EXPECT_EQ(F40::kMask, std::uint64_t{(1u << 24) - 1} << 40);
+}
+
+TEST(Bitfield, FieldsArePairwiseDisjoint) {
+  EXPECT_EQ(F0::kMask & F19::kMask, 0u);
+  EXPECT_EQ(F19::kMask & F38::kMask, 0u);
+  EXPECT_EQ(F38::kMask & F40::kMask, 0u);
+  EXPECT_EQ(F0::kMask | F19::kMask | F38::kMask | F40::kMask,
+            ~std::uint64_t{0});
+}
+
+TEST(Bitfield, SetThenGetRoundTrips) {
+  std::uint64_t w = 0;
+  w = F0::set(w, 12345);
+  w = F19::set(w, 54321);
+  w = F38::set(w, 2);
+  w = F40::set(w, 999999);
+  EXPECT_EQ(F0::get(w), 12345u);
+  EXPECT_EQ(F19::get(w), 54321u);
+  EXPECT_EQ(F38::get(w), 2u);
+  EXPECT_EQ(F40::get(w), 999999u);
+}
+
+TEST(Bitfield, SetTruncatesToWidth) {
+  const std::uint64_t w = F38::set(0, 7);  // 7 mod 4 == 3
+  EXPECT_EQ(F38::get(w), 3u);
+  EXPECT_EQ(w & ~F38::kMask, 0u) << "set must not spill into other fields";
+}
+
+TEST(Bitfield, UnitAddsOneToField) {
+  std::uint64_t w = F40::set(0, 41);
+  w += F40::unit();
+  EXPECT_EQ(F40::get(w), 42u);
+}
+
+TEST(Bitfield, UnitAddNeverTouchesLowerFieldsUntilOverflow) {
+  // The property the SWS steal depends on: fetch-adding the asteals unit
+  // preserves every owner field bit-exactly.
+  std::uint64_t w = 0;
+  w = F0::set(w, 0x7ffff);   // all-ones tail
+  w = F19::set(w, 0x7ffff);  // all-ones itasks
+  w = F38::set(w, 1);
+  const std::uint64_t lower = w & (F0::kMask | F19::kMask | F38::kMask);
+  for (int i = 0; i < 1000; ++i) {
+    w += F40::unit();
+    ASSERT_EQ(w & (F0::kMask | F19::kMask | F38::kMask), lower);
+  }
+  EXPECT_EQ(F40::get(w), 1000u);
+}
+
+TEST(Bitfield, WouldOverflowDetectsFieldBoundary) {
+  std::uint64_t w = F40::set(0, F40::kMax - 1);
+  EXPECT_FALSE(F40::would_overflow(w, 1));
+  EXPECT_TRUE(F40::would_overflow(w, 2));
+}
+
+TEST(Bitfield, CheckedSetRejectsOversizedValues) {
+  EXPECT_NO_THROW(F38::checked_set(0, 3));
+  EXPECT_DEATH(F38::checked_set(0, 4), "overflow");
+}
+
+TEST(BitfieldProperty, RandomRoundTrips) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t base = rng.next();
+    const std::uint64_t v = rng.next() & F19::kMax;
+    const std::uint64_t w = F19::set(base, v);
+    ASSERT_EQ(F19::get(w), v);
+    // All other bits of base are preserved.
+    ASSERT_EQ(w & ~F19::kMask, base & ~F19::kMask);
+  }
+}
+
+}  // namespace
+}  // namespace sws

@@ -1,0 +1,100 @@
+// "Everything on" integration: the full feature surface engaged at once —
+// two-level fabric, NIC occupancy, hierarchical victims, remote spawning,
+// tracing, token termination, completion epochs, damping — on both queue
+// protocols and both time backends. If feature interactions break
+// anything, this is where it shows.
+#include <gtest/gtest.h>
+
+#include "sws.hpp"
+
+namespace sws {
+namespace {
+
+struct EverythingParams {
+  core::QueueKind kind;
+  pgas::TimeMode mode;
+};
+
+class EverythingOn : public ::testing::TestWithParam<EverythingParams> {};
+
+TEST_P(EverythingOn, FullFeatureRunIsCorrect) {
+  const auto [kind, mode] = GetParam();
+
+  workloads::UtsParams p;
+  p.b0 = 4;
+  p.gen_mx = 9;
+  p.geo_shape = workloads::UtsParams::GeoShape::kCyclic;
+  p.node_compute_ns = mode == pgas::TimeMode::kReal ? 500 : 5000;
+  const auto truth = workloads::uts_sequential_count(p);
+  ASSERT_GT(truth.nodes, 50u);
+
+  pgas::RuntimeConfig rcfg;
+  rcfg.npes = 12;
+  rcfg.mode = mode;
+  rcfg.heap_bytes = 4 << 20;
+  rcfg.net.pes_per_node = 4;      // two-level fabric, 3 nodes
+  rcfg.net.target_occupancy = 250;
+  rcfg.net.nbi_delay = 20'000;    // lazy completions stress the epochs
+  pgas::Runtime rt(rcfg);
+
+  core::TaskRegistry reg;
+  workloads::UtsBenchmark uts(reg, p);
+  // A side-channel task exercising remote spawning during the search.
+  core::TaskFnId hop_fn = 0;
+  hop_fn = reg.register_fn(
+      "hop", [&](core::Worker& w, std::span<const std::byte> b) {
+        std::uint32_t hops;
+        std::memcpy(&hops, b.data(), 4);
+        w.compute(1000);
+        if (hops > 0)
+          w.spawn_on((w.pe() + 5) % w.npes(), core::Task::of(hop_fn, hops - 1));
+      });
+
+  core::PoolConfig pc;
+  pc.kind = kind;
+  pc.capacity = 8192;
+  pc.slot_bytes = 48;
+  pc.victim = core::VictimPolicy::kHierarchical;
+  pc.victim_local_bias = 0.6;
+  pc.termination = core::TerminationKind::kToken;
+  pc.trace = true;
+  pc.trace_events = 1 << 15;
+  pc.sws.damping = true;
+  pc.sws.damping_slack = 4;
+  core::TaskPool pool(rt, reg, pc);
+
+  rt.run([&](pgas::PeContext& ctx) {
+    pool.run_pe(ctx, [&](core::Worker& w) {
+      uts.seed(w);
+      if (w.pe() == 1) w.spawn(core::Task::of(hop_fn, std::uint32_t{24}));
+    });
+  });
+
+  const core::PoolRunReport r = pool.report();
+  EXPECT_EQ(r.total.tasks_executed, truth.nodes + 25)
+      << "UTS nodes + 25 hop tasks, each exactly once";
+  EXPECT_GT(r.total.steals_ok, 0u);
+  // The trace agrees with the stats even with every feature engaged.
+  EXPECT_EQ(pool.tracer().count(core::TraceKind::kTaskExec),
+            r.total.tasks_executed);
+  EXPECT_EQ(pool.tracer().count(core::TraceKind::kTerminated), 12u);
+}
+
+std::string name(const ::testing::TestParamInfo<EverythingParams>& info) {
+  std::string s =
+      info.param.kind == core::QueueKind::kSdc ? "SDC" : "SWS";
+  s += info.param.mode == pgas::TimeMode::kVirtual ? "_virtual" : "_real";
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, EverythingOn,
+    ::testing::Values(
+        EverythingParams{core::QueueKind::kSws, pgas::TimeMode::kVirtual},
+        EverythingParams{core::QueueKind::kSdc, pgas::TimeMode::kVirtual},
+        EverythingParams{core::QueueKind::kSws, pgas::TimeMode::kReal},
+        EverythingParams{core::QueueKind::kSdc, pgas::TimeMode::kReal}),
+    name);
+
+}  // namespace
+}  // namespace sws

@@ -1,0 +1,409 @@
+// Fabric semantics: one-sided data movement, AMO results, accounting, and
+// delayed delivery of non-blocking ops under the virtual sequencer.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "net/fabric.hpp"
+
+namespace sws::net {
+namespace {
+
+class FabricTest : public ::testing::Test {
+ protected:
+  static constexpr int kPes = 2;
+  static constexpr std::size_t kArena = 4096;
+
+  FabricTest() : time_(kPes), fabric_(time_, NetworkModel{}, kPes) {
+    for (int pe = 0; pe < kPes; ++pe) {
+      arenas_.emplace_back(kArena, std::byte{0});
+      fabric_.register_arena(pe, arenas_.back().data(), kArena);
+    }
+  }
+
+  /// Drive `body(pe)` SPMD under the sequencer.
+  void run(const std::function<void(int)>& body) {
+    time_.reset(kPes);
+    std::vector<std::thread> ts;
+    for (int pe = 0; pe < kPes; ++pe)
+      ts.emplace_back([&, pe] {
+        time_.pe_begin(pe);
+        body(pe);
+        time_.pe_end(pe);
+      });
+    for (auto& t : ts) t.join();
+  }
+
+  std::uint64_t word_at(int pe, std::uint64_t off) {
+    std::uint64_t v;
+    std::memcpy(&v, arenas_[static_cast<std::size_t>(pe)].data() + off, 8);
+    return v;
+  }
+
+  VirtualTimeModel time_;
+  std::vector<std::vector<std::byte>> arenas_;
+  Fabric fabric_;
+};
+
+TEST_F(FabricTest, PutGetRoundTrip) {
+  run([&](int pe) {
+    if (pe != 0) return;
+    const char msg[] = "hello fabric";
+    fabric_.put(0, 1, 64, msg, sizeof(msg));
+    char back[sizeof(msg)] = {};
+    fabric_.get(0, 1, 64, back, sizeof(back));
+    EXPECT_STREQ(back, msg);
+  });
+}
+
+TEST_F(FabricTest, AmoFetchAddReturnsPriorValue) {
+  run([&](int pe) {
+    if (pe != 0) return;
+    EXPECT_EQ(fabric_.amo_fetch_add(0, 1, 8, 5), 0u);
+    EXPECT_EQ(fabric_.amo_fetch_add(0, 1, 8, 3), 5u);
+    EXPECT_EQ(fabric_.amo_fetch(0, 1, 8), 8u);
+  });
+}
+
+TEST_F(FabricTest, AmoCompareSwapSemantics) {
+  run([&](int pe) {
+    if (pe != 0) return;
+    // Miss: returns current value, no change.
+    EXPECT_EQ(fabric_.amo_compare_swap(0, 1, 16, 99, 7), 0u);
+    EXPECT_EQ(fabric_.amo_fetch(0, 1, 16), 0u);
+    // Hit: returns prior, installs desired.
+    EXPECT_EQ(fabric_.amo_compare_swap(0, 1, 16, 0, 7), 0u);
+    EXPECT_EQ(fabric_.amo_fetch(0, 1, 16), 7u);
+  });
+}
+
+TEST_F(FabricTest, AmoSwapAndSet) {
+  run([&](int pe) {
+    if (pe != 0) return;
+    fabric_.amo_set(0, 1, 24, 11);
+    EXPECT_EQ(fabric_.amo_swap(0, 1, 24, 22), 11u);
+    EXPECT_EQ(fabric_.amo_fetch(0, 1, 24), 22u);
+  });
+}
+
+TEST_F(FabricTest, WordOpsMoveMultipleWords) {
+  run([&](int pe) {
+    if (pe != 0) return;
+    const std::uint64_t src[3] = {1, 2, 3};
+    fabric_.put_words(0, 1, 32, src, 3);
+    std::uint64_t dst[3] = {};
+    fabric_.get_words(0, 1, 32, dst, 3);
+    EXPECT_EQ(dst[0], 1u);
+    EXPECT_EQ(dst[1], 2u);
+    EXPECT_EQ(dst[2], 3u);
+  });
+}
+
+TEST_F(FabricTest, BlockingOpsChargeModelCost) {
+  const NetworkModel model{};
+  run([&](int pe) {
+    if (pe != 0) return;
+    const Nanos before = time_.now(0);
+    std::uint64_t v = 0;
+    fabric_.get(0, 1, 0, &v, 8);
+    const Nanos dt = time_.now(0) - before;
+    EXPECT_EQ(dt, model.cost(OpKind::kGet, 8, true));
+  });
+}
+
+TEST_F(FabricTest, LocalOpsAreCheaper) {
+  run([&](int pe) {
+    if (pe != 0) return;
+    const Nanos t0 = time_.now(0);
+    std::uint64_t v = 0;
+    fabric_.get(0, 0, 0, &v, 8);  // local
+    const Nanos local = time_.now(0) - t0;
+    const Nanos t1 = time_.now(0);
+    fabric_.get(0, 1, 0, &v, 8);  // remote
+    const Nanos remote = time_.now(0) - t1;
+    EXPECT_LT(local, remote / 5);
+  });
+}
+
+TEST_F(FabricTest, StatsCountOpsAndBytes) {
+  fabric_.reset_stats();
+  run([&](int pe) {
+    if (pe != 0) return;
+    std::uint64_t v = 1;
+    fabric_.put(0, 1, 0, &v, 8);
+    fabric_.get(0, 1, 0, &v, 8);
+    fabric_.amo_fetch_add(0, 1, 8, 1);
+    fabric_.nbi_amo_add(0, 1, 8, 1);
+  });
+  const FabricStats& s = fabric_.stats(0);
+  EXPECT_EQ(s.ops[static_cast<int>(OpKind::kPut)], 1u);
+  EXPECT_EQ(s.ops[static_cast<int>(OpKind::kGet)], 1u);
+  EXPECT_EQ(s.ops[static_cast<int>(OpKind::kAmoFetchAdd)], 1u);
+  EXPECT_EQ(s.ops[static_cast<int>(OpKind::kNbiAmoAdd)], 1u);
+  EXPECT_EQ(s.bytes_put, 8u);
+  EXPECT_EQ(s.bytes_got, 8u);
+  EXPECT_EQ(s.total_ops(), 4u);
+  EXPECT_EQ(s.blocking_ops(), 3u);
+  EXPECT_EQ(s.remote_ops, 4u);
+  EXPECT_EQ(fabric_.stats(1).total_ops(), 0u);
+}
+
+TEST_F(FabricTest, NbiDeliveryIsDelayedUntilTimePasses) {
+  run([&](int pe) {
+    if (pe != 0) return;
+    fabric_.nbi_amo_add(0, 1, 40, 9);
+    // Issue overhead charged, but the effect is still in flight.
+    EXPECT_EQ(fabric_.pending(0), 1);
+    EXPECT_EQ(word_at(1, 40), 0u);
+    // Pass the delivery deadline: the hook applies the effect.
+    time_.advance(0, NetworkModel{}.delivery_delay(8) + 1);
+    EXPECT_EQ(fabric_.pending(0), 0);
+    EXPECT_EQ(word_at(1, 40), 9u);
+  });
+}
+
+TEST_F(FabricTest, QuietBlocksUntilAllPendingDelivered) {
+  run([&](int pe) {
+    if (pe != 0) return;
+    for (int i = 0; i < 5; ++i) fabric_.nbi_amo_add(0, 1, 48, 1);
+    fabric_.quiet(0);
+    EXPECT_EQ(fabric_.pending(0), 0);
+    EXPECT_EQ(word_at(1, 48), 5u);
+  });
+}
+
+TEST_F(FabricTest, NbiPutDeliversPayloadLate) {
+  run([&](int pe) {
+    if (pe != 0) return;
+    const std::uint64_t v = 0xdeadbeef;
+    fabric_.nbi_put(0, 1, 56, &v, 8);
+    EXPECT_EQ(word_at(1, 56), 0u);
+    fabric_.quiet(0);
+    EXPECT_EQ(word_at(1, 56), 0xdeadbeefu);
+  });
+}
+
+TEST_F(FabricTest, NbiOpsDeliverInIssueOrderAtSameDeadline) {
+  run([&](int pe) {
+    if (pe != 0) return;
+    const std::uint64_t a = 1, b = 2;
+    fabric_.nbi_put(0, 1, 72, &a, 8);
+    fabric_.nbi_put(0, 1, 72, &b, 8);  // same target word
+    fabric_.quiet(0);
+    EXPECT_EQ(word_at(1, 72), 2u) << "later issue must win";
+  });
+}
+
+TEST(FabricRealTime, NbiDeliveredLateByProgressThread) {
+  RealTimeModel tm(2);
+  NetworkParams params;
+  params.nbi_delay = 2'000'000;  // 2 ms: long enough to observe in flight
+  Fabric fab(tm, NetworkModel(params), 2);
+  std::vector<std::vector<std::byte>> arenas;
+  for (int pe = 0; pe < 2; ++pe) {
+    arenas.emplace_back(64, std::byte{0});
+    fab.register_arena(pe, arenas.back().data(), 64);
+  }
+  tm.reset(2);
+  fab.nbi_amo_add(0, 1, 0, 9);
+  EXPECT_EQ(fab.pending(0), 1) << "effect must still be in flight";
+  fab.quiet(0);  // blocks on the progress thread
+  EXPECT_EQ(fab.pending(0), 0);
+  std::uint64_t v;
+  std::memcpy(&v, arenas[1].data(), 8);
+  EXPECT_EQ(v, 9u);
+}
+
+TEST(FabricRealTime, QuietWithNothingPendingReturnsImmediately) {
+  RealTimeModel tm(1);
+  Fabric fab(tm, NetworkModel{}, 1);
+  std::vector<std::byte> arena(64, std::byte{0});
+  fab.register_arena(0, arena.data(), 64);
+  tm.reset(1);
+  fab.quiet(0);
+  SUCCEED();
+}
+
+// Death tests run against the real-time backend: no baton to inherit
+// across the death-test fork.
+TEST(FabricDeath, OutOfBoundsAccessAborts) {
+  RealTimeModel tm(1);
+  Fabric fab(tm, NetworkModel{}, 1);
+  std::vector<std::byte> arena(256, std::byte{0});
+  fab.register_arena(0, arena.data(), arena.size());
+  std::uint64_t v = 0;
+  EXPECT_DEATH(fab.get(0, 0, 252, &v, 8), "bounds");
+}
+
+TEST(FabricDeath, MisalignedAmoAborts) {
+  RealTimeModel tm(1);
+  Fabric fab(tm, NetworkModel{}, 1);
+  std::vector<std::byte> arena(256, std::byte{0});
+  fab.register_arena(0, arena.data(), arena.size());
+  EXPECT_DEATH(fab.amo_fetch(0, 0, 4), "align");
+}
+
+TEST(FabricDeath, UnregisteredArenaAborts) {
+  RealTimeModel tm(1);
+  Fabric fab(tm, NetworkModel{}, 1);
+  EXPECT_DEATH(fab.amo_fetch(0, 0, 0), "registered");
+}
+
+TEST_F(FabricTest, TargetOccupancySerializesContendedOps) {
+  // Two PEs hammer each other... here: PE0 fires two back-to-back remote
+  // AMOs at PE1. The second op queues behind the first at PE1's NIC only
+  // if issued within the occupancy window — with one initiator the window
+  // has passed, so instead verify the accounting path with a synthetic
+  // short gap: occupancy wait shows up when ops from different sources
+  // collide. Simplest deterministic check: issue an op, rewind nothing,
+  // and confirm zero wait for spaced ops, then use two PEs racing.
+  run([&](int pe) {
+    // Both PEs AMO the same third... only 2 PEs here: each AMOs the other
+    // simultaneously at t=0. PE0 runs first (baton), marking PE1's NIC
+    // busy until occ; PE1's op targets PE0 — unrelated NIC — no wait.
+    std::uint64_t v = fabric_.amo_fetch_add(pe, 1 - pe, 8, 1);
+    (void)v;
+  });
+  // Cross-targets never contend.
+  EXPECT_EQ(fabric_.stats(0).occupancy_wait_ns, 0u);
+  EXPECT_EQ(fabric_.stats(1).occupancy_wait_ns, 0u);
+}
+
+TEST(FabricOccupancy, SameTargetOpsQueue) {
+  // Three thieves AMO one victim at virtual t=0: the k-th op waits
+  // (k-1) * occupancy behind the earlier ones.
+  VirtualTimeModel tm(4);
+  NetworkParams params;
+  params.target_occupancy = 300;
+  Fabric fab(tm, NetworkModel(params), 4);
+  std::vector<std::vector<std::byte>> arenas;
+  for (int pe = 0; pe < 4; ++pe) {
+    arenas.emplace_back(256, std::byte{0});
+    fab.register_arena(pe, arenas.back().data(), 256);
+  }
+  tm.reset(4);
+  std::vector<std::thread> ts;
+  for (int pe = 0; pe < 4; ++pe)
+    ts.emplace_back([&, pe] {
+      tm.pe_begin(pe);
+      if (pe != 3) fab.amo_fetch_add(pe, 3, 0, 1);
+      tm.pe_end(pe);
+    });
+  for (auto& t : ts) t.join();
+  // Baton order at t=0 is PE0, PE1, PE2: waits are 0, 300, 600.
+  EXPECT_EQ(fab.stats(0).occupancy_wait_ns, 0u);
+  EXPECT_EQ(fab.stats(1).occupancy_wait_ns, 300u);
+  EXPECT_EQ(fab.stats(2).occupancy_wait_ns, 600u);
+}
+
+TEST(FabricOccupancy, ZeroOccupancyDisablesQueueing) {
+  VirtualTimeModel tm(3);
+  NetworkParams params;
+  params.target_occupancy = 0;
+  Fabric fab(tm, NetworkModel(params), 3);
+  std::vector<std::vector<std::byte>> arenas;
+  for (int pe = 0; pe < 3; ++pe) {
+    arenas.emplace_back(256, std::byte{0});
+    fab.register_arena(pe, arenas.back().data(), 256);
+  }
+  tm.reset(3);
+  std::vector<std::thread> ts;
+  for (int pe = 0; pe < 3; ++pe)
+    ts.emplace_back([&, pe] {
+      tm.pe_begin(pe);
+      if (pe != 2) fab.amo_fetch_add(pe, 2, 0, 1);
+      tm.pe_end(pe);
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(fab.stats(0).occupancy_wait_ns, 0u);
+  EXPECT_EQ(fab.stats(1).occupancy_wait_ns, 0u);
+}
+
+TEST(NetworkModelTest, CostsScaleWithPayload) {
+  NetworkModel m;
+  EXPECT_GT(m.cost(OpKind::kGet, 1 << 20, true),
+            m.cost(OpKind::kGet, 8, true));
+  EXPECT_EQ(m.cost(OpKind::kAmoFetchAdd, 8, true), m.params().amo_latency);
+  // nbi ops only charge the issue overhead.
+  EXPECT_LT(m.cost(OpKind::kNbiAmoAdd, 8, true),
+            m.cost(OpKind::kAmoFetchAdd, 8, true));
+}
+
+TEST(NetworkModelTest, TwoLevelFabricLocality) {
+  NetworkParams p;
+  p.pes_per_node = 4;
+  NetworkModel m(p);
+  EXPECT_EQ(m.locality(0, 0), Locality::kSelf);
+  EXPECT_EQ(m.locality(0, 3), Locality::kIntraNode);
+  EXPECT_EQ(m.locality(0, 4), Locality::kInterNode);
+  EXPECT_EQ(m.locality(5, 7), Locality::kIntraNode);
+  EXPECT_EQ(m.locality(7, 8), Locality::kInterNode);
+}
+
+TEST(NetworkModelTest, FlatFabricHasNoIntraNode) {
+  NetworkModel m{};  // pes_per_node = 0
+  EXPECT_EQ(m.locality(0, 1), Locality::kInterNode);
+  EXPECT_EQ(m.locality(0, 0), Locality::kSelf);
+}
+
+TEST(NetworkModelTest, IntraNodeOpsAreCheaper) {
+  NetworkParams p;
+  p.pes_per_node = 8;
+  NetworkModel m(p);
+  const Nanos inter = m.cost(OpKind::kAmoFetchAdd, 8, Locality::kInterNode);
+  const Nanos intra = m.cost(OpKind::kAmoFetchAdd, 8, Locality::kIntraNode);
+  const Nanos self = m.cost(OpKind::kAmoFetchAdd, 8, Locality::kSelf);
+  EXPECT_LT(intra, inter / 3);
+  EXPECT_LT(self, intra);
+  // Bulk transfers see the better intra-node bandwidth too.
+  EXPECT_LT(m.cost(OpKind::kGet, 1 << 16, Locality::kIntraNode),
+            m.cost(OpKind::kGet, 1 << 16, Locality::kInterNode));
+  // And nbi delivery arrives sooner within a node.
+  EXPECT_LT(m.delivery_delay(8, Locality::kIntraNode),
+            m.delivery_delay(8, Locality::kInterNode));
+}
+
+TEST(FabricLocality, ChargesByNodeDistance) {
+  VirtualTimeModel tm(3);
+  NetworkParams params;
+  params.pes_per_node = 2;  // PEs {0,1} on one node, {2} on another
+  params.target_occupancy = 0;
+  Fabric fab(tm, NetworkModel(params), 3);
+  std::vector<std::vector<std::byte>> arenas;
+  for (int pe = 0; pe < 3; ++pe) {
+    arenas.emplace_back(256, std::byte{0});
+    fab.register_arena(pe, arenas.back().data(), 256);
+  }
+  tm.reset(3);
+  Nanos intra_cost = 0, inter_cost = 0;
+  std::vector<std::thread> ts;
+  for (int pe = 0; pe < 3; ++pe)
+    ts.emplace_back([&, pe] {
+      tm.pe_begin(pe);
+      if (pe == 0) {
+        const Nanos t0 = tm.now(0);
+        fab.amo_fetch(0, 1, 0);  // intra-node
+        intra_cost = tm.now(0) - t0;
+        const Nanos t1 = tm.now(0);
+        fab.amo_fetch(0, 2, 0);  // inter-node
+        inter_cost = tm.now(0) - t1;
+      }
+      tm.pe_end(pe);
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_LT(intra_cost, inter_cost / 3);
+}
+
+TEST(NetworkModelTest, ScaledParamsScaleLatencies) {
+  NetworkParams p;
+  const NetworkParams d = p.scaled(2.0);
+  EXPECT_EQ(d.amo_latency, p.amo_latency * 2);
+  EXPECT_EQ(d.get_latency, p.get_latency * 2);
+  EXPECT_EQ(d.nbi_delay, p.nbi_delay * 2);
+  EXPECT_EQ(d.local_overhead, p.local_overhead) << "local costs unscaled";
+}
+
+}  // namespace
+}  // namespace sws::net

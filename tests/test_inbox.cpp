@@ -1,0 +1,220 @@
+// Remote-spawn inbox: MPSC ordering, capacity bounds, ring reuse, and the
+// Worker::spawn_on integration.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+
+#include "core/inbox.hpp"
+#include "core/scheduler.hpp"
+
+namespace sws::core {
+namespace {
+
+pgas::RuntimeConfig rcfg(int npes) {
+  pgas::RuntimeConfig c;
+  c.npes = npes;
+  c.heap_bytes = 2 << 20;
+  return c;
+}
+
+Task mk(std::uint32_t id) { return Task::of(0, id); }
+std::uint32_t id_of(const Task& t) { return t.payload_as<std::uint32_t>(); }
+
+TEST(Inbox, SingleSenderDeliversInOrder) {
+  pgas::Runtime rt(rcfg(2));
+  TaskInbox inbox(rt, 64, 32);
+  rt.run([&](pgas::PeContext& ctx) {
+    inbox.reset_pe(ctx);
+    ctx.barrier();
+    if (ctx.pe() == 1) {
+      for (std::uint32_t i = 0; i < 10; ++i)
+        ASSERT_TRUE(inbox.remote_push(ctx, 0, mk(i)));
+    }
+    ctx.barrier();
+    if (ctx.pe() == 0) {
+      std::vector<std::uint32_t> got;
+      EXPECT_EQ(inbox.drain(ctx, [&](const Task& t) { got.push_back(id_of(t)); }),
+                10u);
+      ASSERT_EQ(got.size(), 10u);
+      for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(got[i], i);
+      EXPECT_TRUE(inbox.looks_empty(ctx));
+    }
+    ctx.barrier();
+  });
+}
+
+TEST(Inbox, RefusesWhenFull) {
+  pgas::Runtime rt(rcfg(2));
+  TaskInbox inbox(rt, 8, 32);
+  rt.run([&](pgas::PeContext& ctx) {
+    inbox.reset_pe(ctx);
+    ctx.barrier();
+    if (ctx.pe() == 1) {
+      for (std::uint32_t i = 0; i < 8; ++i)
+        ASSERT_TRUE(inbox.remote_push(ctx, 0, mk(i)));
+      EXPECT_FALSE(inbox.remote_push(ctx, 0, mk(99)));
+    }
+    ctx.barrier();
+    if (ctx.pe() == 0) {
+      std::uint32_t n = 0;
+      inbox.drain(ctx, [&](const Task&) { ++n; });
+      EXPECT_EQ(n, 8u);
+    }
+    ctx.barrier();
+    if (ctx.pe() == 1) {
+      // Space reclaimed after the drain: pushes succeed again.
+      EXPECT_TRUE(inbox.remote_push(ctx, 0, mk(100)));
+    }
+    ctx.barrier();
+  });
+}
+
+TEST(Inbox, RingReusesSlotsAcrossManyWraps) {
+  pgas::Runtime rt(rcfg(2));
+  TaskInbox inbox(rt, 4, 32);
+  rt.run([&](pgas::PeContext& ctx) {
+    inbox.reset_pe(ctx);
+    ctx.barrier();
+    for (std::uint32_t round = 0; round < 20; ++round) {
+      if (ctx.pe() == 1) {
+        for (std::uint32_t i = 0; i < 4; ++i)
+          ASSERT_TRUE(inbox.remote_push(ctx, 0, mk(round * 4 + i)));
+      }
+      ctx.barrier();
+      if (ctx.pe() == 0) {
+        std::vector<std::uint32_t> got;
+        inbox.drain(ctx, [&](const Task& t) { got.push_back(id_of(t)); });
+        ASSERT_EQ(got.size(), 4u);
+        EXPECT_EQ(got[0], round * 4);
+        EXPECT_EQ(got[3], round * 4 + 3);
+      }
+      ctx.barrier();
+    }
+  });
+}
+
+TEST(Inbox, MultipleSendersAllDeliver) {
+  pgas::Runtime rt(rcfg(5));
+  TaskInbox inbox(rt, 256, 32);
+  rt.run([&](pgas::PeContext& ctx) {
+    inbox.reset_pe(ctx);
+    ctx.barrier();
+    if (ctx.pe() != 0) {
+      for (std::uint32_t i = 0; i < 16; ++i)
+        ASSERT_TRUE(inbox.remote_push(
+            ctx, 0, mk(static_cast<std::uint32_t>(ctx.pe()) * 100 + i)));
+    }
+    ctx.barrier();
+    if (ctx.pe() == 0) {
+      std::set<std::uint32_t> got;
+      inbox.drain(ctx, [&](const Task& t) {
+        EXPECT_TRUE(got.insert(id_of(t)).second) << "duplicate delivery";
+      });
+      EXPECT_EQ(got.size(), 4u * 16);
+    }
+    ctx.barrier();
+  });
+}
+
+// ------------------------------------------------------ pool integration
+
+struct RemoteChain {
+  TaskFnId fn = 0;
+  explicit RemoteChain(TaskRegistry& reg) {
+    fn = reg.register_fn("chain", [this](Worker& w,
+                                         std::span<const std::byte> b) {
+      std::uint32_t hops;
+      std::memcpy(&hops, b.data(), 4);
+      w.compute(1000);
+      if (hops == 0) return;
+      // Ping the task around the ring explicitly.
+      w.spawn_on((w.pe() + 1) % w.npes(), Task::of(fn, hops - 1));
+    });
+  }
+};
+
+TEST(InboxPool, SpawnOnMovesTasksAcrossPes) {
+  pgas::Runtime rt(rcfg(4));
+  TaskRegistry reg;
+  RemoteChain chain(reg);
+  PoolConfig pc;
+  pc.slot_bytes = 32;
+  TaskPool pool(rt, reg, pc);
+  rt.run([&](pgas::PeContext& ctx) {
+    pool.run_pe(ctx, [&](Worker& w) {
+      if (w.pe() == 0) w.spawn(Task::of(chain.fn, std::uint32_t{12}));
+    });
+  });
+  const PoolRunReport r = pool.report();
+  EXPECT_EQ(r.total.tasks_executed, 13u);
+  // The chain visits PEs round-robin: 0,1,2,3,0,... — every PE executed.
+  for (int pe = 0; pe < 4; ++pe)
+    EXPECT_GE(pool.worker_stats(pe).tasks_executed, 3u) << "pe " << pe;
+}
+
+TEST(InboxPool, SpawnOnSelfBehavesLikeSpawn) {
+  pgas::Runtime rt(rcfg(2));
+  TaskRegistry reg;
+  TaskFnId fn = reg.register_fn("noop", [](Worker& w,
+                                           std::span<const std::byte>) {
+    w.compute(100);
+  });
+  PoolConfig pc;
+  pc.slot_bytes = 32;
+  TaskPool pool(rt, reg, pc);
+  rt.run([&](pgas::PeContext& ctx) {
+    pool.run_pe(ctx, [&](Worker& w) {
+      if (w.pe() == 0)
+        for (int i = 0; i < 5; ++i) w.spawn_on(0, Task(fn, nullptr, 0));
+    });
+  });
+  EXPECT_EQ(pool.report().total.tasks_executed, 5u);
+}
+
+TEST(InboxPool, RemoteSpawnDisabledFallsBackToLocal) {
+  pgas::Runtime rt(rcfg(2));
+  TaskRegistry reg;
+  TaskFnId fn = reg.register_fn("noop", [](Worker& w,
+                                           std::span<const std::byte>) {
+    w.compute(100);
+  });
+  PoolConfig pc;
+  pc.slot_bytes = 32;
+  pc.remote_spawn = false;
+  TaskPool pool(rt, reg, pc);
+  EXPECT_EQ(pool.inbox(), nullptr);
+  rt.run([&](pgas::PeContext& ctx) {
+    pool.run_pe(ctx, [&](Worker& w) {
+      if (w.pe() == 0) w.spawn_on(1, Task(fn, nullptr, 0));
+    });
+  });
+  EXPECT_EQ(pool.report().total.tasks_executed, 1u);
+  EXPECT_EQ(pool.worker_stats(0).tasks_executed, 1u) << "ran locally";
+}
+
+TEST(InboxPool, ScatterFromRootBalancesWithoutStealing) {
+  // spawn_on as an explicit initial-distribution mechanism: root scatters
+  // one long task per PE; everyone works without a single steal.
+  pgas::Runtime rt(rcfg(4));
+  TaskRegistry reg;
+  TaskFnId fn = reg.register_fn("work", [](Worker& w,
+                                           std::span<const std::byte>) {
+    w.compute(1'000'000);
+  });
+  PoolConfig pc;
+  pc.slot_bytes = 32;
+  TaskPool pool(rt, reg, pc);
+  rt.run([&](pgas::PeContext& ctx) {
+    pool.run_pe(ctx, [&](Worker& w) {
+      if (w.pe() == 0)
+        for (int pe = 0; pe < w.npes(); ++pe)
+          w.spawn_on(pe, Task(fn, nullptr, 0));
+    });
+  });
+  for (int pe = 0; pe < 4; ++pe)
+    EXPECT_EQ(pool.worker_stats(pe).tasks_executed, 1u) << "pe " << pe;
+}
+
+}  // namespace
+}  // namespace sws::core

@@ -1,0 +1,113 @@
+// Circular slot buffer: local read/write, wrap arithmetic, remote wrapped
+// gets.
+#include <gtest/gtest.h>
+
+#include "core/queue_buffer.hpp"
+#include "core/stealval.hpp"
+
+namespace sws::core {
+namespace {
+
+pgas::RuntimeConfig rcfg(int npes) {
+  pgas::RuntimeConfig c;
+  c.npes = npes;
+  c.heap_bytes = 1 << 20;
+  return c;
+}
+
+TEST(QueueBuffer, WrapIsModCapacity) {
+  pgas::Runtime rt(rcfg(1));
+  QueueBuffer qb(rt.heap(), 100, 32);
+  EXPECT_EQ(qb.wrap(0), 0u);
+  EXPECT_EQ(qb.wrap(99), 99u);
+  EXPECT_EQ(qb.wrap(100), 0u);
+  EXPECT_EQ(qb.wrap(250), 50u);
+}
+
+TEST(QueueBuffer, LocalWriteReadRoundTrips) {
+  pgas::Runtime rt(rcfg(1));
+  QueueBuffer qb(rt.heap(), 16, 32);
+  rt.run([&](pgas::PeContext& ctx) {
+    for (std::uint64_t i = 0; i < 40; ++i) {
+      qb.write_local(ctx, i, Task::of(7, static_cast<std::uint32_t>(i)));
+      const Task t = qb.read_local(ctx, i);
+      EXPECT_EQ(t.payload_as<std::uint32_t>(), static_cast<std::uint32_t>(i));
+    }
+  });
+}
+
+TEST(QueueBuffer, RemoteGetContiguous) {
+  pgas::Runtime rt(rcfg(2));
+  QueueBuffer qb(rt.heap(), 64, 32);
+  rt.run([&](pgas::PeContext& ctx) {
+    if (ctx.pe() == 1)
+      for (std::uint64_t i = 0; i < 10; ++i)
+        qb.write_local(ctx, i, Task::of(1, static_cast<std::uint32_t>(100 + i)));
+    ctx.barrier();
+    if (ctx.pe() == 0) {
+      std::vector<Task> out;
+      qb.get_remote(ctx, 1, 2, 5, out);
+      ASSERT_EQ(out.size(), 5u);
+      for (std::uint32_t i = 0; i < 5; ++i)
+        EXPECT_EQ(out[i].payload_as<std::uint32_t>(), 102 + i);
+    }
+    ctx.barrier();
+  });
+}
+
+TEST(QueueBuffer, RemoteGetWrapsAroundRing) {
+  pgas::Runtime rt(rcfg(2));
+  QueueBuffer qb(rt.heap(), 8, 32);
+  rt.run([&](pgas::PeContext& ctx) {
+    if (ctx.pe() == 1) {
+      // Absolute indices 5..11 wrap the 8-slot ring (slots 5,6,7,0,1,2,3).
+      for (std::uint64_t i = 5; i < 12; ++i)
+        qb.write_local(ctx, i, Task::of(1, static_cast<std::uint32_t>(i)));
+    }
+    ctx.barrier();
+    if (ctx.pe() == 0) {
+      std::vector<Task> out;
+      const auto before =
+          ctx.fabric().stats(0).ops[static_cast<int>(net::OpKind::kGet)];
+      qb.get_remote(ctx, 1, qb.wrap(5), 7, out);
+      const auto after =
+          ctx.fabric().stats(0).ops[static_cast<int>(net::OpKind::kGet)];
+      EXPECT_EQ(after - before, 2u) << "a wrapped steal issues two gets";
+      ASSERT_EQ(out.size(), 7u);
+      for (std::uint32_t i = 0; i < 7; ++i)
+        EXPECT_EQ(out[i].payload_as<std::uint32_t>(), 5 + i);
+    }
+    ctx.barrier();
+  });
+}
+
+TEST(QueueBuffer, AppendsToExistingVector) {
+  pgas::Runtime rt(rcfg(2));
+  QueueBuffer qb(rt.heap(), 16, 32);
+  rt.run([&](pgas::PeContext& ctx) {
+    if (ctx.pe() == 1)
+      qb.write_local(ctx, 0, Task::of(1, std::uint32_t{55}));
+    ctx.barrier();
+    if (ctx.pe() == 0) {
+      std::vector<Task> out(3);  // pre-existing content preserved
+      qb.get_remote(ctx, 1, 0, 1, out);
+      ASSERT_EQ(out.size(), 4u);
+      EXPECT_EQ(out[3].payload_as<std::uint32_t>(), 55u);
+    }
+    ctx.barrier();
+  });
+}
+
+TEST(QueueBuffer, CapacityOverStealvalLimitRejected) {
+  pgas::Runtime rt(rcfg(1));
+  EXPECT_THROW(QueueBuffer(rt.heap(), kMaxQueueCapacity + 1, 32),
+               std::invalid_argument);
+}
+
+TEST(QueueBuffer, TinySlotRejected) {
+  pgas::Runtime rt(rcfg(1));
+  EXPECT_THROW(QueueBuffer(rt.heap(), 16, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sws::core

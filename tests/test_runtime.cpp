@@ -1,0 +1,200 @@
+// Runtime SPMD execution, PeContext sugar, and the collectives built on
+// one-sided ops.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "pgas/runtime.hpp"
+
+namespace sws::pgas {
+namespace {
+
+RuntimeConfig cfg(int npes) {
+  RuntimeConfig c;
+  c.npes = npes;
+  c.heap_bytes = 1 << 20;
+  return c;
+}
+
+TEST(Runtime, RunsBodyOnEveryPe) {
+  Runtime rt(cfg(8));
+  std::atomic<int> count{0};
+  std::atomic<int> pe_mask{0};
+  rt.run([&](PeContext& ctx) {
+    count.fetch_add(1);
+    pe_mask.fetch_or(1 << ctx.pe());
+    EXPECT_EQ(ctx.npes(), 8);
+  });
+  EXPECT_EQ(count.load(), 8);
+  EXPECT_EQ(pe_mask.load(), 0xff);
+}
+
+TEST(Runtime, ComputeAdvancesOnlyThisPesClock) {
+  Runtime rt(cfg(2));
+  rt.run([&](PeContext& ctx) {
+    if (ctx.pe() == 0) ctx.compute(5000);
+    ctx.barrier();
+  });
+  EXPECT_GE(rt.time().now(0), 5000u);
+}
+
+TEST(Runtime, LastRunDurationIsMaxPeTime) {
+  Runtime rt(cfg(3));
+  rt.run([&](PeContext& ctx) {
+    ctx.compute(static_cast<net::Nanos>(1000) * (ctx.pe() + 1));
+  });
+  EXPECT_GE(rt.last_run_duration(), 3000u);
+}
+
+TEST(Runtime, OneSidedSugarRoundTrips) {
+  Runtime rt(cfg(2));
+  const SymPtr p = rt.heap().alloc(64);
+  rt.run([&](PeContext& ctx) {
+    if (ctx.pe() == 0) {
+      const std::uint64_t v = 0xabcdef;
+      ctx.put(1, p, 0, &v, 8);
+      std::uint64_t back = 0;
+      ctx.get(1, p, 0, &back, 8);
+      EXPECT_EQ(back, 0xabcdefu);
+      EXPECT_EQ(ctx.fetch_add(1, p, 1), 0xabcdefu);
+      EXPECT_EQ(ctx.fetch(1, p), 0xabcdf0u);
+      EXPECT_EQ(ctx.swap(1, p, 7), 0xabcdf0u);
+      EXPECT_EQ(ctx.compare_swap(1, p, 7, 9), 7u);
+      ctx.set(1, p, 0);
+      EXPECT_EQ(ctx.fetch(1, p), 0u);
+    }
+  });
+}
+
+TEST(Runtime, LocalLoadSeesOwnArena) {
+  Runtime rt(cfg(2));
+  const SymPtr p = rt.heap().alloc(8);
+  rt.run([&](PeContext& ctx) {
+    ctx.set(ctx.pe(), p, static_cast<std::uint64_t>(ctx.pe()) + 10);
+    EXPECT_EQ(ctx.local_load(p), static_cast<std::uint64_t>(ctx.pe()) + 10);
+  });
+}
+
+TEST(Runtime, ExceptionInOnePePropagates) {
+  Runtime rt(cfg(4));
+  EXPECT_THROW(rt.run([&](PeContext& ctx) {
+    if (ctx.pe() == 2) throw std::runtime_error("boom");
+  }),
+               std::runtime_error);
+}
+
+TEST(Runtime, RngStreamsDifferAcrossPes) {
+  Runtime rt(cfg(2));
+  std::uint64_t first[2];
+  rt.run([&](PeContext& ctx) { first[ctx.pe()] = ctx.rng().next(); });
+  EXPECT_NE(first[0], first[1]);
+}
+
+TEST(Runtime, RngIsDeterministicAcrossRuns) {
+  Runtime rt(cfg(2));
+  std::uint64_t a[2], b[2];
+  rt.run([&](PeContext& ctx) { a[ctx.pe()] = ctx.rng().next(); });
+  rt.run([&](PeContext& ctx) { b[ctx.pe()] = ctx.rng().next(); });
+  EXPECT_EQ(a[0], b[0]);
+  EXPECT_EQ(a[1], b[1]);
+}
+
+// ------------------------------------------------------------ collectives
+
+TEST(Collectives, BarrierSeparatesPhases) {
+  // Every PE writes its slot, barriers, then reads all slots: each must
+  // see everyone's write — the fundamental barrier guarantee.
+  Runtime rt(cfg(8));
+  const SymPtr slots = rt.heap().alloc(8 * 8);
+  rt.run([&](PeContext& ctx) {
+    // All PEs publish to PE 0.
+    ctx.set(0, SymPtr{slots.off + static_cast<std::uint64_t>(ctx.pe()) * 8},
+            static_cast<std::uint64_t>(ctx.pe()) + 1);
+    ctx.barrier();
+    std::uint64_t sum = 0;
+    for (int i = 0; i < 8; ++i) {
+      std::uint64_t v = 0;
+      ctx.get(0, slots, static_cast<std::uint64_t>(i) * 8, &v, 8);
+      sum += v;
+    }
+    EXPECT_EQ(sum, 36u);
+  });
+}
+
+TEST(Collectives, RepeatedBarriersStayInLockstep) {
+  Runtime rt(cfg(4));
+  const SymPtr counter = rt.heap().alloc(8);
+  rt.run([&](PeContext& ctx) {
+    for (int round = 0; round < 20; ++round) {
+      if (ctx.pe() == 0) ctx.set(0, counter, static_cast<std::uint64_t>(round));
+      ctx.barrier();
+      std::uint64_t v = 0;
+      ctx.get(0, counter, 0, &v, 8);
+      ASSERT_EQ(v, static_cast<std::uint64_t>(round));
+      ctx.barrier();
+    }
+  });
+}
+
+TEST(Collectives, SumReducesAcrossPes) {
+  Runtime rt(cfg(7));
+  rt.run([&](PeContext& ctx) {
+    const std::uint64_t total =
+        ctx.sum_u64(static_cast<std::uint64_t>(ctx.pe()) + 1);
+    EXPECT_EQ(total, 28u);  // 1+2+...+7
+  });
+}
+
+TEST(Collectives, MaxReduction) {
+  Runtime rt(cfg(5));
+  rt.run([&](PeContext& ctx) {
+    const std::uint64_t m =
+        ctx.max_u64(static_cast<std::uint64_t>(ctx.pe()) * 10);
+    EXPECT_EQ(m, 40u);
+  });
+}
+
+TEST(Collectives, BroadcastFromNonzeroRoot) {
+  Runtime rt(cfg(6));
+  rt.run([&](PeContext& ctx) {
+    const std::uint64_t v = ctx.bcast_u64(
+        ctx.pe() == 3 ? 0xfeedULL : 0, /*root=*/3);
+    EXPECT_EQ(v, 0xfeedULL);
+  });
+}
+
+TEST(Collectives, WorkWithSinglePe) {
+  Runtime rt(cfg(1));
+  rt.run([&](PeContext& ctx) {
+    ctx.barrier();
+    EXPECT_EQ(ctx.sum_u64(5), 5u);
+    EXPECT_EQ(ctx.bcast_u64(9, 0), 9u);
+  });
+}
+
+TEST(Collectives, SequentialRunsDontLeakBarrierState) {
+  Runtime rt(cfg(4));
+  for (int run = 0; run < 3; ++run) {
+    rt.run([&](PeContext& ctx) {
+      for (int i = 0; i < 5; ++i) ctx.barrier();
+      EXPECT_EQ(ctx.sum_u64(1), 4u);
+    });
+  }
+}
+
+TEST(RuntimeReal, RealModeRunsToo) {
+  RuntimeConfig c = cfg(4);
+  c.mode = TimeMode::kReal;
+  Runtime rt(c);
+  std::atomic<int> count{0};
+  rt.run([&](PeContext& ctx) {
+    ctx.barrier();
+    count.fetch_add(1);
+    EXPECT_EQ(ctx.sum_u64(2), 8u);
+  });
+  EXPECT_EQ(count.load(), 4);
+}
+
+}  // namespace
+}  // namespace sws::pgas

@@ -1,0 +1,112 @@
+// SHA-1 against FIPS 180-1 reference vectors, plus the UTS child
+// derivation that the tree generator relies on.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sha1/sha1.hpp"
+
+namespace sws {
+namespace {
+
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(to_hex(Sha1::hash("", 0)),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(to_hex(Sha1::hash(std::string("abc"))),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(Sha1::hash(std::string(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk.data(), chunk.size());
+  EXPECT_EQ(to_hex(h.finish()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, ExactBlockBoundary) {
+  // 64-byte input exercises the padding-into-new-block path.
+  const std::string block(64, 'x');
+  EXPECT_EQ(to_hex(Sha1::hash(block)), to_hex(Sha1::hash(block.data(), 64)));
+  // 55/56/57 bytes straddle the length-field boundary.
+  for (std::size_t n : {55u, 56u, 57u, 63u, 64u, 65u}) {
+    const std::string s(n, 'q');
+    Sha1 incremental;
+    for (char c : s) incremental.update(&c, 1);
+    EXPECT_EQ(to_hex(incremental.finish()), to_hex(Sha1::hash(s)))
+        << "length " << n;
+  }
+}
+
+TEST(Sha1, IncrementalMatchesOneShotAtArbitrarySplits) {
+  const std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly, to make "
+      "this message span multiple SHA-1 blocks for split testing purposes.";
+  const auto expect = to_hex(Sha1::hash(msg));
+  for (std::size_t split = 0; split <= msg.size(); split += 7) {
+    Sha1 h;
+    h.update(msg.data(), split);
+    h.update(msg.data() + split, msg.size() - split);
+    EXPECT_EQ(to_hex(h.finish()), expect) << "split " << split;
+  }
+}
+
+TEST(Sha1, ResetAllowsReuse) {
+  Sha1 h;
+  h.update("abc", 3);
+  (void)h.finish();
+  h.reset();
+  h.update("abc", 3);
+  EXPECT_EQ(to_hex(h.finish()), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(UtsDerivation, ChildDigestIsDeterministic) {
+  const Sha1Digest parent = Sha1::hash(std::string("root"));
+  const Sha1Digest c0a = uts_child_digest(parent, 0);
+  const Sha1Digest c0b = uts_child_digest(parent, 0);
+  const Sha1Digest c1 = uts_child_digest(parent, 1);
+  EXPECT_EQ(c0a, c0b);
+  EXPECT_NE(c0a, c1);
+}
+
+TEST(UtsDerivation, ChildIndexIsBigEndianInHash) {
+  // Children 0 and 256 differ only in one payload byte; digests must differ.
+  const Sha1Digest parent = Sha1::hash(std::string("p"));
+  EXPECT_NE(uts_child_digest(parent, 0), uts_child_digest(parent, 256));
+}
+
+TEST(UtsDerivation, DigestToU32TakesLeadingBytesBigEndian) {
+  Sha1Digest d{};
+  d[0] = 0x12;
+  d[1] = 0x34;
+  d[2] = 0x56;
+  d[3] = 0x78;
+  EXPECT_EQ(digest_to_u32(d), 0x12345678u);
+}
+
+TEST(UtsDerivation, ValuesLookUniform) {
+  // Crude uniformity check over 4096 children of one parent.
+  const Sha1Digest parent = Sha1::hash(std::string("uniformity"));
+  int high = 0;
+  for (std::uint32_t i = 0; i < 4096; ++i)
+    if (digest_to_u32(uts_child_digest(parent, i)) >= 0x80000000u) ++high;
+  EXPECT_NEAR(high, 2048, 200);
+}
+
+TEST(Sha1, ToHexFormats40LowercaseDigits) {
+  const auto hex = to_hex(Sha1::hash(std::string("abc")));
+  EXPECT_EQ(hex.size(), 40u);
+  for (char c : hex)
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+}
+
+}  // namespace
+}  // namespace sws

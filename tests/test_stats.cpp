@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace sws {
+namespace {
+
+TEST(Summary, EmptyIsAllZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, SingleSample) {
+  Summary s;
+  s.add(7.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(s.min(), 7.5);
+  EXPECT_DOUBLE_EQ(s.max(), 7.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, MatchesReferenceFormulae) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  Summary s;
+  for (double x : xs) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.range(), 7.0);
+  // Sample variance with n-1 denominator: Σ(x−5)² = 32, 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Summary, RelativeMetricsArePercentages) {
+  Summary s;
+  s.add(99);
+  s.add(101);
+  EXPECT_NEAR(s.rel_range_pct(), 2.0, 1e-12);
+  EXPECT_NEAR(s.rel_stddev_pct(), 100.0 * std::sqrt(2.0) / 100.0, 1e-9);
+}
+
+TEST(Summary, MergeEqualsSequential) {
+  Xoshiro256 rng(3);
+  Summary whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform() * 100 - 50;
+    whole.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Summary, MergeWithEmptyIsIdentity) {
+  Summary a, empty;
+  a.add(1);
+  a.add(2);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  Summary b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(LogHistogram, BucketsByPowerOfTwo) {
+  LogHistogram h;
+  h.add(0);
+  h.add(1);  // [1,2) -> bucket 0
+  h.add(2);  // bucket 1
+  h.add(3);
+  h.add(1024);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(10), 1u);
+}
+
+TEST(LogHistogram, QuantileApproximatesOrder) {
+  LogHistogram h;
+  for (int i = 0; i < 90; ++i) h.add(8);     // bucket 3
+  for (int i = 0; i < 10; ++i) h.add(4096);  // bucket 12
+  EXPECT_EQ(h.quantile(0.5), 8u);
+  EXPECT_EQ(h.quantile(0.99), 4096u);
+}
+
+TEST(LogHistogram, MergeAddsCounts) {
+  LogHistogram a, b;
+  a.add(5);
+  b.add(5);
+  b.add(100);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.bucket(2), 2u);
+}
+
+}  // namespace
+}  // namespace sws

@@ -1,0 +1,154 @@
+// The stealval packing and the steal-half block sequence — including the
+// paper's §4 worked example (150 tasks → {75,37,19,9,5,2,1,1,1}).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/stealval.hpp"
+
+namespace sws::core {
+namespace {
+
+TEST(StealVal, EncodeDecodeRoundTrip) {
+  const StealVal sv{12345, 1, 150, 500};
+  EXPECT_EQ(StealVal::decode(sv.encode()), sv);
+}
+
+TEST(StealVal, FieldsOccupyDocumentedBits) {
+  // asteals in the top 24 bits, then 2 epoch bits, 19+19 owner bits.
+  EXPECT_EQ(AStealsField::kShift, 40u);
+  EXPECT_EQ(AStealsField::kWidth, 24u);
+  EXPECT_EQ(EpochField::kShift, 38u);
+  EXPECT_EQ(ITasksField::kShift, 19u);
+  EXPECT_EQ(TailField::kShift, 0u);
+  EXPECT_EQ(AStealsField::kMask | EpochField::kMask | ITasksField::kMask |
+                TailField::kMask,
+            ~std::uint64_t{0});
+}
+
+TEST(StealVal, PaperExampleFigure3) {
+  // Figure 3: asteals=2, valid, itasks=150, tail=500.
+  const StealVal sv{2, 0, 150, 500};
+  const std::uint64_t w = sv.encode();
+  EXPECT_EQ(AStealsField::get(w), 2u);
+  EXPECT_EQ(ITasksField::get(w), 150u);
+  EXPECT_EQ(TailField::get(w), 500u);
+  // "the next steal would consist of 19 tasks" and starts at
+  // tail + 75 + 37 = 612.
+  const StealBlock blk = steal_block(150, 2);
+  EXPECT_EQ(blk.size, 19u);
+  EXPECT_EQ(500 + blk.offset, 612u);
+}
+
+TEST(StealVal, FetchAddOnEncodedWordOnlyBumpsAsteals) {
+  const StealVal sv{0, 1, 150, 500};
+  std::uint64_t w = sv.encode();
+  w += AStealsField::unit();  // what a thief's AMO does
+  const StealVal after = StealVal::decode(w);
+  EXPECT_EQ(after.asteals, 1u);
+  EXPECT_EQ(after.epoch, 1u);
+  EXPECT_EQ(after.itasks, 150u);
+  EXPECT_EQ(after.tail, 500u);
+}
+
+TEST(StealVal, LockedSentinelDecodesLocked) {
+  const StealVal sv = StealVal::decode(locked_sentinel());
+  EXPECT_TRUE(sv.locked());
+  EXPECT_EQ(sv.itasks, 0u);
+  // Sentinel survives thief increments without unlocking itself.
+  const StealVal bumped =
+      StealVal::decode(locked_sentinel() + 37 * AStealsField::unit());
+  EXPECT_TRUE(bumped.locked());
+  EXPECT_EQ(bumped.itasks, 0u);
+}
+
+TEST(StealVal, EpochBelowNumEpochsIsUnlocked) {
+  EXPECT_FALSE((StealVal{0, 0, 1, 0}).locked());
+  EXPECT_FALSE((StealVal{0, 1, 1, 0}).locked());
+  EXPECT_TRUE((StealVal{0, 2, 1, 0}).locked());
+  EXPECT_TRUE((StealVal{0, kLockedEpoch, 1, 0}).locked());
+}
+
+TEST(StealSeq, PaperSequenceFor150) {
+  const std::uint32_t expect[] = {75, 37, 19, 9, 5, 2, 1, 1, 1};
+  ASSERT_EQ(steal_block_count(150), 9u);
+  std::uint32_t off = 0;
+  for (std::uint32_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(steal_block_size(150, i), expect[i]) << "block " << i;
+    EXPECT_EQ(steal_block_offset(150, i), off) << "block " << i;
+    off += expect[i];
+  }
+  EXPECT_EQ(off, 150u);
+}
+
+TEST(StealSeq, EdgeCases) {
+  EXPECT_EQ(steal_block_count(0), 0u);
+  EXPECT_EQ(steal_block(0, 0).size, 0u);
+  EXPECT_EQ(steal_block_count(1), 1u);
+  EXPECT_EQ(steal_block_size(1, 0), 1u);
+  EXPECT_EQ(steal_block_count(2), 2u);
+  EXPECT_EQ(steal_block_size(2, 0), 1u);
+  EXPECT_EQ(steal_block_size(2, 1), 1u);
+  EXPECT_EQ(steal_block_size(4, 0), 2u);
+}
+
+TEST(StealSeq, PastLastBlockIsEmptyWithFullOffset) {
+  const std::uint32_t n = steal_block_count(150);
+  const StealBlock past = steal_block(150, n);
+  EXPECT_EQ(past.size, 0u);
+  EXPECT_EQ(past.offset, 150u);
+  EXPECT_EQ(steal_block(150, n + 100).size, 0u);
+}
+
+/// Property sweep: for any allotment, the blocks partition it exactly and
+/// sizes never grow.
+class StealSeqProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(StealSeqProperty, BlocksPartitionTheAllotment) {
+  const std::uint32_t itasks = GetParam();
+  const std::uint32_t n = steal_block_count(itasks);
+  std::uint32_t sum = 0;
+  std::uint32_t prev = itasks + 1;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const StealBlock b = steal_block(itasks, i);
+    ASSERT_EQ(b.offset, sum);
+    ASSERT_GE(b.size, 1u);
+    ASSERT_LE(b.size, prev);
+    prev = b.size;
+    sum += b.size;
+  }
+  ASSERT_EQ(sum, itasks);
+  // Block count stays within the completion-array bound.
+  ASSERT_LE(n, 32u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StealSeqProperty,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 15u,
+                                           16u, 63u, 100u, 150u, 1023u, 1024u,
+                                           4097u, 65535u, 262144u,
+                                           kMaxITasks));
+
+TEST(StealSeqProperty, RandomRoundTripsThroughEncode) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    const StealVal sv{
+        static_cast<std::uint32_t>(rng.below(AStealsField::kMax + 1)),
+        static_cast<std::uint32_t>(rng.below(4)),
+        static_cast<std::uint32_t>(rng.below(ITasksField::kMax + 1)),
+        static_cast<std::uint32_t>(rng.below(TailField::kMax + 1))};
+    ASSERT_EQ(StealVal::decode(sv.encode()), sv);
+  }
+}
+
+TEST(StealSeq, BlockCountIsLogarithmic) {
+  // count(n) ≈ floor(log2(n)) + O(1): the property that lets a 19-bit
+  // itasks field pair with a 32-slot completion array.
+  for (std::uint32_t n : {10u, 100u, 1000u, 10000u, 100000u, 524287u}) {
+    std::uint32_t log2n = 0;
+    while ((1u << (log2n + 1)) <= n) ++log2n;
+    EXPECT_GE(steal_block_count(n), log2n);
+    EXPECT_LE(steal_block_count(n), log2n + 3);
+  }
+}
+
+}  // namespace
+}  // namespace sws::core

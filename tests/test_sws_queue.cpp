@@ -1,0 +1,368 @@
+// SWS-specific behaviour: the single-AMO claim, completion epochs, the
+// locked sentinel, steal damping, and communication counts (the paper's
+// headline).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/sws_queue.hpp"
+
+namespace sws::core {
+namespace {
+
+pgas::RuntimeConfig rcfg(int npes) {
+  pgas::RuntimeConfig c;
+  c.npes = npes;
+  c.heap_bytes = 1 << 20;
+  return c;
+}
+
+Task mk(std::uint32_t id) { return Task::of(0, id); }
+std::uint32_t id_of(const Task& t) { return t.payload_as<std::uint32_t>(); }
+
+SwsConfig qcfg(std::uint32_t capacity = 1024) {
+  SwsConfig c;
+  c.capacity = capacity;
+  c.slot_bytes = 32;
+  return c;
+}
+
+net::FabricStats delta(const net::FabricStats& after,
+                       const net::FabricStats& before) {
+  net::FabricStats d = after;
+  for (std::size_t i = 0; i < net::kNumOpKinds; ++i) d.ops[i] -= before.ops[i];
+  d.remote_ops -= before.remote_ops;
+  d.local_ops -= before.local_ops;
+  return d;
+}
+
+TEST(SwsQueue, SuccessfulStealIsExactlyThreeComms) {
+  // Fig 2: fetch-add + task get + non-blocking completion — and only the
+  // first two block.
+  pgas::Runtime rt(rcfg(2));
+  SwsQueue q(rt, qcfg());
+  rt.run([&](pgas::PeContext& ctx) {
+    q.reset_pe(ctx);
+    if (ctx.pe() == 0) {
+      for (std::uint32_t i = 0; i < 100; ++i) (void)q.push_local(ctx, mk(i));
+      (void)q.try_release(ctx);
+    }
+    ctx.barrier();
+    if (ctx.pe() == 1) {
+      const net::FabricStats before = ctx.fabric().stats(1);
+      std::vector<Task> loot;
+      ASSERT_EQ(q.steal(ctx, 0, loot).outcome, StealOutcome::kSuccess);
+      const net::FabricStats d = delta(ctx.fabric().stats(1), before);
+      EXPECT_EQ(d.ops[static_cast<int>(net::OpKind::kAmoFetchAdd)], 1u);
+      EXPECT_EQ(d.ops[static_cast<int>(net::OpKind::kGet)], 1u);
+      EXPECT_EQ(d.ops[static_cast<int>(net::OpKind::kNbiAmoAdd)], 1u);
+      EXPECT_EQ(d.remote_ops, 3u) << "steal must be exactly 3 communications";
+      EXPECT_EQ(d.blocking_ops(), 2u) << "only 2 of them blocking";
+    }
+    ctx.barrier();
+  });
+}
+
+TEST(SwsQueue, FailedStealIsOneComm) {
+  // Work discovery on an empty queue costs a single 64-bit AMO — the
+  // reason Fig 8f's search time is flat.
+  pgas::Runtime rt(rcfg(2));
+  SwsQueue q(rt, qcfg());
+  rt.run([&](pgas::PeContext& ctx) {
+    q.reset_pe(ctx);
+    ctx.barrier();
+    if (ctx.pe() == 1) {
+      const net::FabricStats before = ctx.fabric().stats(1);
+      std::vector<Task> loot;
+      ASSERT_EQ(q.steal(ctx, 0, loot).outcome, StealOutcome::kEmpty);
+      const net::FabricStats d = delta(ctx.fabric().stats(1), before);
+      EXPECT_EQ(d.remote_ops, 1u);
+    }
+    ctx.barrier();
+  });
+}
+
+TEST(SwsQueue, OwnerStealvalReflectsReleases) {
+  pgas::Runtime rt(rcfg(1));
+  SwsQueue q(rt, qcfg());
+  rt.run([&](pgas::PeContext& ctx) {
+    q.reset_pe(ctx);
+    EXPECT_EQ(q.owner_stealval(ctx).itasks, 0u);
+    for (std::uint32_t i = 0; i < 300; ++i) (void)q.push_local(ctx, mk(i));
+    ASSERT_TRUE(q.try_release(ctx));
+    const StealVal sv = q.owner_stealval(ctx);
+    EXPECT_EQ(sv.itasks, 150u);
+    EXPECT_EQ(sv.asteals, 0u);
+    EXPECT_FALSE(sv.locked());
+  });
+}
+
+TEST(SwsQueue, EpochRotatesOnEachAllotmentReset) {
+  pgas::Runtime rt(rcfg(1));
+  SwsQueue q(rt, qcfg());
+  rt.run([&](pgas::PeContext& ctx) {
+    q.reset_pe(ctx);
+    std::set<std::uint32_t> epochs;
+    Task t;
+    for (int round = 0; round < 4; ++round) {
+      for (std::uint32_t i = 0; i < 10; ++i) (void)q.push_local(ctx, mk(i));
+      ASSERT_TRUE(q.try_release(ctx));
+      epochs.insert(q.owner_stealval(ctx).epoch);
+      // Drain: acquire halves the shared remainder each time, so iterate
+      // until the allotment is empty.
+      while (q.shared_available(ctx)) {
+        while (q.pop_local(ctx, t)) {}
+        ASSERT_TRUE(q.try_acquire(ctx));
+        epochs.insert(q.owner_stealval(ctx).epoch);
+      }
+      while (q.pop_local(ctx, t)) {}
+    }
+    EXPECT_EQ(epochs.size(), kNumEpochs) << "both live epochs must be used";
+  });
+}
+
+TEST(SwsQueue, EpochsOffKeepsSingleEpoch) {
+  pgas::Runtime rt(rcfg(1));
+  SwsConfig c = qcfg();
+  c.epochs = false;
+  SwsQueue q(rt, c);
+  rt.run([&](pgas::PeContext& ctx) {
+    q.reset_pe(ctx);
+    Task t;
+    for (int round = 0; round < 3; ++round) {
+      for (std::uint32_t i = 0; i < 10; ++i) (void)q.push_local(ctx, mk(i));
+      ASSERT_TRUE(q.try_release(ctx));
+      EXPECT_EQ(q.owner_stealval(ctx).epoch, 0u);
+      while (q.shared_available(ctx)) {
+        while (q.pop_local(ctx, t)) {}
+        ASSERT_TRUE(q.try_acquire(ctx));
+        EXPECT_EQ(q.owner_stealval(ctx).epoch, 0u);
+      }
+      while (q.pop_local(ctx, t)) {}
+    }
+  });
+}
+
+TEST(SwsQueue, AcquireWithInFlightStealWaitsOnlyWithEpochsOff) {
+  // With epochs on, an acquire while a steal's completion is still in
+  // flight must not lose the claim: the claimed block's region is only
+  // reclaimed after its notification lands.
+  pgas::Runtime rt(rcfg(2));
+  SwsQueue q(rt, qcfg());
+  rt.run([&](pgas::PeContext& ctx) {
+    q.reset_pe(ctx);
+    if (ctx.pe() == 0) {
+      for (std::uint32_t i = 0; i < 40; ++i) (void)q.push_local(ctx, mk(i));
+      ASSERT_TRUE(q.try_release(ctx));  // 20 shared
+    }
+    ctx.barrier();
+    if (ctx.pe() == 1) {
+      std::vector<Task> loot;
+      ASSERT_EQ(q.steal(ctx, 0, loot).outcome, StealOutcome::kSuccess);
+      // Do NOT quiet: the completion stays pending while the owner acts.
+    }
+    ctx.barrier();
+    if (ctx.pe() == 0) {
+      Task t;
+      while (q.pop_local(ctx, t)) {}
+      // 10 unclaimed shared remain; acquire must succeed despite the
+      // pending completion of the stolen block.
+      ASSERT_TRUE(q.try_acquire(ctx));
+      std::uint32_t n = 0;
+      while (q.pop_local(ctx, t)) ++n;
+      EXPECT_EQ(n, 5u);  // acquired half of the 10 unclaimed
+    }
+    ctx.barrier();
+  });
+}
+
+TEST(SwsQueue, ThiefHittingLockedQueueRetries) {
+  // Park the locked sentinel in the stealval (as retire_allotment does
+  // mid-reset) and verify a thief backs off with kRetry without claiming.
+  pgas::Runtime rt(rcfg(2));
+  SwsQueue q(rt, qcfg());
+  rt.run([&](pgas::PeContext& ctx) {
+    q.reset_pe(ctx);
+    if (ctx.pe() == 0)
+      ctx.fabric().amo_set(0, 0, q.stealval_ptr().off, locked_sentinel());
+    ctx.barrier();
+    if (ctx.pe() == 1) {
+      std::vector<Task> loot;
+      const StealResult r = q.steal(ctx, 0, loot);
+      EXPECT_EQ(r.outcome, StealOutcome::kRetry);
+      EXPECT_TRUE(loot.empty());
+      EXPECT_EQ(q.op_stats(1).steals_retry, 1u);
+    }
+    ctx.barrier();
+    if (ctx.pe() == 0) {
+      // Owner re-publishes; the stray sentinel increments are discarded.
+      ctx.fabric().amo_set(0, 0, q.stealval_ptr().off,
+                           StealVal{0, 0, 0, 0}.encode());
+      EXPECT_EQ(q.owner_stealval(ctx).asteals, 0u);
+    }
+    ctx.barrier();
+  });
+}
+
+TEST(SwsQueue, DampingMovesExhaustedTargetsToProbeMode) {
+  pgas::Runtime rt(rcfg(2));
+  SwsConfig c = qcfg();
+  c.damping = true;
+  c.damping_slack = 2;
+  SwsQueue q(rt, c);
+  rt.run([&](pgas::PeContext& ctx) {
+    q.reset_pe(ctx);
+    ctx.barrier();
+    if (ctx.pe() == 1) {
+      std::vector<Task> loot;
+      // Hammer an empty target: after slack failures it flips to
+      // empty-mode, where attempts become read-only probes.
+      for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(q.steal(ctx, 0, loot).outcome, StealOutcome::kEmpty);
+      EXPECT_GT(q.op_stats(1).damping_probes, 0u);
+      // asteals stopped growing once probing started.
+    }
+    ctx.barrier();
+  });
+}
+
+TEST(SwsQueue, DampingProbesStopInflatingAsteals) {
+  pgas::Runtime rt(rcfg(2));
+  SwsConfig c = qcfg();
+  c.damping = true;
+  c.damping_slack = 2;
+  SwsQueue q(rt, c);
+  rt.run([&](pgas::PeContext& ctx) {
+    q.reset_pe(ctx);
+    ctx.barrier();
+    if (ctx.pe() == 1) {
+      std::vector<Task> loot;
+      for (int i = 0; i < 50; ++i) (void)q.steal(ctx, 0, loot);
+    }
+    ctx.barrier();
+    if (ctx.pe() == 0) {
+      // Without damping asteals would be 50; with it, growth stops at the
+      // slack threshold.
+      EXPECT_LE(q.owner_stealval(ctx).asteals, 4u);
+    }
+    ctx.barrier();
+  });
+}
+
+TEST(SwsQueue, DampedTargetRecoversWhenWorkAppears) {
+  pgas::Runtime rt(rcfg(2));
+  SwsConfig c = qcfg();
+  c.damping = true;
+  c.damping_slack = 1;
+  SwsQueue q(rt, c);
+  rt.run([&](pgas::PeContext& ctx) {
+    q.reset_pe(ctx);
+    ctx.barrier();
+    if (ctx.pe() == 1) {
+      std::vector<Task> loot;
+      for (int i = 0; i < 6; ++i) (void)q.steal(ctx, 0, loot);  // → empty-mode
+    }
+    ctx.barrier();
+    if (ctx.pe() == 0) {
+      for (std::uint32_t i = 0; i < 20; ++i) (void)q.push_local(ctx, mk(i));
+      ASSERT_TRUE(q.try_release(ctx));
+    }
+    ctx.barrier();
+    if (ctx.pe() == 1) {
+      std::vector<Task> loot;
+      const StealResult r = q.steal(ctx, 0, loot);
+      EXPECT_EQ(r.outcome, StealOutcome::kSuccess)
+          << "probe must detect new work and claim it";
+      EXPECT_EQ(r.ntasks, 5u);
+    }
+    ctx.barrier();
+  });
+}
+
+TEST(SwsQueue, DampingOffAstealsGrowsUnbounded) {
+  pgas::Runtime rt(rcfg(2));
+  SwsConfig c = qcfg();
+  c.damping = false;
+  SwsQueue q(rt, c);
+  rt.run([&](pgas::PeContext& ctx) {
+    q.reset_pe(ctx);
+    ctx.barrier();
+    if (ctx.pe() == 1) {
+      std::vector<Task> loot;
+      for (int i = 0; i < 30; ++i) (void)q.steal(ctx, 0, loot);
+    }
+    ctx.barrier();
+    if (ctx.pe() == 0) {
+      EXPECT_EQ(q.owner_stealval(ctx).asteals, 30u);
+    }
+    ctx.barrier();
+  });
+}
+
+TEST(SwsQueue, CapacityBeyondITasksFieldRejected) {
+  pgas::Runtime rt(rcfg(1));
+  SwsConfig c;
+  c.capacity = kMaxITasks + 1;
+  c.slot_bytes = 32;
+  EXPECT_THROW(SwsQueue(rt, c), std::invalid_argument);
+}
+
+TEST(SwsQueue, WrappedStealPreservesContent) {
+  // Cycle work through a small ring until a released allotment straddles
+  // the wrap point, then verify the wrapped steal copies the right tasks.
+  pgas::Runtime rt(rcfg(2));
+  SwsQueue q(rt, qcfg(/*capacity=*/32));
+  rt.run([&](pgas::PeContext& ctx) {
+    q.reset_pe(ctx);
+    // One cycle: owner exposes half, the thief drains the allotment fully,
+    // the owner consumes its local half and reclaims the ring space.
+    auto cycle = [&](std::uint32_t n, bool check_wrap) {
+      if (ctx.pe() == 0) {
+        for (std::uint32_t i = 0; i < n; ++i)
+          ASSERT_TRUE(q.push_local(ctx, mk(i)));
+        ASSERT_TRUE(q.try_release(ctx));
+      }
+      ctx.barrier();
+      if (ctx.pe() == 1) {
+        std::vector<Task> loot;
+        bool first = true;
+        for (;;) {
+          loot.clear();
+          const auto gets_before =
+              ctx.fabric().stats(1).ops[static_cast<int>(net::OpKind::kGet)];
+          const StealResult r = q.steal(ctx, 0, loot);
+          if (r.outcome != StealOutcome::kSuccess) break;
+          if (first && check_wrap) {
+            EXPECT_EQ(ctx.fabric().stats(1).ops[static_cast<int>(
+                          net::OpKind::kGet)] -
+                          gets_before,
+                      2u)
+                << "first block should straddle the ring boundary";
+          }
+          if (first) {
+            // Stolen block is the oldest prefix of the exposed half.
+            for (std::uint32_t i = 0; i < r.ntasks; ++i)
+              EXPECT_EQ(id_of(loot[i]), i);
+          }
+          first = false;
+        }
+        ctx.quiet();
+      }
+      ctx.barrier();
+      if (ctx.pe() == 0) {
+        Task t;
+        while (q.pop_local(ctx, t)) {}
+        q.progress(ctx);
+      }
+      ctx.barrier();
+    };
+    // Ring walk: 32 + 24 advance head to absolute 52; the third exposure
+    // [28, 40) straddles slot 32 → wrapped first block.
+    cycle(32, false);
+    cycle(24, false);
+    cycle(24, true);
+  });
+}
+
+}  // namespace
+}  // namespace sws::core

@@ -1,0 +1,174 @@
+// OffsetAllocator (first-fit free list with coalescing) and SymmetricHeap.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "pgas/symmetric_heap.hpp"
+
+namespace sws::pgas {
+namespace {
+
+TEST(OffsetAllocator, AllocatesSequentiallyFromEmpty) {
+  OffsetAllocator a(1024);
+  EXPECT_EQ(a.alloc(100, 1), 0u);
+  EXPECT_EQ(a.alloc(100, 1), 100u);
+  EXPECT_EQ(a.bytes_free(), 824u);
+}
+
+TEST(OffsetAllocator, RespectsAlignment) {
+  OffsetAllocator a(1024);
+  EXPECT_EQ(a.alloc(10, 1), 0u);
+  const std::uint64_t b = a.alloc(8, 64);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_EQ(b, 64u);
+}
+
+TEST(OffsetAllocator, AlignmentPaddingStaysAllocatable) {
+  OffsetAllocator a(1024);
+  (void)a.alloc(10, 1);       // [0,10)
+  (void)a.alloc(8, 64);       // [64,72); pad [10,64) stays free
+  EXPECT_EQ(a.alloc(54, 1), 10u) << "padding hole should be reused";
+}
+
+TEST(OffsetAllocator, ExhaustionReturnsNull) {
+  OffsetAllocator a(128);
+  EXPECT_NE(a.alloc(128, 1), SymPtr::kNull);
+  EXPECT_EQ(a.alloc(1, 1), SymPtr::kNull);
+}
+
+TEST(OffsetAllocator, FreeCoalescesWithNext) {
+  OffsetAllocator a(300);
+  const auto x = a.alloc(100, 1);
+  const auto y = a.alloc(100, 1);
+  (void)a.alloc(100, 1);
+  a.free(y);
+  a.free(x);  // coalesces with the following free block
+  EXPECT_EQ(a.alloc(200, 1), 0u);
+}
+
+TEST(OffsetAllocator, FreeCoalescesWithPrev) {
+  OffsetAllocator a(300);
+  const auto x = a.alloc(100, 1);
+  const auto y = a.alloc(100, 1);
+  (void)a.alloc(100, 1);
+  a.free(x);
+  a.free(y);  // coalesces with the preceding free block
+  EXPECT_EQ(a.alloc(200, 1), 0u);
+}
+
+TEST(OffsetAllocator, FreeCoalescesBothSides) {
+  OffsetAllocator a(300);
+  const auto x = a.alloc(100, 1);
+  const auto y = a.alloc(100, 1);
+  const auto z = a.alloc(100, 1);
+  a.free(x);
+  a.free(z);
+  a.free(y);  // bridges both neighbors
+  EXPECT_EQ(a.bytes_free(), 300u);
+  EXPECT_EQ(a.alloc(300, 1), 0u);
+}
+
+TEST(OffsetAllocator, DoubleFreeThrows) {
+  OffsetAllocator a(128);
+  const auto x = a.alloc(64, 1);
+  a.free(x);
+  EXPECT_THROW(a.free(x), std::invalid_argument);
+}
+
+TEST(OffsetAllocator, FreeUnknownOffsetThrows) {
+  OffsetAllocator a(128);
+  EXPECT_THROW(a.free(7), std::invalid_argument);
+}
+
+TEST(OffsetAllocator, ZeroByteAllocThrows) {
+  OffsetAllocator a(128);
+  EXPECT_THROW(a.alloc(0, 1), std::invalid_argument);
+}
+
+TEST(OffsetAllocator, NonPowerOfTwoAlignThrows) {
+  OffsetAllocator a(128);
+  EXPECT_THROW(a.alloc(8, 3), std::invalid_argument);
+}
+
+TEST(OffsetAllocatorProperty, RandomAllocFreeNeverOverlapsAndFullyRecovers) {
+  Xoshiro256 rng(77);
+  OffsetAllocator a(1 << 16);
+  struct Block {
+    std::uint64_t off, len;
+  };
+  std::vector<Block> live;
+  for (int step = 0; step < 3000; ++step) {
+    if (live.empty() || rng.below(2) == 0) {
+      const std::uint64_t len = 1 + rng.below(512);
+      const std::uint64_t align = std::uint64_t{1} << rng.below(7);
+      const std::uint64_t off = a.alloc(len, align);
+      if (off == SymPtr::kNull) continue;
+      ASSERT_EQ(off % align, 0u);
+      for (const Block& b : live) {
+        ASSERT_TRUE(off + len <= b.off || b.off + b.len <= off)
+            << "overlapping allocation";
+      }
+      live.push_back({off, len});
+    } else {
+      const auto i = rng.below(live.size());
+      a.free(live[i].off);
+      live[i] = live.back();
+      live.pop_back();
+    }
+  }
+  for (const Block& b : live) a.free(b.off);
+  EXPECT_EQ(a.bytes_free(), std::uint64_t{1} << 16);
+  EXPECT_EQ(a.live_allocations(), 0u);
+  EXPECT_EQ(a.alloc((1 << 16), 1), 0u) << "space must fully coalesce";
+}
+
+TEST(SymmetricHeap, SameOffsetOnEveryPe) {
+  SymmetricHeap h(4, 4096);
+  const SymPtr p = h.alloc(64);
+  for (int pe = 0; pe < 4; ++pe) {
+    std::byte* addr = h.local(pe, p);
+    EXPECT_EQ(addr - h.arena_base(pe), static_cast<std::ptrdiff_t>(p.off));
+  }
+}
+
+TEST(SymmetricHeap, ArenasAreDistinctPerPe) {
+  SymmetricHeap h(2, 4096);
+  const SymPtr p = h.alloc(8);
+  *reinterpret_cast<std::uint64_t*>(h.local(0, p)) = 111;
+  *reinterpret_cast<std::uint64_t*>(h.local(1, p)) = 222;
+  EXPECT_EQ(*reinterpret_cast<std::uint64_t*>(h.local(0, p)), 111u);
+  EXPECT_EQ(*reinterpret_cast<std::uint64_t*>(h.local(1, p)), 222u);
+}
+
+TEST(SymmetricHeap, ZeroClearsOnOnePeOnly) {
+  SymmetricHeap h(2, 4096);
+  const SymPtr p = h.alloc(8);
+  *reinterpret_cast<std::uint64_t*>(h.local(0, p)) = 5;
+  *reinterpret_cast<std::uint64_t*>(h.local(1, p)) = 5;
+  h.zero(0, p, 8);
+  EXPECT_EQ(*reinterpret_cast<std::uint64_t*>(h.local(0, p)), 0u);
+  EXPECT_EQ(*reinterpret_cast<std::uint64_t*>(h.local(1, p)), 5u);
+}
+
+TEST(SymmetricHeap, ExhaustionThrowsBadAlloc) {
+  SymmetricHeap h(1, 256);
+  EXPECT_THROW(h.alloc(10'000), std::bad_alloc);
+}
+
+TEST(SymmetricHeap, FreeRecyclesSpace) {
+  SymmetricHeap h(1, 256);
+  const SymPtr p = h.alloc(200);
+  h.free(p);
+  EXPECT_NO_THROW(h.alloc(200));
+}
+
+TEST(SymmetricHeap, ArenaStartsZeroed) {
+  SymmetricHeap h(1, 1024);
+  const SymPtr p = h.alloc(64);
+  for (int i = 0; i < 64; ++i)
+    EXPECT_EQ(static_cast<int>(*(h.local(0, p, static_cast<std::uint64_t>(i)))), 0);
+}
+
+}  // namespace
+}  // namespace sws::pgas

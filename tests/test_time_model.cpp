@@ -1,0 +1,138 @@
+// The virtual-time sequencer: the determinism and ordering guarantees the
+// whole reproduction rests on.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "net/time_model.hpp"
+
+namespace sws::net {
+namespace {
+
+/// Run `body(pe)` on npes threads under the model, with begin/end framing.
+void run_pes(TimeModel& tm, int npes,
+             const std::function<void(int)>& body) {
+  tm.reset(npes);
+  std::vector<std::thread> ts;
+  for (int pe = 0; pe < npes; ++pe)
+    ts.emplace_back([&, pe] {
+      tm.pe_begin(pe);
+      body(pe);
+      tm.pe_end(pe);
+    });
+  for (auto& t : ts) t.join();
+}
+
+TEST(VirtualTime, ClocksAdvanceExactly) {
+  VirtualTimeModel tm(2);
+  run_pes(tm, 2, [&](int pe) {
+    tm.advance(pe, pe == 0 ? 100 : 250);
+    tm.advance(pe, 50);
+  });
+  EXPECT_EQ(tm.now(0), 150u);
+  EXPECT_EQ(tm.now(1), 300u);
+}
+
+TEST(VirtualTime, ExecutionOrderFollowsMinClock) {
+  // Each PE appends its id after each advance; the interleaving must be
+  // exactly the (vtime, pe) order regardless of thread scheduling.
+  VirtualTimeModel tm(3);
+  std::vector<int> order;
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<int> this_order;
+    run_pes(tm, 3, [&](int pe) {
+      for (int i = 0; i < 3; ++i) {
+        tm.advance(pe, static_cast<Nanos>(100 * (pe + 1)));
+        this_order.push_back(pe);  // safe: only the baton holder runs
+      }
+    });
+    if (trial == 0)
+      order = this_order;
+    else
+      EXPECT_EQ(this_order, order) << "nondeterministic interleaving";
+  }
+  // PE0 advances 100/200/300; PE1 200/400/600; PE2 300/600/900.
+  // Events sorted by (completion time, pe): 100·0, 200·0, 200·1, 300·0,
+  // 300·2, 400·1, 600·1, 600·2, 900·2.
+  const std::vector<int> expect = {0, 0, 1, 0, 2, 1, 1, 2, 2};
+  EXPECT_EQ(order, expect);
+}
+
+TEST(VirtualTime, ZeroAdvanceKeepsBatonOnTies) {
+  VirtualTimeModel tm(2);
+  std::vector<int> order;
+  run_pes(tm, 2, [&](int pe) {
+    tm.advance(pe, 10);
+    order.push_back(pe);
+  });
+  // Both reach t=10; tie-break by id: PE0 runs first from t=0.
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(VirtualTime, DeliveryHookFiresAtTimeFloor) {
+  VirtualTimeModel tm(2);
+  std::vector<Nanos> hook_times;
+  tm.set_delivery_hook([&](Nanos now) { hook_times.push_back(now); });
+  run_pes(tm, 2, [&](int pe) { tm.advance(pe, pe == 0 ? 100 : 70); });
+  ASSERT_FALSE(hook_times.empty());
+  // Hook times never decrease: deliveries respect global time order.
+  for (std::size_t i = 1; i < hook_times.size(); ++i)
+    EXPECT_GE(hook_times[i], hook_times[i - 1]);
+}
+
+TEST(VirtualTime, ManyPesTerminate) {
+  VirtualTimeModel tm(64);
+  std::atomic<int> done{0};
+  run_pes(tm, 64, [&](int pe) {
+    for (int i = 0; i < 10; ++i) tm.advance(pe, 17 + pe);
+    done.fetch_add(1);
+  });
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(VirtualTime, ResetClearsClocks) {
+  VirtualTimeModel tm(2);
+  run_pes(tm, 2, [&](int pe) { tm.advance(pe, 500); });
+  tm.reset(2);
+  EXPECT_EQ(tm.now(0), 0u);
+  EXPECT_EQ(tm.now(1), 0u);
+}
+
+TEST(VirtualTime, IsVirtual) {
+  VirtualTimeModel tm(1);
+  EXPECT_TRUE(tm.is_virtual());
+  EXPECT_EQ(tm.npes(), 1);
+}
+
+TEST(RealTime, AdvanceTakesAtLeastDt) {
+  RealTimeModel tm(1);
+  tm.reset(1);
+  const Nanos t0 = tm.now(0);
+  tm.advance(0, 2'000'000);  // 2 ms -> sleep path
+  const Nanos t1 = tm.now(0);
+  EXPECT_GE(t1 - t0, 2'000'000u);
+  EXPECT_FALSE(tm.is_virtual());
+}
+
+TEST(RealTime, ShortAdvanceSpins) {
+  RealTimeModel tm(1);
+  tm.reset(1);
+  const Nanos t0 = tm.now(0);
+  tm.advance(0, 10'000);  // 10 µs -> spin path
+  EXPECT_GE(tm.now(0) - t0, 10'000u);
+}
+
+TEST(RealTime, NowIsMonotonic) {
+  RealTimeModel tm(1);
+  tm.reset(1);
+  Nanos prev = tm.now(0);
+  for (int i = 0; i < 100; ++i) {
+    const Nanos t = tm.now(0);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace sws::net

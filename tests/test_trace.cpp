@@ -1,0 +1,167 @@
+// Tracer ring semantics and scheduler integration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/scheduler.hpp"
+#include "core/trace.hpp"
+
+namespace sws::core {
+namespace {
+
+TEST(Tracer, DisabledByDefault) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  t.record(0, 1, TraceKind::kTaskExec);  // must be a harmless no-op
+}
+
+TEST(Tracer, RecordsAndListsEvents) {
+  Tracer t(2, 16);
+  ASSERT_TRUE(t.enabled());
+  t.record(0, 100, TraceKind::kTaskExec, 7);
+  t.record(0, 200, TraceKind::kStealOk, 1, 5);
+  t.record(1, 150, TraceKind::kRelease);
+  const auto pe0 = t.events(0);
+  ASSERT_EQ(pe0.size(), 2u);
+  EXPECT_EQ(pe0[0].time, 100u);
+  EXPECT_EQ(pe0[1].kind, TraceKind::kStealOk);
+  EXPECT_EQ(pe0[1].b, 5u);
+  EXPECT_EQ(t.events(1).size(), 1u);
+}
+
+TEST(Tracer, MergedIsTimeOrdered) {
+  Tracer t(3, 8);
+  t.record(2, 300, TraceKind::kTaskExec);
+  t.record(0, 100, TraceKind::kTaskExec);
+  t.record(1, 200, TraceKind::kTaskExec);
+  t.record(0, 200, TraceKind::kRelease);  // tie with pe1: pe0 first
+  const auto all = t.merged();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].time, 100u);
+  EXPECT_EQ(all[1].pe, 0);
+  EXPECT_EQ(all[2].pe, 1);
+  EXPECT_EQ(all[3].time, 300u);
+}
+
+TEST(Tracer, RingOverwritesOldest) {
+  Tracer t(1, 4);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    t.record(0, i, TraceKind::kTaskExec, i);
+  const auto evs = t.events(0);
+  ASSERT_EQ(evs.size(), 4u);
+  EXPECT_EQ(evs[0].a, 6u) << "oldest retained event";
+  EXPECT_EQ(evs[3].a, 9u);
+}
+
+TEST(Tracer, CountByKind) {
+  Tracer t(2, 16);
+  t.record(0, 1, TraceKind::kStealOk);
+  t.record(1, 2, TraceKind::kStealOk);
+  t.record(1, 3, TraceKind::kStealEmpty);
+  EXPECT_EQ(t.count(TraceKind::kStealOk), 2u);
+  EXPECT_EQ(t.count(TraceKind::kStealEmpty), 1u);
+  EXPECT_EQ(t.count(TraceKind::kAcquire), 0u);
+}
+
+TEST(Tracer, ClearEmptiesRings) {
+  Tracer t(1, 8);
+  t.record(0, 1, TraceKind::kTaskExec);
+  t.clear();
+  EXPECT_TRUE(t.events(0).empty());
+}
+
+TEST(Tracer, DumpIsHumanReadable) {
+  Tracer t(1, 8);
+  t.record(0, 42, TraceKind::kStealOk, 3, 19);
+  std::ostringstream os;
+  t.dump(os);
+  EXPECT_NE(os.str().find("42ns pe0 steal_ok a=3 b=19"), std::string::npos);
+}
+
+TEST(Tracer, ChromeJsonIsWellFormed) {
+  Tracer t(2, 8);
+  t.record(0, 1000, TraceKind::kTaskExec, 3);
+  t.record(1, 2500, TraceKind::kStealOk, 0, 7);
+  std::ostringstream os;
+  t.dump_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"name\":\"task_exec\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1"), std::string::npos) << "ns -> us scaling";
+  // Balanced braces and exactly one comma between the two events.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Tracer, ChromeJsonEmptyTracerIsEmptyArray) {
+  Tracer t(1, 4);
+  std::ostringstream os;
+  t.dump_chrome_json(os);
+  EXPECT_EQ(os.str(), "[\n]\n");
+}
+
+TEST(TracerPool, SchedulerEmitsCoherentTrace) {
+  pgas::RuntimeConfig rc;
+  rc.npes = 4;
+  rc.heap_bytes = 2 << 20;
+  pgas::Runtime rt(rc);
+  TaskRegistry reg;
+  TaskFnId fn = 0;
+  fn = reg.register_fn("fan", [&](Worker& w, std::span<const std::byte> b) {
+    std::uint32_t d;
+    std::memcpy(&d, b.data(), 4);
+    w.compute(5000);
+    if (d > 0)
+      for (int i = 0; i < 4; ++i) w.spawn(Task::of(fn, d - 1));
+  });
+  PoolConfig pc;
+  pc.slot_bytes = 32;
+  pc.trace = true;
+  pc.trace_events = 65536;
+  TaskPool pool(rt, reg, pc);
+  rt.run([&](pgas::PeContext& ctx) {
+    pool.run_pe(ctx, [&](Worker& w) {
+      if (w.pe() == 0) w.spawn(Task::of(fn, std::uint32_t{4}));
+    });
+  });
+
+  const Tracer& t = pool.tracer();
+  const PoolRunReport r = pool.report();
+  // Trace counts must agree with the pool statistics.
+  EXPECT_EQ(t.count(TraceKind::kTaskExec), r.total.tasks_executed);
+  EXPECT_EQ(t.count(TraceKind::kSpawn), r.total.tasks_spawned);
+  EXPECT_EQ(t.count(TraceKind::kStealOk), r.total.steals_ok);
+  EXPECT_EQ(t.count(TraceKind::kTerminated), 4u);
+  // Every PE's events are time-monotone.
+  for (int pe = 0; pe < 4; ++pe) {
+    const auto evs = pool.tracer().events(pe);
+    for (std::size_t i = 1; i < evs.size(); ++i)
+      ASSERT_GE(evs[i].time, evs[i - 1].time);
+  }
+}
+
+TEST(TracerPool, TraceOffRecordsNothing) {
+  pgas::RuntimeConfig rc;
+  rc.npes = 2;
+  rc.heap_bytes = 1 << 20;
+  pgas::Runtime rt(rc);
+  TaskRegistry reg;
+  TaskFnId fn = reg.register_fn("noop", [](Worker& w,
+                                           std::span<const std::byte>) {
+    w.compute(10);
+  });
+  PoolConfig pc;
+  pc.slot_bytes = 32;
+  TaskPool pool(rt, reg, pc);
+  rt.run([&](pgas::PeContext& ctx) {
+    pool.run_pe(ctx, [&](Worker& w) {
+      if (w.pe() == 0) w.spawn(Task(fn, nullptr, 0));
+    });
+  });
+  EXPECT_FALSE(pool.tracer().enabled());
+}
+
+}  // namespace
+}  // namespace sws::core

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/victim.hpp"
+
+namespace sws::core {
+namespace {
+
+TEST(Victim, RandomNeverPicksSelf) {
+  for (int self = 0; self < 5; ++self) {
+    VictimSelector v(VictimPolicy::kRandom, self, 5, 1);
+    for (int i = 0; i < 2000; ++i) {
+      const int pick = v.next();
+      ASSERT_NE(pick, self);
+      ASSERT_GE(pick, 0);
+      ASSERT_LT(pick, 5);
+    }
+  }
+}
+
+TEST(Victim, RandomCoversAllOthersUniformly) {
+  VictimSelector v(VictimPolicy::kRandom, 2, 6, 7);
+  std::map<int, int> counts;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) ++counts[v.next()];
+  EXPECT_EQ(counts.size(), 5u);
+  for (const auto& [pe, n] : counts)
+    EXPECT_NEAR(n, kN / 5, kN / 5 * 0.1) << "pe " << pe;
+}
+
+TEST(Victim, RandomIsDeterministicPerSeedAndSelf) {
+  VictimSelector a(VictimPolicy::kRandom, 1, 8, 3);
+  VictimSelector b(VictimPolicy::kRandom, 1, 8, 3);
+  VictimSelector c(VictimPolicy::kRandom, 2, 8, 3);
+  bool differs = false;
+  for (int i = 0; i < 100; ++i) {
+    const int va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) differs = true;
+  }
+  EXPECT_TRUE(differs) << "different PEs should see different streams";
+}
+
+TEST(Victim, RoundRobinCyclesSkippingSelf) {
+  VictimSelector v(VictimPolicy::kRoundRobin, 1, 4, 0);
+  // Starting after self: 2, 3, 0, 2, 3, 0 ...
+  EXPECT_EQ(v.next(), 2);
+  EXPECT_EQ(v.next(), 3);
+  EXPECT_EQ(v.next(), 0);
+  EXPECT_EQ(v.next(), 2);
+  EXPECT_EQ(v.next(), 3);
+  EXPECT_EQ(v.next(), 0);
+}
+
+TEST(Victim, RoundRobinTwoPes) {
+  VictimSelector v(VictimPolicy::kRoundRobin, 0, 2, 0);
+  EXPECT_EQ(v.next(), 1);
+  EXPECT_EQ(v.next(), 1);
+}
+
+TEST(Victim, TwoPeRandomAlwaysPicksTheOther) {
+  VictimSelector v(VictimPolicy::kRandom, 1, 2, 5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v.next(), 0);
+}
+
+TEST(Victim, HierarchicalPrefersOwnNode) {
+  // 16 PEs, 4 per node, self = 5 (node 1 = PEs 4..7), bias 0.75:
+  // roughly 3/4 of picks must land on PEs 4,6,7.
+  VictimConfig cfg{VictimPolicy::kHierarchical, 4, 0.75};
+  VictimSelector v(cfg, 5, 16, 11);
+  int local = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const int pick = v.next();
+    ASSERT_NE(pick, 5);
+    ASSERT_GE(pick, 0);
+    ASSERT_LT(pick, 16);
+    if (pick >= 4 && pick < 8) ++local;
+  }
+  // bias*1 + (1-bias)*(3/15) local expectation = 0.75 + 0.05 = 0.80.
+  EXPECT_NEAR(static_cast<double>(local) / kN, 0.80, 0.03);
+}
+
+TEST(Victim, HierarchicalCoversRemoteNodesToo) {
+  VictimConfig cfg{VictimPolicy::kHierarchical, 4, 0.5};
+  VictimSelector v(cfg, 0, 12, 3);
+  std::set<int> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(v.next());
+  EXPECT_EQ(seen.size(), 11u) << "every other PE must be reachable";
+}
+
+TEST(Victim, HierarchicalAloneOnNodeFallsBackGlobal) {
+  // Node size 1: no intra-node candidates — behaves like kRandom.
+  VictimConfig cfg{VictimPolicy::kHierarchical, 1, 0.9};
+  VictimSelector v(cfg, 2, 6, 7);
+  std::map<int, int> counts;
+  for (int i = 0; i < 30000; ++i) ++counts[v.next()];
+  EXPECT_EQ(counts.size(), 5u);
+  for (const auto& [pe, n] : counts) EXPECT_NEAR(n, 6000, 900) << pe;
+}
+
+TEST(Victim, HierarchicalZeroNodeSizeDegradesToRandom) {
+  VictimConfig cfg{VictimPolicy::kHierarchical, 0, 0.75};
+  VictimSelector v(cfg, 0, 4, 1);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(v.next());
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Victim, HierarchicalLastNodeMayBeShort) {
+  // 10 PEs, node size 4: last node = {8, 9}. Self = 9 must only pick 8
+  // as its local candidate.
+  VictimConfig cfg{VictimPolicy::kHierarchical, 4, 1.0};
+  VictimSelector v(cfg, 9, 10, 2);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(v.next(), 8);
+}
+
+}  // namespace
+}  // namespace sws::core
