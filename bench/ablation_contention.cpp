@@ -33,18 +33,14 @@ ContentionResult run_contended(core::QueueKind kind, int thieves, int reps,
   rcfg.heap_bytes = 4 << 20;
   pgas::Runtime rt(rcfg);
 
+  const core::QueueConfig qc{/*capacity=*/8192, /*slot_bytes=*/32};
   std::unique_ptr<core::TaskQueue> q;
   if (kind == core::QueueKind::kSws) {
-    core::SwsConfig c;
-    c.capacity = 8192;
-    c.slot_bytes = 32;
-    q = std::make_unique<core::SwsQueue>(rt, c);
+    q = std::make_unique<core::SwsQueue>(rt, qc);
   } else {
     core::SdcConfig c;
-    c.capacity = 8192;
-    c.slot_bytes = 32;
     c.max_lock_attempts = 64;  // thieves must eventually get through
-    q = std::make_unique<core::SdcQueue>(rt, c);
+    q = std::make_unique<core::SdcQueue>(rt, qc, c);
   }
 
   ContentionResult out;

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   for (const int npes : settings.pe_counts) {
     if (npes < 3) continue;  // needs idle thieves
     bench::PoolTweaks on, off;
-    on.slot_bytes = off.slot_bytes = 32;
+    on.queue.slot_bytes = off.queue.slot_bytes = 32;
     on.sws.damping = true;
     off.sws.damping = false;
     const auto r_on =

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   t.set_header({"npes", "runtime_on_ms", "runtime_off_ms", "overhead_pct"});
   for (const int npes : settings.pe_counts) {
     bench::PoolTweaks on, off;
-    on.slot_bytes = off.slot_bytes = 48;
+    on.queue.slot_bytes = off.queue.slot_bytes = 48;
     on.sws.epochs = true;
     off.sws.epochs = false;
     const auto r_on =

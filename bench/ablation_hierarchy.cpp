@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
 
   auto run = [&](core::QueueKind kind, int npes, core::VictimPolicy policy) {
     bench::PoolTweaks tweaks;
-    tweaks.slot_bytes = 48;
+    tweaks.queue.slot_bytes = 48;
     tweaks.net.pes_per_node = node;
     ConfigResultShim r;
     for (int rep = 0; rep < settings.reps; ++rep) {
@@ -53,8 +53,7 @@ int main(int argc, char** argv) {
       auto seeder = factory(registry);
       core::PoolConfig pcfg;
       pcfg.kind = kind;
-      pcfg.capacity = tweaks.capacity;
-      pcfg.slot_bytes = tweaks.slot_bytes;
+      pcfg.queue = tweaks.queue;
       pcfg.victim = policy;
       core::TaskPool pool(rt, registry, pcfg);
       rt.run([&](pgas::PeContext& ctx) {

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
                 "SWS_speedup_pct"});
   for (const double scale : scales) {
     bench::PoolTweaks tweaks;
-    tweaks.slot_bytes = 48;
+    tweaks.queue.slot_bytes = 48;
     tweaks.net = net::NetworkParams{}.scaled(scale);
     const auto sdc = bench::run_config(core::QueueKind::kSdc, npes, settings,
                                        tweaks, factory);

@@ -44,7 +44,8 @@ ConfigResult run_config(core::QueueKind kind, int npes,
     rcfg.heap_bytes =
         tweaks.heap_bytes != 0
             ? tweaks.heap_bytes
-            : static_cast<std::size_t>(tweaks.capacity) * tweaks.slot_bytes +
+            : static_cast<std::size_t>(tweaks.queue.capacity) *
+                      tweaks.queue.slot_bytes +
                   (std::size_t{256} << 10);
     pgas::Runtime rt(rcfg);
 
@@ -53,10 +54,10 @@ ConfigResult run_config(core::QueueKind kind, int npes,
 
     core::PoolConfig pcfg;
     pcfg.kind = kind;
-    pcfg.capacity = tweaks.capacity;
-    pcfg.slot_bytes = tweaks.slot_bytes;
+    pcfg.queue = tweaks.queue;
     pcfg.sws = tweaks.sws;
     pcfg.sdc = tweaks.sdc;
+    pcfg.steal = tweaks.steal;
     core::TaskPool pool(rt, registry, pcfg);
 
     rt.run([&](pgas::PeContext& ctx) {

@@ -56,12 +56,12 @@ struct ConfigResult {
 };
 
 struct PoolTweaks {
-  std::uint32_t capacity = 8192;
-  std::uint32_t slot_bytes = 64;
+  core::QueueConfig queue{};
   core::SwsConfig sws{};
   core::SdcConfig sdc{};
+  core::StealTuning steal{};
   net::NetworkParams net{};
-  std::size_t heap_bytes = 0;  ///< 0 = derive from capacity/slot_bytes
+  std::size_t heap_bytes = 0;  ///< 0 = derive from queue geometry
 };
 
 /// Run `reps` independent executions of a workload on `npes` PEs with the

@@ -66,15 +66,11 @@ int main(int argc, char** argv) {
 
   Table t("Fig 2 — steal communication counts (measured)");
   t.set_header({"system", "operation", "comms", "blocking", "blocked time"});
-  core::SdcConfig sdcc;
-  sdcc.capacity = 1024;
-  sdcc.slot_bytes = 32;
-  core::SdcQueue sdc(rt, sdcc);
+  const core::QueueConfig qc{/*capacity=*/1024, /*slot_bytes=*/32};
+  core::SdcQueue sdc(rt, qc);
   core::SwsConfig swsc;
-  swsc.capacity = 1024;
-  swsc.slot_bytes = 32;
   swsc.damping = false;  // keep every probe a true AMO for counting
-  core::SwsQueue sws(rt, swsc);
+  core::SwsQueue sws(rt, qc, swsc);
   measure("SDC", sdc, rt, t);
   measure("SWS", sws, rt, t);
   bench::emit(t, settings);

@@ -25,18 +25,13 @@ double measure_steal_us(core::QueueKind kind, std::uint32_t volume,
   rcfg.heap_bytes = std::size_t{16} << 20;
   pgas::Runtime rt(rcfg);
 
-  const std::uint32_t capacity = std::max<std::uint32_t>(4 * volume, 64);
+  const core::QueueConfig qc{std::max<std::uint32_t>(4 * volume, 64),
+                             slot_bytes};
   std::unique_ptr<core::TaskQueue> q;
   if (kind == core::QueueKind::kSws) {
-    core::SwsConfig c;
-    c.capacity = capacity;
-    c.slot_bytes = slot_bytes;
-    q = std::make_unique<core::SwsQueue>(rt, c);
+    q = std::make_unique<core::SwsQueue>(rt, qc);
   } else {
-    core::SdcConfig c;
-    c.capacity = capacity;
-    c.slot_bytes = slot_bytes;
-    q = std::make_unique<core::SdcQueue>(rt, c);
+    q = std::make_unique<core::SdcQueue>(rt, qc);
   }
 
   Summary per_steal_us;

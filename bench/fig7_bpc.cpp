@@ -27,8 +27,8 @@ int main(int argc, char** argv) {
       1000;
 
   bench::PoolTweaks tweaks;
-  tweaks.slot_bytes = 32;
-  tweaks.capacity = 16384;
+  tweaks.queue.slot_bytes = 32;
+  tweaks.queue.capacity = 16384;
   // --node-size 48 reproduces the paper's 48-core-node cluster shape.
   tweaks.net.pes_per_node =
       static_cast<int>(opt.get("node-size", std::int64_t{0}));

@@ -29,8 +29,8 @@ int main(int argc, char** argv) {
             << tree.max_depth << "\n";
 
   bench::PoolTweaks tweaks;
-  tweaks.slot_bytes = 48;
-  tweaks.capacity = 16384;
+  tweaks.queue.slot_bytes = 48;
+  tweaks.queue.capacity = 16384;
   // --node-size 48 reproduces the paper's 48-core-node cluster shape.
   tweaks.net.pes_per_node =
       static_cast<int>(opt.get("node-size", std::int64_t{0}));

@@ -61,16 +61,14 @@ void BM_TaskSerializeRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_TaskSerializeRoundTrip)->Arg(16)->Arg(184);
 
-template <typename QueueT, typename ConfigT>
+template <typename QueueT>
 void bench_local_ops(benchmark::State& state) {
   pgas::RuntimeConfig rcfg;
   rcfg.npes = 1;
   rcfg.mode = pgas::TimeMode::kReal;  // no sequencer: pure op cost
   rcfg.heap_bytes = 4 << 20;
   pgas::Runtime rt(rcfg);
-  ConfigT qc;
-  qc.capacity = 8192;
-  qc.slot_bytes = 32;
+  const core::QueueConfig qc{/*capacity=*/8192, /*slot_bytes=*/32};
   QueueT q(rt, qc);
   rt.run([&](pgas::PeContext& ctx) {
     q.reset_pe(ctx);
@@ -84,16 +82,16 @@ void bench_local_ops(benchmark::State& state) {
 }
 
 void BM_SwsLocalPushPop(benchmark::State& state) {
-  bench_local_ops<core::SwsQueue, core::SwsConfig>(state);
+  bench_local_ops<core::SwsQueue>(state);
 }
 BENCHMARK(BM_SwsLocalPushPop);
 
 void BM_SdcLocalPushPop(benchmark::State& state) {
-  bench_local_ops<core::SdcQueue, core::SdcConfig>(state);
+  bench_local_ops<core::SdcQueue>(state);
 }
 BENCHMARK(BM_SdcLocalPushPop);
 
-template <typename QueueT, typename ConfigT>
+template <typename QueueT>
 void bench_release_acquire(benchmark::State& state) {
   pgas::RuntimeConfig rcfg;
   rcfg.npes = 1;
@@ -101,9 +99,7 @@ void bench_release_acquire(benchmark::State& state) {
   rcfg.net.local_overhead = 0;  // isolate the metadata bookkeeping
   rcfg.heap_bytes = 4 << 20;
   pgas::Runtime rt(rcfg);
-  ConfigT qc;
-  qc.capacity = 8192;
-  qc.slot_bytes = 32;
+  const core::QueueConfig qc{/*capacity=*/8192, /*slot_bytes=*/32};
   QueueT q(rt, qc);
   rt.run([&](pgas::PeContext& ctx) {
     q.reset_pe(ctx);
@@ -123,12 +119,12 @@ void bench_release_acquire(benchmark::State& state) {
 }
 
 void BM_SwsReleaseAcquireCycle(benchmark::State& state) {
-  bench_release_acquire<core::SwsQueue, core::SwsConfig>(state);
+  bench_release_acquire<core::SwsQueue>(state);
 }
 BENCHMARK(BM_SwsReleaseAcquireCycle);
 
 void BM_SdcReleaseAcquireCycle(benchmark::State& state) {
-  bench_release_acquire<core::SdcQueue, core::SdcConfig>(state);
+  bench_release_acquire<core::SdcQueue>(state);
 }
 BENCHMARK(BM_SdcReleaseAcquireCycle);
 

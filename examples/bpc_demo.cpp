@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   pcfg.kind = opt.get("queue", std::string("sws")) == "sdc"
                   ? core::QueueKind::kSdc
                   : core::QueueKind::kSws;
-  pcfg.slot_bytes = 32;  // paper Table 2: 32-byte BPC tasks
+  pcfg.queue.slot_bytes = 32;  // paper Table 2: 32-byte BPC tasks
   core::TaskPool pool(rt, registry, pcfg);
 
   rt.run([&](pgas::PeContext& ctx) {

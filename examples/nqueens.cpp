@@ -99,7 +99,7 @@ int main(int argc, char** argv) {
   pcfg.kind = opt.get("queue", std::string("sws")) == "sdc"
                   ? core::QueueKind::kSdc
                   : core::QueueKind::kSws;
-  pcfg.slot_bytes = 32;
+  pcfg.queue.slot_bytes = 32;
   core::TaskPool pool(rt, registry, pcfg);
 
   g_solutions.store(0);

@@ -92,8 +92,8 @@ int main(int argc, char** argv) {
   pcfg.kind = opt.get("queue", std::string("sws")) == "sdc"
                   ? core::QueueKind::kSdc
                   : core::QueueKind::kSws;
-  pcfg.slot_bytes = 32;
-  pcfg.capacity = 16384;
+  pcfg.queue.slot_bytes = 32;
+  pcfg.queue.capacity = 16384;
   core::TaskPool pool(rt, registry, pcfg);
 
   std::uint64_t shards_sorted = 0;

@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
   pcfg.kind = opt.get("queue", std::string("sws")) == "sdc"
                   ? core::QueueKind::kSdc
                   : core::QueueKind::kSws;
-  pcfg.slot_bytes = 32;
+  pcfg.queue.slot_bytes = 32;
   core::TaskPool pool(rt, registry, pcfg);
 
   std::uint64_t total_inside = 0;

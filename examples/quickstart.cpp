@@ -35,8 +35,8 @@ int main(int argc, char** argv) {
   pcfg.kind = opt.get("queue", std::string("sws")) == "sdc"
                   ? core::QueueKind::kSdc
                   : core::QueueKind::kSws;
-  pcfg.capacity = 16384;
-  pcfg.slot_bytes = 32;
+  pcfg.queue.capacity = 16384;
+  pcfg.queue.slot_bytes = 32;
 
   const auto fanout = static_cast<std::uint32_t>(opt.get("fanout", std::int64_t{4}));
   const auto depth = static_cast<std::uint32_t>(opt.get("depth", std::int64_t{6}));

@@ -35,9 +35,9 @@ int main(int argc, char** argv) {
   pcfg.kind = opt.get("queue", std::string("sws")) == "sdc"
                   ? core::QueueKind::kSdc
                   : core::QueueKind::kSws;
-  pcfg.slot_bytes = 48;
-  pcfg.trace = true;
-  pcfg.trace_events = 1 << 18;
+  pcfg.queue.slot_bytes = 48;
+  pcfg.trace.enable = true;
+  pcfg.trace.events = 1 << 18;
   core::TaskPool pool(rt, registry, pcfg);
 
   rt.run([&](pgas::PeContext& ctx) {

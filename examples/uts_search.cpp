@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   pcfg.kind = opt.get("queue", std::string("sws")) == "sdc"
                   ? core::QueueKind::kSdc
                   : core::QueueKind::kSws;
-  pcfg.slot_bytes = 48;  // paper Table 2: 48-byte UTS tasks
+  pcfg.queue.slot_bytes = 48;  // paper Table 2: 48-byte UTS tasks
   core::TaskPool pool(rt, registry, pcfg);
 
   rt.run([&](pgas::PeContext& ctx) {

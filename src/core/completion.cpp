@@ -24,7 +24,10 @@ void CompletionSpace::notify_finished(pgas::PeContext& thief, int victim,
   SWS_ASSERT(ntasks > 0);
   // Slots start at zero each epoch, so add == set here; add matches the
   // paper's "atomically updates a shared array ... with the number of
-  // tasks stolen".
+  // tasks stolen". Owners read the slot only as a finished *flag*
+  // (nonzero), so a duplicated delivery of this AMO within the same epoch
+  // cannot corrupt reclaim accounting; cross-epoch replay is fenced by
+  // the owner's pending_to() wait before epoch reuse.
   thief.nbi_add(victim, slot(epoch, idx), ntasks);
 }
 

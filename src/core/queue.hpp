@@ -19,6 +19,14 @@ namespace sws::core {
 
 enum class QueueKind { kSdc, kSws };
 
+/// Ring geometry shared by every queue implementation. One definition —
+/// PoolConfig and the queue constructors take it verbatim, so there is no
+/// duplicated capacity/slot_bytes field left to silently override.
+struct QueueConfig {
+  std::uint32_t capacity = 8192;  ///< task slots per PE
+  std::uint32_t slot_bytes = 64;  ///< bytes per task slot
+};
+
 enum class StealOutcome {
   kSuccess,   ///< tasks claimed and copied
   kEmpty,     ///< victim had no stealable work
@@ -28,6 +36,10 @@ enum class StealOutcome {
 struct StealResult {
   StealOutcome outcome = StealOutcome::kEmpty;
   std::uint32_t ntasks = 0;
+  /// Queue's hint for when a retry could succeed (0 = no opinion). The
+  /// queue knows *why* the steal failed — locked epoch rotation vs. lock
+  /// convoy — so it, not the scheduler, sizes the fast-retry pause.
+  net::Nanos retry_after_ns = 0;
 };
 
 /// Per-PE queue-op counters (owner and thief sides), aggregated by the

@@ -1,5 +1,7 @@
 #include "core/scheduler.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 #include "common/log.hpp"
 
@@ -37,7 +39,7 @@ void Worker::spawn_on(int target, const Task& t) {
   // Scioto model (tasks are location-independent).
   for (int attempt = 0; attempt < 8; ++attempt) {
     if (pool_.inbox_->remote_push(ctx_, target, t)) return;
-    ctx_.compute(pool_.cfg_.steal_backoff_ns);
+    ctx_.compute(pool_.cfg_.steal.backoff_min_ns);
   }
   SWS_WARN("PE " << pe() << ": inbox of PE " << target
                  << " stayed full; executing task locally");
@@ -68,26 +70,18 @@ TaskPool::TaskPool(pgas::Runtime& rt, TaskRegistry& registry, PoolConfig cfg)
       cfg_(cfg),
       last_stats_(static_cast<std::size_t>(rt.npes())) {
   switch (cfg_.kind) {
-    case QueueKind::kSws: {
-      SwsConfig qc = cfg_.sws;
-      qc.capacity = cfg_.capacity;
-      qc.slot_bytes = cfg_.slot_bytes;
-      queue_ = std::make_unique<SwsQueue>(rt, qc);
+    case QueueKind::kSws:
+      queue_ = std::make_unique<SwsQueue>(rt, cfg_.queue, cfg_.sws);
       break;
-    }
-    case QueueKind::kSdc: {
-      SdcConfig qc = cfg_.sdc;
-      qc.capacity = cfg_.capacity;
-      qc.slot_bytes = cfg_.slot_bytes;
-      queue_ = std::make_unique<SdcQueue>(rt, qc);
+    case QueueKind::kSdc:
+      queue_ = std::make_unique<SdcQueue>(rt, cfg_.queue, cfg_.sdc);
       break;
-    }
   }
   term_ = make_detector(rt, cfg_.termination);
   if (cfg_.remote_spawn)
     inbox_ = std::make_unique<TaskInbox>(rt, cfg_.inbox_capacity,
-                                         cfg_.slot_bytes);
-  if (cfg_.trace) tracer_ = Tracer(rt.npes(), cfg_.trace_events);
+                                         cfg_.queue.slot_bytes);
+  if (cfg_.trace.enable) tracer_ = Tracer(rt.npes(), cfg_.trace.events);
 }
 
 std::uint32_t TaskPool::drain_inbox(Worker& w) {
@@ -119,6 +113,12 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
   const VictimConfig vcfg{cfg_.victim, rt_.config().net.pes_per_node,
                           cfg_.victim_local_bias};
   VictimSelector victims(vcfg, ctx.pe(), ctx.npes(), rt_.config().seed);
+  const StealTuning& st = cfg_.steal;
+  // Dedicated stream for backoff jitter: draws must not perturb the
+  // workload's ctx.rng() sequence, or enabling jitter would change
+  // task-level results under virtual time.
+  Xoshiro256 backoff_rng(rt_.config().seed ^ 0xB0FF'0FF5'0000'0000ULL,
+                         static_cast<std::uint64_t>(ctx.pe()));
   std::vector<Task> loot;
   Task t;
 
@@ -146,11 +146,18 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
 
     // Out of local and own-shared work: search the system. Successful
     // attempts count as steal time, failures as search time (§5.3).
+    // kRetry failures get `retry_budget` fast retries paced by the
+    // queue's hint; past that (and for empty victims) the pause grows
+    // exponentially with jitter, and resets on the next search.
     std::uint32_t fails = 0;
+    std::uint32_t fast_retries = 0;
+    net::Nanos backoff = st.backoff_min_ns;
     while (true) {
       // Remotely-spawned tasks may land while we search.
       if (drain_inbox(w) > 0) break;
 
+      bool fast = false;
+      net::Nanos hint = 0;
       if (ctx.npes() > 1) {
         const net::Nanos t0 = ctx.now();
         loot.clear();
@@ -172,6 +179,9 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
           break;  // back to processing
         }
         w.stats_.search_time_ns += dt;
+        hint = res.retry_after_ns;
+        fast = res.outcome == StealOutcome::kRetry &&
+               fast_retries < st.retry_budget;
         if (tracer_.enabled())
           tracer_.record(ctx.pe(), ctx.now(),
                          res.outcome == StealOutcome::kRetry
@@ -183,7 +193,7 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
         ++fails;
       }
 
-      if (fails % cfg_.term_check_interval == 0 || ctx.npes() == 1) {
+      if (fails % st.term_check_interval == 0 || ctx.npes() == 1) {
         const net::Nanos t0 = ctx.now();
         const bool finished = term_->check(ctx);
         w.stats_.term_check_ns += ctx.now() - t0;
@@ -196,8 +206,26 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
         }
       }
 
+      net::Nanos pause;
+      if (fast) {
+        ++fast_retries;
+        pause = hint > 0 ? hint : st.backoff_min_ns;
+      } else {
+        fast_retries = 0;
+        pause = backoff;
+        if (st.jitter > 0.0 && pause > 0) {
+          const double f =
+              1.0 + st.jitter * (2.0 * backoff_rng.uniform() - 1.0);
+          pause = static_cast<net::Nanos>(static_cast<double>(pause) * f);
+        }
+        if (hint > pause) pause = hint;
+        backoff = std::min<net::Nanos>(
+            st.backoff_max_ns,
+            static_cast<net::Nanos>(static_cast<double>(backoff) *
+                                    st.backoff_mult));
+      }
       const net::Nanos t0 = ctx.now();
-      ctx.compute(cfg_.steal_backoff_ns);
+      ctx.compute(pause);
       w.stats_.search_time_ns += ctx.now() - t0;
     }
   }
@@ -207,6 +235,10 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
   w.stats_.run_time_ns = ctx.now() - t_start;
   ctx.quiet();  // complete our in-flight completion notifications
   ctx.barrier();
+  // After everyone's quiet + the barrier, no nbi op of ours may remain —
+  // a leak here would carry a stale completion into the next run.
+  SWS_ASSERT_MSG(ctx.fabric().pending(ctx.pe()) == 0,
+                 "nbi ops still pending after pool teardown quiet");
 
   last_stats_[static_cast<std::size_t>(ctx.pe())] = w.stats_;
   return w.stats_;

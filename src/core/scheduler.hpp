@@ -30,30 +30,46 @@
 
 namespace sws::core {
 
+/// Steal-search pacing. Failed searches back off exponentially with
+/// jitter (decorrelates thief convoys under faulty or contended fabrics);
+/// kRetry outcomes get a budget of fast retries first, paced by the
+/// queue's own StealResult::retry_after_ns hint.
+struct StealTuning {
+  net::Nanos backoff_min_ns = 1000;   ///< first (and post-success) pause
+  net::Nanos backoff_max_ns = 64'000; ///< exponential growth cap
+  double backoff_mult = 2.0;          ///< growth factor per failed round
+  /// Uniform jitter fraction: pause is scaled by 1 ± jitter.
+  double jitter = 0.25;
+  /// Fast kRetry attempts (hint-paced) before exponential backoff kicks in.
+  std::uint32_t retry_budget = 4;
+  /// Failed steal attempts between termination-detector polls.
+  std::uint32_t term_check_interval = 4;
+};
+
+/// Scheduler event tracing (off by default — recording is cheap but
+/// reading the clock per event is not free).
+struct TraceConfig {
+  bool enable = false;
+  std::size_t events = 4096;  ///< per-PE trace ring size
+};
+
 struct PoolConfig {
   QueueKind kind = QueueKind::kSws;
-  std::uint32_t capacity = 8192;    ///< task slots per PE
-  std::uint32_t slot_bytes = 64;    ///< bytes per task slot
-  SwsConfig sws{};                  ///< capacity/slot_bytes overridden
-  SdcConfig sdc{};                  ///< capacity/slot_bytes overridden
+  QueueConfig queue{};              ///< ring geometry, shared by both kinds
+  SwsConfig sws{};                  ///< SWS protocol knobs
+  SdcConfig sdc{};                  ///< SDC protocol knobs
   TerminationKind termination = TerminationKind::kCounter;
   VictimPolicy victim = VictimPolicy::kRandom;
   /// kHierarchical: probability of trying an intra-node victim first.
   /// The node size comes from the runtime's NetworkParams::pes_per_node.
   double victim_local_bias = 0.75;
-  /// Pause between failed steal attempts (attributed to search time).
-  net::Nanos steal_backoff_ns = 1000;
-  /// Failed steal attempts between termination-detector polls.
-  std::uint32_t term_check_interval = 4;
+  StealTuning steal{};
   /// Minimum local tasks before release considers exposing work.
   std::uint32_t release_threshold = 2;
   /// Enable Worker::spawn_on (remote task spawning via symmetric inboxes).
   bool remote_spawn = true;
   std::uint32_t inbox_capacity = 1024;
-  /// Record scheduler events into a per-PE trace ring (off by default —
-  /// recording is cheap but reading the clock per event is not free).
-  bool trace = false;
-  std::size_t trace_events = 4096;
+  TraceConfig trace{};
 };
 
 class TaskPool;

@@ -1,5 +1,6 @@
 #include "core/sdc_queue.hpp"
 
+#include <atomic>
 #include <cstring>
 
 #include "common/assert.hpp"
@@ -7,13 +8,16 @@
 
 namespace sws::core {
 
-SdcQueue::SdcQueue(pgas::Runtime& rt, SdcConfig cfg)
-    : cfg_(cfg),
+SdcQueue::SdcQueue(pgas::Runtime& rt, const QueueConfig& queue, SdcConfig cfg)
+    : qcfg_(queue),
+      cfg_(cfg),
       meta_(rt.heap().alloc(
           kRingOff + sizeof(std::uint64_t) * cfg.completion_ring, 64)),
-      buffer_(rt.heap(), cfg.capacity, cfg.slot_bytes),
+      buffer_(rt.heap(), queue.capacity, queue.slot_bytes),
       owners_(static_cast<std::size_t>(rt.npes())) {
   SWS_CHECK(cfg.completion_ring > 0, "completion ring must be non-empty");
+  SWS_CHECK(queue.capacity <= kCountMask,
+            "capacity exceeds the completion-record count field");
 }
 
 void SdcQueue::reset_pe(pgas::PeContext& ctx) {
@@ -115,17 +119,28 @@ bool SdcQueue::try_acquire(pgas::PeContext& ctx) {
 void SdcQueue::progress(pgas::PeContext& ctx) {
   auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
   // Drain the deferred-copy ring in claim order; each finished slot frees
-  // its block of ring space.
+  // its block of ring space. Records are sequence-tagged, so reclaim is
+  // monotone even when the fabric duplicates or delays completion AMOs.
   for (;;) {
     const std::uint64_t slot_off =
         kRingOff + (o.reclaim_seq % cfg_.completion_ring) * 8;
-    const std::uint64_t v = ctx.local_load(meta_.plus(slot_off));
+    auto slot = std::atomic_ref<std::uint64_t>(
+        *reinterpret_cast<std::uint64_t*>(ctx.local(meta_.plus(slot_off))));
+    const std::uint64_t v = slot.load(std::memory_order_seq_cst);
     if (v == 0) break;
-    o.reclaim_abs += v;
-    std::atomic_ref<std::uint64_t>(
-        *reinterpret_cast<std::uint64_t*>(ctx.local(meta_.plus(slot_off))))
-        .store(0, std::memory_order_seq_cst);
-    ++o.reclaim_seq;
+    const std::uint64_t tag = v >> kCountBits;
+    if (tag == o.reclaim_seq + 1) {
+      o.reclaim_abs += v & kCountMask;
+      slot.store(0, std::memory_order_seq_cst);
+      ++o.reclaim_seq;
+      continue;
+    }
+    // A duplicated delivery from an earlier lap of the ring landed after
+    // its slot was already consumed: its tag is behind the cursor.
+    // Discard it — the space was reclaimed when the original arrived.
+    SWS_ASSERT_MSG(tag <= o.reclaim_seq,
+                   "completion ring overrun: record tagged from the future");
+    slot.store(0, std::memory_order_seq_cst);
   }
 }
 
@@ -151,7 +166,8 @@ StealResult SdcQueue::steal(pgas::PeContext& thief, int victim,
     }
     if (++attempts >= cfg_.max_lock_attempts) {
       ++st.steals_retry;
-      return {StealOutcome::kRetry, 0};
+      // Lock convoy: the holder needs roughly one backoff to drain.
+      return {StealOutcome::kRetry, 0, cfg_.lock_backoff_ns};
     }
     thief.compute(cfg_.lock_backoff_ns);
   }
@@ -184,10 +200,11 @@ StealResult SdcQueue::steal(pgas::PeContext& thief, int victim,
   buffer_.get_remote(thief, victim, buffer_.wrap(tail), take, out);
 
   // (6) passive completion notification; the owner reclaims ring space on
-  // its next progress() pass.
-  fab.nbi_amo_add(thief.pe(), victim,
+  // its next progress() pass. The record carries its claim sequence and is
+  // written with an idempotent set, so duplicated delivery is harmless.
+  fab.nbi_amo_set(thief.pe(), victim,
                   meta_.off + kRingOff + (seq % cfg_.completion_ring) * 8,
-                  take);
+                  encode_completion(seq, take));
 
   ++st.steals_ok;
   st.tasks_stolen += take;

@@ -25,9 +25,8 @@
 
 namespace sws::core {
 
+/// Protocol knobs only — ring geometry comes from QueueConfig.
 struct SdcConfig {
-  std::uint32_t capacity = 8192;
-  std::uint32_t slot_bytes = 64;
   /// CAS attempts against a held lock before giving up with kRetry.
   std::uint32_t max_lock_attempts = 4;
   /// Thief backoff between lock attempts.
@@ -38,7 +37,8 @@ struct SdcConfig {
 
 class SdcQueue final : public TaskQueue {
  public:
-  SdcQueue(pgas::Runtime& rt, SdcConfig cfg);
+  explicit SdcQueue(pgas::Runtime& rt, const QueueConfig& queue,
+                    SdcConfig cfg = {});
 
   QueueKind kind() const noexcept override { return QueueKind::kSdc; }
   void reset_pe(pgas::PeContext& ctx) override;
@@ -56,6 +56,7 @@ class SdcQueue final : public TaskQueue {
 
   const QueueOpStats& op_stats(int pe) const override;
   const SdcConfig& config() const noexcept { return cfg_; }
+  const QueueConfig& queue_config() const noexcept { return qcfg_; }
 
   /// Symmetric offset of the queue spinlock (tests/diagnostics).
   std::uint64_t lock_offset_for_test() const noexcept {
@@ -78,10 +79,24 @@ class SdcQueue final : public TaskQueue {
   static constexpr std::uint64_t kSeqOff = 24;
   static constexpr std::uint64_t kRingOff = 32;
 
+  // Completion-ring records are tagged with their claim sequence so a
+  // duplicated (or very late) delivery is recognizable instead of being
+  // double-counted: value = (seq + 1) << kCountBits | task_count. The
+  // record is written with an *idempotent* nbi set — delivering it twice
+  // stores the same bits — and the owner consumes a slot only when its
+  // tag matches the next expected sequence.
+  static constexpr std::uint32_t kCountBits = 24;
+  static constexpr std::uint64_t kCountMask = (1ull << kCountBits) - 1;
+  static constexpr std::uint64_t encode_completion(std::uint64_t seq,
+                                                   std::uint64_t take) {
+    return ((seq + 1) << kCountBits) | take;
+  }
+
   std::uint64_t owner_tail(pgas::PeContext& ctx) const;
   void lock_own(pgas::PeContext& ctx);
   void unlock(pgas::PeContext& ctx, int target);
 
+  QueueConfig qcfg_;
   SdcConfig cfg_;
   pgas::SymPtr meta_;
   QueueBuffer buffer_;

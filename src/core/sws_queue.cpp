@@ -12,19 +12,20 @@ namespace {
 
 /// Validate before any symmetric allocation so bad parameters fail with a
 /// clear error instead of heap exhaustion.
-SwsConfig validated(SwsConfig cfg) {
-  SWS_CHECK(cfg.capacity <= kMaxITasks,
+QueueConfig validated(QueueConfig q) {
+  SWS_CHECK(q.capacity <= kMaxITasks,
             "capacity exceeds the stealval itasks field");
-  return cfg;
+  return q;
 }
 
 }  // namespace
 
-SwsQueue::SwsQueue(pgas::Runtime& rt, SwsConfig cfg)
-    : cfg_(validated(cfg)),
+SwsQueue::SwsQueue(pgas::Runtime& rt, const QueueConfig& queue, SwsConfig cfg)
+    : qcfg_(validated(queue)),
+      cfg_(cfg),
       stealval_(rt.heap().alloc(sizeof(std::uint64_t), 8)),
       completion_(rt.heap()),
-      buffer_(rt.heap(), cfg.capacity, cfg.slot_bytes),
+      buffer_(rt.heap(), qcfg_.capacity, qcfg_.slot_bytes),
       owners_(static_cast<std::size_t>(rt.npes())),
       thieves_(static_cast<std::size_t>(rt.npes())) {
   for (auto& t : thieves_)
@@ -119,6 +120,18 @@ std::uint32_t SwsQueue::retire_allotment(pgas::PeContext& ctx) {
     if (!must_wait()) break;
     ctx.compute(cfg_.epoch_poll_ns);
     o.stats.acquire_poll_ns += cfg_.epoch_poll_ns;
+  }
+
+  // Under duplication faults, a finished prefix proves the *originals*
+  // landed but a duplicate completion AMO may still be in flight — and a
+  // fetch-add replayed into a recycled epoch would corrupt a fresh slot.
+  // Both copies of a duplicated op enter the fabric's pending set at
+  // issue time, so pending_to(us)==0 certifies no stray copy remains.
+  if (ctx.fabric().fault_duplicates_possible()) {
+    while (ctx.fabric().pending_to(ctx.pe()) > 0) {
+      ctx.compute(cfg_.epoch_poll_ns);
+      o.stats.acquire_poll_ns += cfg_.epoch_poll_ns;
+    }
   }
 
   completion_.clear_epoch(ctx, next_epoch);
@@ -243,7 +256,9 @@ StealResult SwsQueue::steal(pgas::PeContext& thief, int victim,
 
   if (sv.locked()) {
     ++st.steals_retry;
-    return {StealOutcome::kRetry, 0};
+    // The owner rotates epochs on its poll cadence; retrying sooner than
+    // that only re-reads the sentinel.
+    return {StealOutcome::kRetry, 0, cfg_.epoch_poll_ns};
   }
   const std::uint32_t nblocks = steal_block_count(sv.itasks);
   if (sv.itasks == 0 || sv.asteals >= nblocks) {

@@ -26,9 +26,8 @@
 
 namespace sws::core {
 
+/// Protocol knobs only — ring geometry comes from QueueConfig.
 struct SwsConfig {
-  std::uint32_t capacity = 8192;
-  std::uint32_t slot_bytes = 64;
   /// Completion epochs (§4.2). When false, allotment resets wait for every
   /// outstanding steal to finish first — the paper's initial
   /// implementation, kept for the ablation study.
@@ -45,7 +44,8 @@ struct SwsConfig {
 
 class SwsQueue final : public TaskQueue {
  public:
-  SwsQueue(pgas::Runtime& rt, SwsConfig cfg);
+  explicit SwsQueue(pgas::Runtime& rt, const QueueConfig& queue,
+                    SwsConfig cfg = {});
 
   QueueKind kind() const noexcept override { return QueueKind::kSws; }
   void reset_pe(pgas::PeContext& ctx) override;
@@ -63,6 +63,7 @@ class SwsQueue final : public TaskQueue {
 
   const QueueOpStats& op_stats(int pe) const override;
   const SwsConfig& config() const noexcept { return cfg_; }
+  const QueueConfig& queue_config() const noexcept { return qcfg_; }
 
   /// Owner's decoded view of its own stealval (for tests/diagnostics).
   StealVal owner_stealval(pgas::PeContext& ctx) const;
@@ -97,6 +98,7 @@ class SwsQueue final : public TaskQueue {
   /// Publish a fresh allotment (must follow retire_allotment).
   void publish(pgas::PeContext& ctx, std::uint32_t itasks);
 
+  QueueConfig qcfg_;
   SwsConfig cfg_;
   pgas::SymPtr stealval_;
   CompletionSpace completion_;

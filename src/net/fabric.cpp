@@ -8,6 +8,8 @@ namespace sws::net {
 
 Fabric::Fabric(TimeModel& time, NetworkModel model, int npes)
     : time_(time), model_(model) {
+  if (model_.params().faults.enabled())
+    faults_ = std::make_unique<FaultInjector>(model_.params().faults, npes);
   reset(npes);
   if (time_.is_virtual()) {
     time_.set_delivery_hook([this](Nanos now) { deliver_until(now); });
@@ -29,6 +31,21 @@ Fabric::~Fabric() {
   }
 }
 
+void Fabric::apply_top_locked() {
+  // priority_queue::top is const; the effect is moved via const_cast,
+  // which is safe because pop() immediately discards the slot.
+  auto& top = const_cast<PendingOp&>(pending_.top());
+  auto effect = std::move(top.effect);
+  const int initiator = top.initiator;
+  const int target = top.target;
+  pending_.pop();
+  effect();  // atomics/memcpy on arenas: safe off-thread
+  pending_per_pe_[static_cast<std::size_t>(initiator)].fetch_sub(
+      1, std::memory_order_relaxed);
+  pending_per_target_[static_cast<std::size_t>(target)].fetch_sub(
+      1, std::memory_order_relaxed);
+}
+
 void Fabric::delivery_loop() {
   std::unique_lock<std::mutex> lk(pend_mu_);
   while (!stopping_) {
@@ -42,13 +59,7 @@ void Fabric::delivery_loop() {
       pend_cv_.wait_for(lk, std::chrono::nanoseconds(due - now));
       continue;
     }
-    auto& top = const_cast<PendingOp&>(pending_.top());
-    auto effect = std::move(top.effect);
-    const int initiator = top.initiator;
-    pending_.pop();
-    effect();  // atomics/memcpy on arenas: safe off-thread
-    pending_per_pe_[static_cast<std::size_t>(initiator)].fetch_sub(
-        1, std::memory_order_relaxed);
+    apply_top_locked();
     pend_cv_.notify_all();  // wake quiet() waiters
   }
 }
@@ -65,23 +76,32 @@ void Fabric::reset(int npes) {
   stats_.assign(static_cast<std::size_t>(npes), PaddedStats{});
   pending_per_pe_ = std::vector<std::atomic<int>>(static_cast<std::size_t>(npes));
   for (auto& p : pending_per_pe_) p.store(0, std::memory_order_relaxed);
+  pending_per_target_ =
+      std::vector<std::atomic<int>>(static_cast<std::size_t>(npes));
+  for (auto& p : pending_per_target_) p.store(0, std::memory_order_relaxed);
+  if (faults_) faults_->reset(npes);
 }
 
 void Fabric::new_run() {
   {
     std::lock_guard<std::mutex> lk(pend_mu_);
-    // Apply any leftovers so no memory effect is silently dropped.
-    while (!pending_.empty()) {
-      auto& top = const_cast<PendingOp&>(pending_.top());
-      auto effect = std::move(top.effect);
-      const int initiator = top.initiator;
-      pending_.pop();
-      effect();
-      pending_per_pe_[static_cast<std::size_t>(initiator)].fetch_sub(
-          1, std::memory_order_relaxed);
-    }
+    // Apply any leftovers so no memory effect is silently dropped. (A run
+    // that drives raw queues without a final quiet may legitimately end
+    // with in-flight completions; a TaskPool run may not — its teardown
+    // asserts pending(pe)==0 after quiet-at-barrier.)
+    while (!pending_.empty()) apply_top_locked();
+    // After the drain, the per-PE counters must agree with the (now
+    // empty) queue — anything else means an op leaked across runs.
+    for (const auto& p : pending_per_pe_)
+      SWS_ASSERT_MSG(p.load(std::memory_order_relaxed) == 0,
+                     "pending nbi ops leaked across runs (initiator count)");
+    for (const auto& p : pending_per_target_)
+      SWS_ASSERT_MSG(p.load(std::memory_order_relaxed) == 0,
+                     "pending nbi ops leaked across runs (target count)");
   }
   std::fill(busy_until_.begin(), busy_until_.end(), Nanos{0});
+  // Reseed the fault streams so run N+1 replays run N's decisions.
+  if (faults_) faults_->new_run();
 }
 
 void Fabric::register_arena(int pe, std::byte* base, std::size_t size) {
@@ -126,6 +146,10 @@ void Fabric::charge(int initiator, int target, OpKind kind,
     s.occupancy_wait_ns += wait;
     c += wait;
   }
+
+  if (faults_)
+    c += faults_->charge_penalty(initiator, target, kind,
+                                 time_.now(initiator), c);
 
   s.blocking_ns += c;
   time_.advance(initiator, c);
@@ -213,17 +237,40 @@ void Fabric::amo_set(int initiator, int target, std::uint64_t offset,
 
 // --------------------------------------------------------- non-blocking
 
-void Fabric::enqueue_nbi(int initiator, int target, std::size_t bytes,
-                         std::function<void()> effect) {
-  const Nanos deadline =
-      time_.now(initiator) +
+void Fabric::enqueue_nbi(int initiator, int target, OpKind kind,
+                         std::size_t bytes, std::function<void()> effect) {
+  const Nanos base_delay =
       model_.delivery_delay(bytes, model_.locality(initiator, target));
+  Nanos deadline = time_.now(initiator) + base_delay;
+  bool duplicate = false;
+  Nanos dup_deadline = 0;
+  if (faults_) {
+    const FaultInjector::Delivery v =
+        faults_->delivery_verdict(initiator, kind, base_delay);
+    deadline += v.extra_delay;  // jitter + retransmits after loss
+    if (v.duplicate) {
+      duplicate = true;
+      dup_deadline = deadline + v.dup_extra_delay;
+    }
+  }
   {
     std::lock_guard<std::mutex> lk(pend_mu_);
+    const int copies = duplicate ? 2 : 1;
     pending_per_pe_[static_cast<std::size_t>(initiator)].fetch_add(
-        1, std::memory_order_relaxed);
-    pending_.push(
-        PendingOp{deadline, next_seq_++, initiator, std::move(effect)});
+        copies, std::memory_order_relaxed);
+    pending_per_target_[static_cast<std::size_t>(target)].fetch_add(
+        copies, std::memory_order_relaxed);
+    if (duplicate) {
+      // Both copies enter pending_ atomically with the original, so
+      // pending_to(target)==0 proves no stray duplicate is in flight.
+      pending_.push(PendingOp{deadline, next_seq_++, initiator, target,
+                              effect});
+      pending_.push(PendingOp{dup_deadline, next_seq_++, initiator, target,
+                              std::move(effect)});
+    } else {
+      pending_.push(PendingOp{deadline, next_seq_++, initiator, target,
+                              std::move(effect)});
+    }
   }
   if (!time_.is_virtual()) pend_cv_.notify_all();
 }
@@ -235,18 +282,29 @@ void Fabric::nbi_put(int initiator, int target, std::uint64_t offset,
   std::byte* dst = translate(target, offset, n);
   std::vector<std::byte> copy(static_cast<const std::byte*>(src),
                               static_cast<const std::byte*>(src) + n);
-  enqueue_nbi(initiator, target, n, [dst, data = std::move(copy)]() {
-    std::memcpy(dst, data.data(), data.size());
-  });
+  enqueue_nbi(initiator, target, OpKind::kNbiPut, n,
+              [dst, data = std::move(copy)]() {
+                std::memcpy(dst, data.data(), data.size());
+              });
 }
 
 void Fabric::nbi_amo_add(int initiator, int target, std::uint64_t offset,
                          std::uint64_t value) {
   charge(initiator, target, OpKind::kNbiAmoAdd, 8);
   std::uint64_t* dst = translate_u64(target, offset);
-  enqueue_nbi(initiator, target, 8, [dst, value]() {
+  enqueue_nbi(initiator, target, OpKind::kNbiAmoAdd, 8, [dst, value]() {
     std::atomic_ref<std::uint64_t>(*dst).fetch_add(value,
                                                    std::memory_order_seq_cst);
+  });
+}
+
+void Fabric::nbi_amo_set(int initiator, int target, std::uint64_t offset,
+                         std::uint64_t value) {
+  charge(initiator, target, OpKind::kNbiAmoSet, 8);
+  std::uint64_t* dst = translate_u64(target, offset);
+  enqueue_nbi(initiator, target, OpKind::kNbiAmoSet, 8, [dst, value]() {
+    std::atomic_ref<std::uint64_t>(*dst).store(value,
+                                               std::memory_order_seq_cst);
   });
 }
 
@@ -255,21 +313,17 @@ void Fabric::deliver_until(Nanos now) {
   // time reaches a new floor. Applies every effect whose deadline passed,
   // in (deadline, issue-sequence) order — deterministic.
   std::lock_guard<std::mutex> lk(pend_mu_);
-  while (!pending_.empty() && pending_.top().deadline <= now) {
-    // priority_queue::top is const; the effect is moved via const_cast,
-    // which is safe because pop() immediately discards the slot.
-    auto& top = const_cast<PendingOp&>(pending_.top());
-    auto effect = std::move(top.effect);
-    const int initiator = top.initiator;
-    pending_.pop();
-    effect();
-    pending_per_pe_[static_cast<std::size_t>(initiator)].fetch_sub(
-        1, std::memory_order_relaxed);
-  }
+  while (!pending_.empty() && pending_.top().deadline <= now)
+    apply_top_locked();
 }
 
 int Fabric::pending(int pe) const {
   return pending_per_pe_[static_cast<std::size_t>(pe)].load(
+      std::memory_order_relaxed);
+}
+
+int Fabric::pending_to(int pe) const {
+  return pending_per_target_[static_cast<std::size_t>(pe)].load(
       std::memory_order_relaxed);
 }
 

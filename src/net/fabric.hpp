@@ -22,11 +22,13 @@
 #include <cstdint>
 #include <functional>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "net/network_model.hpp"
 #include "net/time_model.hpp"
 #include "net/types.hpp"
@@ -87,12 +89,32 @@ class Fabric {
                const void* src, std::size_t n);
   void nbi_amo_add(int initiator, int target, std::uint64_t offset,
                    std::uint64_t value);
+  /// Non-blocking atomic store: idempotent, so duplicated delivery is
+  /// harmless — what tagged completion records (SDC ring) are built on.
+  void nbi_amo_set(int initiator, int target, std::uint64_t offset,
+                   std::uint64_t value);
 
   /// Block until all nbi ops issued by `pe` have been delivered.
   void quiet(int pe);
 
   /// Count of `pe`'s not-yet-delivered nbi ops.
   int pending(int pe) const;
+  /// Count of not-yet-delivered nbi ops *targeting* `pe` (any initiator).
+  /// Lets owners prove a completion region can no longer change under
+  /// them before reusing it (SWS epoch recycle under duplication).
+  int pending_to(int pe) const;
+
+  // --- fault injection --------------------------------------------------
+  bool faults_enabled() const noexcept { return faults_ != nullptr; }
+  bool fault_duplicates_possible() const noexcept {
+    return faults_ != nullptr && faults_->plan().duplicates_possible();
+  }
+  const FaultInjector* fault_injector() const noexcept {
+    return faults_.get();
+  }
+  FaultStats fault_stats() const {
+    return faults_ ? faults_->total_stats() : FaultStats{};
+  }
 
   // --- accounting -------------------------------------------------------
   const FabricStats& stats(int pe) const;
@@ -108,6 +130,7 @@ class Fabric {
     Nanos deadline;
     std::uint64_t seq;  // tie-break for determinism
     int initiator;
+    int target;
     std::function<void()> effect;
     bool operator>(const PendingOp& o) const noexcept {
       return deadline != o.deadline ? deadline > o.deadline : seq > o.seq;
@@ -122,8 +145,10 @@ class Fabric {
   /// Charge a blocking op: stats + advance; returns nothing, effect is the
   /// caller's next statement.
   void charge(int initiator, int target, OpKind kind, std::size_t bytes);
-  void enqueue_nbi(int initiator, int target, std::size_t bytes,
+  void enqueue_nbi(int initiator, int target, OpKind kind, std::size_t bytes,
                    std::function<void()> effect);
+  /// Pop + apply one delivered op; caller holds pend_mu_.
+  void apply_top_locked();
   void deliver_until(Nanos now);
 
   TimeModel& time_;
@@ -137,7 +162,12 @@ class Fabric {
   std::priority_queue<PendingOp, std::vector<PendingOp>, std::greater<>>
       pending_;
   std::vector<std::atomic<int>> pending_per_pe_;
+  std::vector<std::atomic<int>> pending_per_target_;
   std::uint64_t next_seq_ = 0;
+
+  /// Present iff model_.params().faults.enabled(); a null injector means
+  /// every fault hook short-circuits to the pre-fault fast path.
+  std::unique_ptr<FaultInjector> faults_;
 
   // Real-time backend: a progress thread applies queued nbi effects once
   // their wall-clock deadline passes, so completion notifications arrive

@@ -1,0 +1,118 @@
+#include "net/fault.hpp"
+
+#include "common/assert.hpp"
+
+namespace sws::net {
+
+namespace {
+
+// Distinct stream tag so fault decisions never collide with workload RNG
+// streams derived from the same user seed.
+constexpr std::uint64_t kFaultStreamTag = 0xFA17'5EED'0000'0000ULL;
+
+Nanos scaled(Nanos base, double factor) noexcept {
+  return static_cast<Nanos>(static_cast<double>(base) * factor);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, int npes) : plan_(std::move(plan)) {
+  SWS_CHECK(plan_.spike_rate >= 0.0 && plan_.spike_rate <= 1.0,
+            "spike_rate must be a probability");
+  // drop_rate == 1.0 is allowed: max_retransmits bounds the loss loop, so
+  // even certain loss yields a finite (cap-sized) delay.
+  SWS_CHECK(plan_.drop_rate >= 0.0 && plan_.drop_rate <= 1.0,
+            "drop_rate must be a probability");
+  SWS_CHECK(plan_.dup_rate >= 0.0 && plan_.dup_rate <= 1.0,
+            "dup_rate must be a probability");
+  SWS_CHECK(plan_.jitter >= 0.0, "jitter must be non-negative");
+  SWS_CHECK(plan_.spike_factor >= 1.0, "spike_factor must be >= 1");
+  for (const SlowWindow& w : plan_.slow_windows)
+    SWS_CHECK(w.factor >= 1.0 && w.from_ns <= w.until_ns,
+              "malformed slow window");
+  reset(npes);
+}
+
+void FaultInjector::reset(int npes) {
+  pes_.clear();
+  pes_.resize(static_cast<std::size_t>(npes < 0 ? 0 : npes));
+  new_run();
+}
+
+void FaultInjector::new_run() {
+  for (std::size_t pe = 0; pe < pes_.size(); ++pe)
+    pes_[pe].rng = Xoshiro256(plan_.seed ^ kFaultStreamTag, pe);
+}
+
+Nanos FaultInjector::charge_penalty(int initiator, int target, OpKind kind,
+                                    Nanos now, Nanos base) {
+  PerPe& p = pes_[static_cast<std::size_t>(initiator)];
+  Nanos extra = 0;
+  if (plan_.spikes_enabled() &&
+      (plan_.spike_op_mask & op_bit(kind)) != 0 &&
+      (plan_.spike_target < 0 || plan_.spike_target == target) &&
+      p.rng.uniform() < plan_.spike_rate) {
+    const Nanos add = scaled(base, plan_.spike_factor - 1.0);
+    ++p.stats.spikes;
+    p.stats.spike_extra_ns += add;
+    extra += add;
+  }
+  for (const SlowWindow& w : plan_.slow_windows) {
+    if (w.pe == initiator && now >= w.from_ns && now < w.until_ns) {
+      const Nanos add = scaled(base, w.factor - 1.0);
+      ++p.stats.slow_hits;
+      p.stats.slow_extra_ns += add;
+      extra += add;
+    }
+  }
+  return extra;
+}
+
+FaultInjector::Delivery FaultInjector::delivery_verdict(int initiator,
+                                                        OpKind kind,
+                                                        Nanos base_delay) {
+  Delivery v;
+  if (!plan_.delivery_faults_enabled() ||
+      (plan_.delivery_op_mask & op_bit(kind)) == 0)
+    return v;
+  PerPe& p = pes_[static_cast<std::size_t>(initiator)];
+  // Draw order is fixed (jitter, drops, dup) so streams replay identically.
+  if (plan_.jitter > 0.0) {
+    const Nanos add =
+        static_cast<Nanos>(p.rng.uniform() * plan_.jitter *
+                           static_cast<double>(base_delay));
+    p.stats.jitter_extra_ns += add;
+    v.extra_delay += add;
+  }
+  if (plan_.drop_rate > 0.0) {
+    std::uint32_t lost = 0;
+    while (lost < plan_.max_retransmits &&
+           p.rng.uniform() < plan_.drop_rate)
+      ++lost;
+    if (lost > 0) {
+      const Nanos add = static_cast<Nanos>(lost) * plan_.retransmit_ns;
+      p.stats.drops += lost;
+      p.stats.retransmit_extra_ns += add;
+      v.extra_delay += add;
+    }
+  }
+  if (plan_.dup_rate > 0.0 && p.rng.uniform() < plan_.dup_rate) {
+    ++p.stats.dups;
+    v.duplicate = true;
+    v.dup_extra_delay = plan_.dup_delay_ns;
+  }
+  return v;
+}
+
+const FaultStats& FaultInjector::stats(int pe) const {
+  SWS_ASSERT(pe >= 0 && pe < static_cast<int>(pes_.size()));
+  return pes_[static_cast<std::size_t>(pe)].stats;
+}
+
+FaultStats FaultInjector::total_stats() const {
+  FaultStats t;
+  for (const PerPe& p : pes_) t.merge(p.stats);
+  return t;
+}
+
+}  // namespace sws::net

@@ -1,0 +1,153 @@
+// Deterministic fault injection for the simulated fabric.
+//
+// A FaultPlan describes adverse network behaviour — latency spikes,
+// jittered delivery, dropped-then-retransmitted or duplicated
+// non-blocking ops, and per-PE "slow" windows emulating OS noise. The
+// FaultInjector draws every decision from per-initiator-PE Xoshiro
+// streams seeded from the plan, and all penalties are charged in the
+// fabric's (virtual or real) time, so faulty runs are exactly as
+// reproducible as clean ones.
+//
+// Fault semantics (docs/protocols.md "Fault model"):
+//  * A latency spike or slow window stretches the initiator-blocking
+//    charge of an op; it never reorders memory effects by itself.
+//  * A "dropped" nbi op models transport-level loss with retransmission:
+//    the memory effect still happens, but only after one or more
+//    retransmit delays. The op stays pending the whole time, so
+//    `Fabric::quiet()` and the pool's termination barrier still cover it.
+//  * A duplicated nbi op delivers its memory effect twice — the second
+//    copy after an extra delay. Both copies count as pending until
+//    delivered. Consumers (completion spaces, SDC completion ring) must
+//    be idempotent against this.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/types.hpp"
+
+namespace sws::net {
+
+/// Bitmask helpers for selecting op kinds in a FaultPlan.
+constexpr std::uint32_t op_bit(OpKind k) noexcept {
+  return 1u << static_cast<int>(k);
+}
+constexpr std::uint32_t kAllOpsMask = (1u << kNumOpKinds) - 1;
+constexpr std::uint32_t kNbiOpsMask = op_bit(OpKind::kNbiPut) |
+                                      op_bit(OpKind::kNbiAmoAdd) |
+                                      op_bit(OpKind::kNbiAmoSet);
+
+/// One interval during which `pe` runs slow: every op it *initiates* with
+/// issue time in [from_ns, until_ns) pays `factor` times its base cost.
+struct SlowWindow {
+  int pe = -1;
+  Nanos from_ns = 0;
+  Nanos until_ns = 0;
+  double factor = 4.0;
+};
+
+/// A complete, seeded description of what can go wrong on the fabric.
+/// Default-constructed plans inject nothing and cost nothing.
+struct FaultPlan {
+  std::uint64_t seed = 0xFA17;  ///< base seed for the per-PE decision streams
+
+  // --- latency spikes on blocking charges -------------------------------
+  double spike_rate = 0.0;     ///< probability an op's charge spikes
+  double spike_factor = 10.0;  ///< spiked charge = base * factor
+  std::uint32_t spike_op_mask = kAllOpsMask;  ///< which op kinds can spike
+  int spike_target = -1;       ///< restrict spikes to this target PE (-1: any)
+
+  // --- delivery-time faults on non-blocking ops -------------------------
+  double jitter = 0.0;         ///< extra delivery delay, uniform in
+                               ///< [0, jitter * base_delay)
+  double drop_rate = 0.0;      ///< per-transmission loss probability
+  Nanos retransmit_ns = 20'000;  ///< delay added per lost transmission
+  std::uint32_t max_retransmits = 16;  ///< loss bound (keeps delays finite)
+  double dup_rate = 0.0;       ///< probability an nbi op delivers twice
+  Nanos dup_delay_ns = 5'000;  ///< extra delay of the duplicate copy
+  std::uint32_t delivery_op_mask = kNbiOpsMask;  ///< which nbi kinds fault
+
+  // --- OS-noise windows -------------------------------------------------
+  std::vector<SlowWindow> slow_windows;
+
+  bool spikes_enabled() const noexcept { return spike_rate > 0.0; }
+  bool delivery_faults_enabled() const noexcept {
+    return jitter > 0.0 || drop_rate > 0.0 || dup_rate > 0.0;
+  }
+  bool duplicates_possible() const noexcept { return dup_rate > 0.0; }
+  /// Anything at all to inject? The fabric only instantiates an injector
+  /// (and only pays any per-op cost) when this is true.
+  bool enabled() const noexcept {
+    return spikes_enabled() || delivery_faults_enabled() ||
+           !slow_windows.empty();
+  }
+};
+
+/// What the injector actually did, per initiating PE.
+struct FaultStats {
+  std::uint64_t spikes = 0;
+  std::uint64_t spike_extra_ns = 0;
+  std::uint64_t slow_hits = 0;
+  std::uint64_t slow_extra_ns = 0;
+  std::uint64_t jitter_extra_ns = 0;
+  std::uint64_t drops = 0;  ///< lost transmissions (an op may lose several)
+  std::uint64_t retransmit_extra_ns = 0;
+  std::uint64_t dups = 0;
+
+  void merge(const FaultStats& o) noexcept {
+    spikes += o.spikes;
+    spike_extra_ns += o.spike_extra_ns;
+    slow_hits += o.slow_hits;
+    slow_extra_ns += o.slow_extra_ns;
+    jitter_extra_ns += o.jitter_extra_ns;
+    drops += o.drops;
+    retransmit_extra_ns += o.retransmit_extra_ns;
+    dups += o.dups;
+  }
+};
+
+/// Draws fault decisions. One instance per Fabric; per-PE RNG streams and
+/// stats keep it safe under the real-time backend's true concurrency and
+/// deterministic under the virtual sequencer.
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, int npes);
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// Resize for `npes` PEs and reseed every stream (full reset).
+  void reset(int npes);
+  /// Reseed the decision streams so back-to-back runs reproduce; keeps
+  /// accumulated stats (they are per-process, like FabricStats).
+  void new_run();
+
+  /// Extra initiator-blocking time for an op whose base charge is `base`,
+  /// issued at `now`. Folds in spikes and slow windows.
+  Nanos charge_penalty(int initiator, int target, OpKind kind, Nanos now,
+                       Nanos base);
+
+  struct Delivery {
+    Nanos extra_delay = 0;      ///< added to the op's delivery deadline
+    bool duplicate = false;     ///< enqueue a second copy of the effect
+    Nanos dup_extra_delay = 0;  ///< duplicate lands this much later again
+  };
+  /// Delivery-time verdict for a non-blocking op with base delivery delay
+  /// `base_delay`. Called at issue time, on the initiating PE.
+  Delivery delivery_verdict(int initiator, OpKind kind, Nanos base_delay);
+
+  const FaultStats& stats(int pe) const;
+  FaultStats total_stats() const;
+
+ private:
+  struct alignas(64) PerPe {
+    Xoshiro256 rng{0};
+    FaultStats stats{};
+  };
+
+  FaultPlan plan_;
+  std::vector<PerPe> pes_;
+};
+
+}  // namespace sws::net

@@ -15,6 +15,7 @@ const char* op_kind_name(OpKind k) noexcept {
     case OpKind::kAmoSet: return "amo_set";
     case OpKind::kNbiPut: return "nbi_put";
     case OpKind::kNbiAmoAdd: return "nbi_amo_add";
+    case OpKind::kNbiAmoSet: return "nbi_amo_set";
     case OpKind::kCount_: break;
   }
   return "?";
@@ -66,6 +67,7 @@ Nanos NetworkModel::cost(OpKind kind, std::size_t bytes,
       return lat(p_.amo_latency);
     case OpKind::kNbiPut:
     case OpKind::kNbiAmoAdd:
+    case OpKind::kNbiAmoSet:
       // Non-blocking ops only charge the initiator the issue overhead;
       // the transfer itself completes asynchronously (delivery_delay).
       return p_.nbi_issue_overhead;

@@ -10,6 +10,7 @@
 
 #include <cstddef>
 
+#include "net/fault.hpp"
 #include "net/types.hpp"
 
 namespace sws::net {
@@ -40,6 +41,11 @@ struct NetworkParams {
   /// makes a contended victim (thief storms, lock convoys) expensive.
   /// 0 disables the queueing model. Applied by the virtual-time backend.
   Nanos target_occupancy = 250;
+
+  /// Adverse-network injection (chaos testing). Default plan injects
+  /// nothing and the fabric skips the injector entirely — zero cost and
+  /// zero behavioural effect when off.
+  FaultPlan faults{};
 
   /// Uniform scaling helper for latency-sweep ablations.
   NetworkParams scaled(double factor) const noexcept;

@@ -22,6 +22,7 @@ enum class OpKind : int {
   kAmoSet,
   kNbiPut,
   kNbiAmoAdd,
+  kNbiAmoSet,
   kCount_,
 };
 
@@ -50,7 +51,8 @@ struct FabricStats {
   /// Blocking (initiator-stalling) remote op count: everything except nbi.
   std::uint64_t blocking_ops() const noexcept {
     return total_ops() - ops[static_cast<int>(OpKind::kNbiPut)] -
-           ops[static_cast<int>(OpKind::kNbiAmoAdd)];
+           ops[static_cast<int>(OpKind::kNbiAmoAdd)] -
+           ops[static_cast<int>(OpKind::kNbiAmoSet)];
   }
   void merge(const FabricStats& o) noexcept {
     for (std::size_t i = 0; i < kNumOpKinds; ++i) ops[i] += o.ops[i];

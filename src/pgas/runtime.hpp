@@ -61,6 +61,8 @@ class PeContext {
   void nbi_put(int target, SymPtr p, std::uint64_t delta, const void* src,
                std::size_t n);
   void nbi_add(int target, SymPtr p, std::uint64_t value);
+  /// Non-blocking idempotent store (survives duplicated delivery).
+  void nbi_set(int target, SymPtr p, std::uint64_t value);
   /// Complete all of this PE's outstanding non-blocking ops.
   void quiet();
 

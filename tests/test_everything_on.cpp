@@ -52,13 +52,13 @@ TEST_P(EverythingOn, FullFeatureRunIsCorrect) {
 
   core::PoolConfig pc;
   pc.kind = kind;
-  pc.capacity = 8192;
-  pc.slot_bytes = 48;
+  pc.queue.capacity = 8192;
+  pc.queue.slot_bytes = 48;
   pc.victim = core::VictimPolicy::kHierarchical;
   pc.victim_local_bias = 0.6;
   pc.termination = core::TerminationKind::kToken;
-  pc.trace = true;
-  pc.trace_events = 1 << 15;
+  pc.trace.enable = true;
+  pc.trace.events = 1 << 15;
   pc.sws.damping = true;
   pc.sws.damping_slack = 4;
   core::TaskPool pool(rt, reg, pc);

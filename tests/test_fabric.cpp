@@ -196,6 +196,62 @@ TEST_F(FabricTest, NbiOpsDeliverInIssueOrderAtSameDeadline) {
   });
 }
 
+TEST_F(FabricTest, QuietUnderNbiStormDeliversEverything) {
+  // Both PEs storm each other with mixed nbi ops, then quiet: every
+  // effect must land, pending must hit zero on both sides.
+  run([&](int pe) {
+    const int other = 1 - pe;
+    const std::uint64_t marker = 0x1000u + static_cast<std::uint64_t>(pe);
+    for (int i = 0; i < 500; ++i) {
+      fabric_.nbi_amo_add(pe, other, 80, 1);
+      if (i % 16 == 0)
+        fabric_.nbi_put(pe, other, 96, &marker, 8);
+      if (i % 16 == 8)
+        fabric_.nbi_amo_set(pe, other, 104, marker);
+    }
+    fabric_.quiet(pe);
+    EXPECT_EQ(fabric_.pending(pe), 0);
+  });
+  EXPECT_EQ(fabric_.pending_to(0), 0);
+  EXPECT_EQ(fabric_.pending_to(1), 0);
+  EXPECT_EQ(word_at(0, 80), 500u);
+  EXPECT_EQ(word_at(1, 80), 500u);
+  EXPECT_EQ(word_at(0, 96), 0x1001u);
+  EXPECT_EQ(word_at(1, 96), 0x1000u);
+  EXPECT_EQ(word_at(0, 104), 0x1001u);
+  EXPECT_EQ(word_at(1, 104), 0x1000u);
+}
+
+TEST(FabricRealTime, QuietUnderNbiStormDeliversEverything) {
+  // Same storm with the delivery thread and true concurrency.
+  RealTimeModel tm(2);
+  NetworkParams params;
+  params.nbi_delay = 50'000;  // 50 us: a real in-flight window
+  Fabric fab(tm, NetworkModel(params), 2);
+  std::vector<std::vector<std::byte>> arenas;
+  for (int pe = 0; pe < 2; ++pe) {
+    arenas.emplace_back(256, std::byte{0});
+    fab.register_arena(pe, arenas.back().data(), 256);
+  }
+  tm.reset(2);
+  std::vector<std::thread> ts;
+  for (int pe = 0; pe < 2; ++pe)
+    ts.emplace_back([&, pe] {
+      const int other = 1 - pe;
+      for (int i = 0; i < 500; ++i) fab.nbi_amo_add(pe, other, 0, 1);
+      fab.quiet(pe);
+      EXPECT_EQ(fab.pending(pe), 0);
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(fab.pending_to(0), 0);
+  EXPECT_EQ(fab.pending_to(1), 0);
+  for (int pe = 0; pe < 2; ++pe) {
+    std::uint64_t v;
+    std::memcpy(&v, arenas[static_cast<std::size_t>(pe)].data(), 8);
+    EXPECT_EQ(v, 500u) << "pe " << pe;
+  }
+}
+
 TEST(FabricRealTime, NbiDeliveredLateByProgressThread) {
   RealTimeModel tm(2);
   NetworkParams params;

@@ -139,7 +139,7 @@ TEST(InboxPool, SpawnOnMovesTasksAcrossPes) {
   TaskRegistry reg;
   RemoteChain chain(reg);
   PoolConfig pc;
-  pc.slot_bytes = 32;
+  pc.queue.slot_bytes = 32;
   TaskPool pool(rt, reg, pc);
   rt.run([&](pgas::PeContext& ctx) {
     pool.run_pe(ctx, [&](Worker& w) {
@@ -161,7 +161,7 @@ TEST(InboxPool, SpawnOnSelfBehavesLikeSpawn) {
     w.compute(100);
   });
   PoolConfig pc;
-  pc.slot_bytes = 32;
+  pc.queue.slot_bytes = 32;
   TaskPool pool(rt, reg, pc);
   rt.run([&](pgas::PeContext& ctx) {
     pool.run_pe(ctx, [&](Worker& w) {
@@ -180,7 +180,7 @@ TEST(InboxPool, RemoteSpawnDisabledFallsBackToLocal) {
     w.compute(100);
   });
   PoolConfig pc;
-  pc.slot_bytes = 32;
+  pc.queue.slot_bytes = 32;
   pc.remote_spawn = false;
   TaskPool pool(rt, reg, pc);
   EXPECT_EQ(pool.inbox(), nullptr);
@@ -193,6 +193,56 @@ TEST(InboxPool, RemoteSpawnDisabledFallsBackToLocal) {
   EXPECT_EQ(pool.worker_stats(0).tasks_executed, 1u) << "ran locally";
 }
 
+TEST(InboxPool, OverflowedInboxFallsBackToLocalExecution) {
+  // PE 1 sits at the post-seed barrier while PE 0 scatters 32 tasks into
+  // its capacity-4 inbox: the pushes past the first 4 must exhaust their
+  // retries and run locally, with no task lost or run twice.
+  pgas::Runtime rt(rcfg(2));
+  TaskRegistry reg;
+  TaskFnId fn = reg.register_fn("noop", [](Worker& w,
+                                           std::span<const std::byte>) {
+    w.compute(100);
+  });
+  PoolConfig pc;
+  pc.queue.slot_bytes = 32;
+  pc.inbox_capacity = 4;
+  TaskPool pool(rt, reg, pc);
+  rt.run([&](pgas::PeContext& ctx) {
+    pool.run_pe(ctx, [&](Worker& w) {
+      if (w.pe() == 0)
+        for (int i = 0; i < 32; ++i) w.spawn_on(1, Task(fn, nullptr, 0));
+    });
+  });
+  EXPECT_EQ(pool.report().total.tasks_executed, 32u);
+  EXPECT_GE(pool.worker_stats(0).tasks_executed, 28u)
+      << "overflowed spawns must execute on the sender";
+  EXPECT_LE(pool.worker_stats(1).tasks_executed, 4u);
+}
+
+TEST(InboxPool, OverflowFallbackConservesTasksOnRealBackend) {
+  // Same overflow pressure with preemptive threads: the receiver may or
+  // may not drain mid-storm, but conservation must hold either way.
+  pgas::RuntimeConfig rc = rcfg(2);
+  rc.mode = pgas::TimeMode::kReal;
+  pgas::Runtime rt(rc);
+  TaskRegistry reg;
+  TaskFnId fn = reg.register_fn("noop", [](Worker& w,
+                                           std::span<const std::byte>) {
+    w.compute(100);
+  });
+  PoolConfig pc;
+  pc.queue.slot_bytes = 32;
+  pc.inbox_capacity = 4;
+  TaskPool pool(rt, reg, pc);
+  rt.run([&](pgas::PeContext& ctx) {
+    pool.run_pe(ctx, [&](Worker& w) {
+      if (w.pe() == 0)
+        for (int i = 0; i < 64; ++i) w.spawn_on(1, Task(fn, nullptr, 0));
+    });
+  });
+  EXPECT_EQ(pool.report().total.tasks_executed, 64u);
+}
+
 TEST(InboxPool, ScatterFromRootBalancesWithoutStealing) {
   // spawn_on as an explicit initial-distribution mechanism: root scatters
   // one long task per PE; everyone works without a single steal.
@@ -203,7 +253,7 @@ TEST(InboxPool, ScatterFromRootBalancesWithoutStealing) {
     w.compute(1'000'000);
   });
   PoolConfig pc;
-  pc.slot_bytes = 32;
+  pc.queue.slot_bytes = 32;
   TaskPool pool(rt, reg, pc);
   rt.run([&](pgas::PeContext& ctx) {
     pool.run_pe(ctx, [&](Worker& w) {

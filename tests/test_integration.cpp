@@ -20,8 +20,8 @@ pgas::RuntimeConfig rcfg(int npes, std::uint64_t seed = 42) {
 core::PoolConfig pcfg(core::QueueKind kind) {
   core::PoolConfig c;
   c.kind = kind;
-  c.capacity = 8192;
-  c.slot_bytes = 64;
+  c.queue.capacity = 8192;
+  c.queue.slot_bytes = 64;
   return c;
 }
 

@@ -100,21 +100,21 @@ core::PoolRunReport run_fan(const core::PoolConfig& pc, std::uint32_t depth) {
 
 TEST(SchedulerKnobs, TermCheckIntervalOneStillCorrect) {
   core::PoolConfig pc;
-  pc.slot_bytes = 32;
-  pc.term_check_interval = 1;
+  pc.queue.slot_bytes = 32;
+  pc.steal.term_check_interval = 1;
   EXPECT_EQ(run_fan(pc, 5).total.tasks_executed, 1365u);
 }
 
 TEST(SchedulerKnobs, LargeTermCheckIntervalStillTerminates) {
   core::PoolConfig pc;
-  pc.slot_bytes = 32;
-  pc.term_check_interval = 64;
+  pc.queue.slot_bytes = 32;
+  pc.steal.term_check_interval = 64;
   EXPECT_EQ(run_fan(pc, 5).total.tasks_executed, 1365u);
 }
 
 TEST(SchedulerKnobs, HighReleaseThresholdReducesReleases) {
   core::PoolConfig lo, hi;
-  lo.slot_bytes = hi.slot_bytes = 32;
+  lo.queue.slot_bytes = hi.queue.slot_bytes = 32;
   lo.release_threshold = 2;
   hi.release_threshold = 64;
 
@@ -144,8 +144,8 @@ TEST(SchedulerKnobs, HighReleaseThresholdReducesReleases) {
 
 TEST(SchedulerKnobs, ZeroBackoffStillTerminates) {
   core::PoolConfig pc;
-  pc.slot_bytes = 32;
-  pc.steal_backoff_ns = 0;
+  pc.queue.slot_bytes = 32;
+  pc.steal.backoff_min_ns = 0;
   EXPECT_EQ(run_fan(pc, 4).total.tasks_executed, 341u);
 }
 

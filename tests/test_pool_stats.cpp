@@ -77,8 +77,8 @@ TEST_P(SlotSizeSweep, PoolRunsAtEveryPaperTaskSize) {
       w.spawn(Task(fn, buf.data(), payload));
   });
   PoolConfig pc;
-  pc.slot_bytes = slot;
-  pc.capacity = 4096;
+  pc.queue.slot_bytes = slot;
+  pc.queue.capacity = 4096;
   TaskPool pool(rt, reg, pc);
   rt.run([&](pgas::PeContext& ctx) {
     pool.run_pe(ctx, [&](Worker& w) {

@@ -17,16 +17,9 @@ namespace {
 std::unique_ptr<TaskQueue> make_queue(pgas::Runtime& rt, QueueKind kind,
                                       std::uint32_t capacity = 1024,
                                       std::uint32_t slot_bytes = 32) {
-  if (kind == QueueKind::kSws) {
-    SwsConfig c;
-    c.capacity = capacity;
-    c.slot_bytes = slot_bytes;
-    return std::make_unique<SwsQueue>(rt, c);
-  }
-  SdcConfig c;
-  c.capacity = capacity;
-  c.slot_bytes = slot_bytes;
-  return std::make_unique<SdcQueue>(rt, c);
+  const QueueConfig qc{capacity, slot_bytes};
+  if (kind == QueueKind::kSws) return std::make_unique<SwsQueue>(rt, qc);
+  return std::make_unique<SdcQueue>(rt, qc);
 }
 
 Task mk(std::uint32_t id) { return Task::of(0, id); }

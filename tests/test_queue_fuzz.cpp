@@ -36,18 +36,12 @@ TEST_P(QueueFuzz, NothingLostNothingDuplicated) {
   rcfg.heap_bytes = 2 << 20;
   pgas::Runtime rt(rcfg);
 
+  const QueueConfig qc{fp.capacity, /*slot_bytes=*/32};
   std::unique_ptr<TaskQueue> q;
-  if (fp.kind == QueueKind::kSws) {
-    SwsConfig c;
-    c.capacity = fp.capacity;
-    c.slot_bytes = 32;
-    q = std::make_unique<SwsQueue>(rt, c);
-  } else {
-    SdcConfig c;
-    c.capacity = fp.capacity;
-    c.slot_bytes = 32;
-    q = std::make_unique<SdcQueue>(rt, c);
-  }
+  if (fp.kind == QueueKind::kSws)
+    q = std::make_unique<SwsQueue>(rt, qc);
+  else
+    q = std::make_unique<SdcQueue>(rt, qc);
 
   std::mutex mu;
   std::set<std::uint64_t> consumed;  // ids seen exactly once

@@ -20,8 +20,8 @@ pgas::RuntimeConfig rcfg(int npes, std::uint64_t seed = 42) {
 PoolConfig pcfg(QueueKind kind) {
   PoolConfig c;
   c.kind = kind;
-  c.capacity = 4096;
-  c.slot_bytes = 32;
+  c.queue.capacity = 4096;
+  c.queue.slot_bytes = 32;
   return c;
 }
 
@@ -209,7 +209,7 @@ TEST_P(SchedulerBoth, TinyQueueFallsBackToInlineExecution) {
   TaskRegistry reg;
   FanOut fan(reg, 8, 500);
   PoolConfig pc = pcfg(GetParam());
-  pc.capacity = 16;
+  pc.queue.capacity = 16;
   TaskPool pool(rt, reg, pc);
   rt.run([&](pgas::PeContext& ctx) {
     pool.run_pe(ctx, [&](Worker& w) {

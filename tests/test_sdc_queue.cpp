@@ -16,12 +16,7 @@ pgas::RuntimeConfig rcfg(int npes) {
 
 Task mk(std::uint32_t id) { return Task::of(0, id); }
 
-SdcConfig qcfg() {
-  SdcConfig c;
-  c.capacity = 1024;
-  c.slot_bytes = 32;
-  return c;
-}
+QueueConfig qcfg() { return QueueConfig{1024, /*slot_bytes=*/32}; }
 
 net::FabricStats delta(const net::FabricStats& after,
                        const net::FabricStats& before) {
@@ -53,7 +48,7 @@ TEST(SdcQueue, SuccessfulStealIsExactlySixComms) {
       EXPECT_EQ(d.ops[static_cast<int>(net::OpKind::kGet)], 2u);
       EXPECT_EQ(d.ops[static_cast<int>(net::OpKind::kPut)], 1u);
       EXPECT_EQ(d.ops[static_cast<int>(net::OpKind::kAmoSet)], 1u);
-      EXPECT_EQ(d.ops[static_cast<int>(net::OpKind::kNbiAmoAdd)], 1u);
+      EXPECT_EQ(d.ops[static_cast<int>(net::OpKind::kNbiAmoSet)], 1u);
       EXPECT_EQ(d.remote_ops, 6u) << "SDC steal is 6 communications";
       EXPECT_EQ(d.blocking_ops(), 5u) << "5 of them blocking";
     }

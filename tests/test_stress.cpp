@@ -11,8 +11,8 @@ namespace {
 core::PoolConfig pcfg(core::QueueKind kind) {
   core::PoolConfig c;
   c.kind = kind;
-  c.capacity = 8192;
-  c.slot_bytes = 48;
+  c.queue.capacity = 8192;
+  c.queue.slot_bytes = 48;
   return c;
 }
 
@@ -137,8 +137,8 @@ TEST(Scale, OneHundredTwentyEightPes) {
   rcfg.npes = 128;
   rcfg.heap_bytes = 1 << 20;
   core::PoolConfig pc;
-  pc.capacity = 2048;
-  pc.slot_bytes = 48;
+  pc.queue.capacity = 2048;
+  pc.queue.slot_bytes = 48;
   workloads::UtsParams p = small_tree();
   p.gen_mx = 11;
   const auto truth = workloads::uts_sequential_count(p);

@@ -20,11 +20,8 @@ pgas::RuntimeConfig rcfg(int npes) {
 Task mk(std::uint32_t id) { return Task::of(0, id); }
 std::uint32_t id_of(const Task& t) { return t.payload_as<std::uint32_t>(); }
 
-SwsConfig qcfg(std::uint32_t capacity = 1024) {
-  SwsConfig c;
-  c.capacity = capacity;
-  c.slot_bytes = 32;
-  return c;
+QueueConfig qcfg(std::uint32_t capacity = 1024) {
+  return QueueConfig{capacity, /*slot_bytes=*/32};
 }
 
 net::FabricStats delta(const net::FabricStats& after,
@@ -123,9 +120,9 @@ TEST(SwsQueue, EpochRotatesOnEachAllotmentReset) {
 
 TEST(SwsQueue, EpochsOffKeepsSingleEpoch) {
   pgas::Runtime rt(rcfg(1));
-  SwsConfig c = qcfg();
+  SwsConfig c;
   c.epochs = false;
-  SwsQueue q(rt, c);
+  SwsQueue q(rt, qcfg(), c);
   rt.run([&](pgas::PeContext& ctx) {
     q.reset_pe(ctx);
     Task t;
@@ -206,10 +203,10 @@ TEST(SwsQueue, ThiefHittingLockedQueueRetries) {
 
 TEST(SwsQueue, DampingMovesExhaustedTargetsToProbeMode) {
   pgas::Runtime rt(rcfg(2));
-  SwsConfig c = qcfg();
+  SwsConfig c;
   c.damping = true;
   c.damping_slack = 2;
-  SwsQueue q(rt, c);
+  SwsQueue q(rt, qcfg(), c);
   rt.run([&](pgas::PeContext& ctx) {
     q.reset_pe(ctx);
     ctx.barrier();
@@ -228,10 +225,10 @@ TEST(SwsQueue, DampingMovesExhaustedTargetsToProbeMode) {
 
 TEST(SwsQueue, DampingProbesStopInflatingAsteals) {
   pgas::Runtime rt(rcfg(2));
-  SwsConfig c = qcfg();
+  SwsConfig c;
   c.damping = true;
   c.damping_slack = 2;
-  SwsQueue q(rt, c);
+  SwsQueue q(rt, qcfg(), c);
   rt.run([&](pgas::PeContext& ctx) {
     q.reset_pe(ctx);
     ctx.barrier();
@@ -251,10 +248,10 @@ TEST(SwsQueue, DampingProbesStopInflatingAsteals) {
 
 TEST(SwsQueue, DampedTargetRecoversWhenWorkAppears) {
   pgas::Runtime rt(rcfg(2));
-  SwsConfig c = qcfg();
+  SwsConfig c;
   c.damping = true;
   c.damping_slack = 1;
-  SwsQueue q(rt, c);
+  SwsQueue q(rt, qcfg(), c);
   rt.run([&](pgas::PeContext& ctx) {
     q.reset_pe(ctx);
     ctx.barrier();
@@ -281,9 +278,9 @@ TEST(SwsQueue, DampedTargetRecoversWhenWorkAppears) {
 
 TEST(SwsQueue, DampingOffAstealsGrowsUnbounded) {
   pgas::Runtime rt(rcfg(2));
-  SwsConfig c = qcfg();
+  SwsConfig c;
   c.damping = false;
-  SwsQueue q(rt, c);
+  SwsQueue q(rt, qcfg(), c);
   rt.run([&](pgas::PeContext& ctx) {
     q.reset_pe(ctx);
     ctx.barrier();
@@ -301,10 +298,8 @@ TEST(SwsQueue, DampingOffAstealsGrowsUnbounded) {
 
 TEST(SwsQueue, CapacityBeyondITasksFieldRejected) {
   pgas::Runtime rt(rcfg(1));
-  SwsConfig c;
-  c.capacity = kMaxITasks + 1;
-  c.slot_bytes = 32;
-  EXPECT_THROW(SwsQueue(rt, c), std::invalid_argument);
+  EXPECT_THROW(SwsQueue(rt, QueueConfig{kMaxITasks + 1, 32}),
+               std::invalid_argument);
 }
 
 TEST(SwsQueue, WrappedStealPreservesContent) {

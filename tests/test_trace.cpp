@@ -117,9 +117,9 @@ TEST(TracerPool, SchedulerEmitsCoherentTrace) {
       for (int i = 0; i < 4; ++i) w.spawn(Task::of(fn, d - 1));
   });
   PoolConfig pc;
-  pc.slot_bytes = 32;
-  pc.trace = true;
-  pc.trace_events = 65536;
+  pc.queue.slot_bytes = 32;
+  pc.trace.enable = true;
+  pc.trace.events = 65536;
   TaskPool pool(rt, reg, pc);
   rt.run([&](pgas::PeContext& ctx) {
     pool.run_pe(ctx, [&](Worker& w) {
@@ -153,7 +153,7 @@ TEST(TracerPool, TraceOffRecordsNothing) {
     w.compute(10);
   });
   PoolConfig pc;
-  pc.slot_bytes = 32;
+  pc.queue.slot_bytes = 32;
   TaskPool pool(rt, reg, pc);
   rt.run([&](pgas::PeContext& ctx) {
     pool.run_pe(ctx, [&](Worker& w) {

@@ -21,8 +21,8 @@ pgas::RuntimeConfig rcfg(int npes) {
 core::PoolConfig pcfg(core::QueueKind kind, std::uint32_t slot = 64) {
   core::PoolConfig c;
   c.kind = kind;
-  c.capacity = 8192;
-  c.slot_bytes = slot;
+  c.queue.capacity = 8192;
+  c.queue.slot_bytes = slot;
   return c;
 }
 
