@@ -1,0 +1,97 @@
+#include "check/invariants.hpp"
+
+namespace sws::check {
+
+// ------------------------------------------------------------ TaskLedger
+
+void TaskLedger::reset(std::uint64_t nids) {
+  pushes_.assign(static_cast<std::size_t>(nids), 0);
+  extracts_.assign(static_cast<std::size_t>(nids), 0);
+  first_violation_.clear();
+}
+
+void TaskLedger::flag(std::string msg) {
+  if (first_violation_.empty()) first_violation_ = std::move(msg);
+}
+
+void TaskLedger::pushed(std::uint64_t id) {
+  if (id >= pushes_.size()) {
+    flag("ledger: pushed id " + std::to_string(id) + " out of range");
+    return;
+  }
+  if (pushes_[static_cast<std::size_t>(id)]++ != 0)
+    flag("ledger: id " + std::to_string(id) + " pushed twice");
+}
+
+void TaskLedger::extracted(std::uint64_t id) {
+  if (id >= extracts_.size()) {
+    flag("ledger: extracted id " + std::to_string(id) + " out of range");
+    return;
+  }
+  if (pushes_[static_cast<std::size_t>(id)] == 0) {
+    flag("ledger: phantom task " + std::to_string(id) +
+         " extracted but never pushed");
+    return;
+  }
+  if (extracts_[static_cast<std::size_t>(id)]++ != 0)
+    flag("ledger: task duplicated — id " + std::to_string(id) +
+         " extracted twice");
+}
+
+std::string TaskLedger::check_no_loss() const {
+  if (!first_violation_.empty()) return first_violation_;
+  for (std::size_t id = 0; id < pushes_.size(); ++id) {
+    if (pushes_[id] != 0 && extracts_[id] == 0)
+      return "ledger: task lost — id " + std::to_string(id) +
+             " pushed but never extracted";
+  }
+  return {};
+}
+
+// ---------------------------------------------------- CheckedTermination
+
+void CheckedTermination::reset_pe(pgas::PeContext& ctx) {
+  if (ctx.pe() == 0) {
+    created_.store(0);
+    completed_.store(0);
+    poisoned_.store(false);
+    violation_.clear();
+  }
+  inner_->reset_pe(ctx);
+}
+
+void CheckedTermination::count_created(pgas::PeContext& ctx, std::uint64_t n) {
+  created_.fetch_add(n, std::memory_order_relaxed);
+  inner_->count_created(ctx, n);
+}
+
+void CheckedTermination::count_completed(pgas::PeContext& ctx,
+                                         std::uint64_t n) {
+  completed_.fetch_add(n, std::memory_order_relaxed);
+  inner_->count_completed(ctx, n);
+}
+
+void CheckedTermination::task_boundary(pgas::PeContext& ctx) {
+  inner_->task_boundary(ctx);
+}
+
+bool CheckedTermination::check(pgas::PeContext& ctx) {
+  if (poisoned_.load(std::memory_order_relaxed)) return true;
+  const bool done = inner_->check(ctx);
+  if (done) {
+    const std::uint64_t c = created_.load(std::memory_order_relaxed);
+    const std::uint64_t x = completed_.load(std::memory_order_relaxed);
+    if (c != x) {
+      // Poison before recording so every other PE also drains out: a run
+      // the harness knows is broken must still finish, or the violation
+      // could never be reported.
+      violation_ = "termination: detector reported done on PE " +
+                   std::to_string(ctx.pe()) + " with " + std::to_string(c) +
+                   " created vs " + std::to_string(x) + " completed";
+      poisoned_.store(true, std::memory_order_relaxed);
+    }
+  }
+  return done || poisoned_.load(std::memory_order_relaxed);
+}
+
+}  // namespace sws::check

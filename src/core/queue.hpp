@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/queue_buffer.hpp"
@@ -53,6 +54,8 @@ struct QueueOpStats {
   std::uint64_t steals_retry = 0;
   std::uint64_t tasks_stolen = 0;     ///< tasks this PE stole from others
   std::uint64_t damping_probes = 0;   ///< SWS empty-mode read-only probes
+  std::uint64_t renews = 0;           ///< SWS owner-forced allotment renewals
+                                      ///< (asteals wraparound protection)
 
   void merge(const QueueOpStats& o) noexcept {
     releases += o.releases;
@@ -63,6 +66,7 @@ struct QueueOpStats {
     steals_retry += o.steals_retry;
     tasks_stolen += o.tasks_stolen;
     damping_probes += o.damping_probes;
+    renews += o.renews;
   }
 };
 
@@ -108,6 +112,16 @@ class TaskQueue {
 
   // --- introspection -----------------------------------------------------
   virtual const QueueOpStats& op_stats(int pe) const = 0;
+
+  /// Invariant audit hook for the schedule-exploration harness
+  /// (src/check/): validate the calling PE's owner-side view of the queue
+  /// using local reads only, and return a description of the first
+  /// violated invariant ("" = all good). Must be callable between any two
+  /// owner-side operations; the default says nothing is wrong.
+  virtual std::string audit(pgas::PeContext& ctx) const {
+    (void)ctx;
+    return {};
+  }
 };
 
 }  // namespace sws::core

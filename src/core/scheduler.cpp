@@ -34,6 +34,15 @@ void Worker::spawn_on(int target, const Task& t) {
   if (pool_.tracer_.enabled())
     pool_.tracer_.record(pe(), ctx_.now(), TraceKind::kSpawnRemote,
                          static_cast<std::uint64_t>(target));
+  // Flush the created-delta BEFORE the task escapes to another PE. Once
+  // the push lands, the target can execute the task and flush its
+  // completion while our +1 still sits in the local delta — the global
+  // counter then transiently reads zero with this task's *parent* still
+  // running, and a termination check in that window ends the run early.
+  // (Local spawns are safe without this: the executing parent's own
+  // completion is unflushed until after its spawns, anchoring the counter
+  // above zero.)
+  pool_.term_->task_boundary(ctx_);
   // Bounded retries against a full inbox, then run it here — the task
   // must execute somewhere, and local execution is always legal under the
   // Scioto model (tasks are location-independent).

@@ -127,6 +127,12 @@ class TaskPool {
   TaskQueue& queue() noexcept { return *queue_; }
   TaskRegistry& registry() noexcept { return registry_; }
   TerminationDetector& detector() noexcept { return *term_; }
+  /// Replace the termination detector (e.g. the checking harness wrapping
+  /// the real detector with a ground-truth cross-check). Must not be
+  /// called between run_pe entry and exit.
+  void set_detector(std::unique_ptr<TerminationDetector> d) {
+    term_ = std::move(d);
+  }
   const PoolConfig& config() const noexcept { return cfg_; }
   /// Disabled (records nothing) unless PoolConfig::trace is set.
   Tracer& tracer() noexcept { return tracer_; }

@@ -215,4 +215,35 @@ const QueueOpStats& SdcQueue::op_stats(int pe) const {
   return owners_[static_cast<std::size_t>(pe)].stats;
 }
 
+std::string SdcQueue::audit(pgas::PeContext& ctx) const {
+  const auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
+  auto bad = [&](const char* what, std::uint64_t a, std::uint64_t b) {
+    return std::string("sdc audit: ") + what + " (" + std::to_string(a) +
+           " vs " + std::to_string(b) + ")";
+  };
+
+  // Cursor order: reclaim <= tail <= split <= head. Completions can only
+  // lag claims, and thieves only advance the tail up to the split.
+  const std::uint64_t tail = owner_tail(ctx);
+  const std::uint64_t split = ctx.local_load(meta_.plus(kSplitOff));
+  if (o.reclaim_abs > tail)
+    return bad("reclaim past tail", o.reclaim_abs, tail);
+  if (tail > o.split_cache)
+    return bad("tail past split", tail, o.split_cache);
+  if (split != o.split_cache)
+    return bad("split mirror out of sync", split, o.split_cache);
+  if (o.split_cache > o.head_abs)
+    return bad("split past head", o.split_cache, o.head_abs);
+  if (o.head_abs - o.reclaim_abs > buffer_.capacity())
+    return bad("occupied span exceeds capacity", o.head_abs - o.reclaim_abs,
+               buffer_.capacity());
+
+  // The spinlock only ever holds 0 (free) or thief_pe + 1.
+  const std::uint64_t lock = ctx.local_load(meta_.plus(kLockOff));
+  if (lock > static_cast<std::uint64_t>(ctx.fabric().npes()))
+    return bad("lock word corrupt", lock,
+               static_cast<std::uint64_t>(ctx.fabric().npes()));
+  return {};
+}
+
 }  // namespace sws::core

@@ -55,6 +55,7 @@ class SdcQueue final : public TaskQueue {
                     std::vector<Task>& out) override;
 
   const QueueOpStats& op_stats(int pe) const override;
+  std::string audit(pgas::PeContext& ctx) const override;
   const SdcConfig& config() const noexcept { return cfg_; }
   const QueueConfig& queue_config() const noexcept { return qcfg_; }
 

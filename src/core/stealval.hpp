@@ -48,6 +48,27 @@ inline constexpr std::uint32_t kMaxITasks =
 inline constexpr std::uint32_t kMaxQueueCapacity =
     static_cast<std::uint32_t>(TailField::kMax) + 1;
 
+// The asteals field is 24 bits wide and every full-mode steal attempt —
+// successful or not — increments it. A long-lived allotment under a probe
+// storm could therefore wrap the counter mod 2^24, at which point a late
+// thief's fetched prior value aliases an already-claimed block index and
+// the same tasks get copied twice (task multiplicity). Two complementary
+// guards keep the counter far from the wrap point:
+//
+//  * kAStealsSoftCap — thief side: a fetched prior at/above this refuses
+//    to claim and falls back to read-only probes, so thieves stop feeding
+//    the counter. Each thief overshoots the cap by at most one increment,
+//    leaving > 2^23 of headroom before wrap.
+//  * kAStealsRenewAt — owner side: progress() retires and republishes the
+//    allotment once it observes asteals at/above this, resetting the
+//    counter to zero. Orders of magnitude below the soft cap, so in a
+//    live system the owner renews long before any thief hits the cap.
+inline constexpr std::uint32_t kAStealsSoftCap = 1u << 20;
+inline constexpr std::uint32_t kAStealsRenewAt = 1u << 16;
+static_assert(kAStealsRenewAt < kAStealsSoftCap);
+static_assert(kAStealsSoftCap < (AStealsField::kMax + 1) / 2,
+              "soft cap must leave wraparound headroom for thief overshoot");
+
 struct StealVal {
   std::uint32_t asteals = 0;
   std::uint32_t epoch = 0;
@@ -64,11 +85,14 @@ struct StealVal {
   }
 
   std::uint64_t encode() const noexcept {
+    // checked_set: an out-of-range field here would otherwise be silently
+    // truncated into a *neighboring* field's bits — e.g. itasks >
+    // kMaxITasks corrupting the epoch, which thieves then misread.
     std::uint64_t w = 0;
-    w = AStealsField::set(w, asteals);
-    w = EpochField::set(w, epoch);
-    w = ITasksField::set(w, itasks);
-    w = TailField::set(w, tail);
+    w = AStealsField::checked_set(w, asteals);
+    w = EpochField::checked_set(w, epoch);
+    w = ITasksField::checked_set(w, itasks);
+    w = TailField::checked_set(w, tail);
     return w;
   }
 

@@ -194,6 +194,24 @@ bool SwsQueue::try_acquire(pgas::PeContext& ctx) {
 
 void SwsQueue::progress(pgas::PeContext& ctx) {
   auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
+  // Wraparound protection (owner half): once the asteals counter runs hot
+  // — a probe storm against a long-lived allotment — retire it and
+  // republish the unclaimed remainder, which resets asteals to 0 long
+  // before any thief can wrap the 24-bit field and double-claim a block.
+  // retire_allotment() re-enters progress() from its wait loop with the
+  // locked sentinel already in place, so the !locked() gate makes the
+  // renewal non-recursive.
+  {
+    const StealVal sv = owner_stealval(ctx);
+    if (!sv.locked() && sv.asteals >= kAStealsRenewAt) {
+      const std::uint32_t claimed = retire_allotment(ctx);
+      const std::uint64_t claim_end =
+          o.alloc_base_abs + steal_block_offset(o.itasks, claimed);
+      o.alloc_base_abs = claim_end;
+      publish(ctx, static_cast<std::uint32_t>(o.split_abs - claim_end));
+      ++o.stats.renews;
+    }
+  }
   // Retired allotments reclaim in order; within one, only the finished
   // *prefix* of blocks frees space (paper §4.2).
   while (!o.outstanding.empty()) {
@@ -223,6 +241,9 @@ void SwsQueue::progress(pgas::PeContext& ctx) {
 
 bool SwsQueue::has_work(const StealVal& sv) noexcept {
   if (sv.locked() || sv.itasks == 0) return false;
+  // A saturated counter means "wait for the owner to renew", never "work
+  // available" — claiming near the wrap point risks block aliasing.
+  if (sv.asteals >= kAStealsSoftCap) return false;
   return sv.asteals < steal_block_count(sv.itasks);
 }
 
@@ -234,9 +255,11 @@ StealResult SwsQueue::steal(pgas::PeContext& thief, int victim,
   auto& mode =
       thieves_[static_cast<std::size_t>(thief.pe())].empty_mode[static_cast<std::size_t>(victim)];
 
-  if (cfg_.damping && mode != 0) {
+  if (mode != 0) {
     // Empty-mode (§4.3): read-only probe so exhausted targets don't have
-    // their asteals counter inflated toward overflow.
+    // their asteals counter inflated toward overflow. With damping off,
+    // mode is only ever set by the saturation guard below — the probe is
+    // then mandatory wraparound protection, not an optimization.
     ++st.damping_probes;
     const StealVal probe =
         StealVal::decode(fab.amo_fetch(thief.pe(), victim, stealval_.off));
@@ -258,6 +281,15 @@ StealResult SwsQueue::steal(pgas::PeContext& thief, int victim,
     ++st.steals_retry;
     // The owner rotates epochs on its poll cadence; retrying sooner than
     // that only re-reads the sentinel.
+    return {StealOutcome::kRetry, 0, cfg_.epoch_poll_ns};
+  }
+  if (sv.asteals >= kAStealsSoftCap) {
+    // Wraparound protection (thief half): a fetched prior this large could
+    // only alias an already-claimed block once the counter wraps mod 2^24.
+    // Refuse the claim and go probe-first until the owner's progress()
+    // renews the allotment (asteals back to 0).
+    mode = 1;
+    ++st.steals_retry;
     return {StealOutcome::kRetry, 0, cfg_.epoch_poll_ns};
   }
   const std::uint32_t nblocks = steal_block_count(sv.itasks);
@@ -287,6 +319,75 @@ StealResult SwsQueue::steal(pgas::PeContext& thief, int victim,
 
 const QueueOpStats& SwsQueue::op_stats(int pe) const {
   return owners_[static_cast<std::size_t>(pe)].stats;
+}
+
+std::string SwsQueue::audit(pgas::PeContext& ctx) const {
+  const auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
+  auto bad = [&](const char* what, std::uint64_t a, std::uint64_t b) {
+    return std::string("sws audit: ") + what + " (" + std::to_string(a) +
+           " vs " + std::to_string(b) + ")";
+  };
+
+  // Ring geometry: reclaim <= live allotment base <= split <= head, the
+  // allotment is exactly [alloc_base, split), and the whole occupied span
+  // fits in the ring.
+  if (o.reclaim_abs > o.split_abs)
+    return bad("reclaim past split", o.reclaim_abs, o.split_abs);
+  if (o.alloc_base_abs > o.split_abs)
+    return bad("alloc_base past split", o.alloc_base_abs, o.split_abs);
+  if (o.split_abs > o.head_abs)
+    return bad("split past head", o.split_abs, o.head_abs);
+  if (o.alloc_base_abs + o.itasks != o.split_abs)
+    return bad("allotment size inconsistent with split",
+               o.alloc_base_abs + o.itasks, o.split_abs);
+  if (o.head_abs - o.reclaim_abs > buffer_.capacity())
+    return bad("occupied span exceeds capacity", o.head_abs - o.reclaim_abs,
+               buffer_.capacity());
+
+  // Outstanding retired allotments: well-formed records, disjoint and in
+  // retirement order, all strictly before the live allotment. The reclaim
+  // cursor may sit *inside* the oldest record (it tracks that record's
+  // finished prefix) but never past its claimed end.
+  std::uint64_t prev_end = 0;
+  bool oldest = true;
+  for (const auto& rec : o.outstanding) {
+    if (rec.epoch >= kNumEpochs)
+      return bad("outstanding record epoch out of range", rec.epoch,
+                 kNumEpochs);
+    if (rec.claimed_blocks == 0 ||
+        rec.claimed_blocks > CompletionSpace::kSlotsPerEpoch)
+      return bad("outstanding claimed_blocks out of range",
+                 rec.claimed_blocks, CompletionSpace::kSlotsPerEpoch);
+    if (rec.claimed_end_abs() > o.alloc_base_abs)
+      return bad("outstanding record overlaps live allotment", rec.base_abs,
+                 o.alloc_base_abs);
+    if (rec.base_abs < prev_end)
+      return bad("outstanding records overlap", rec.base_abs, prev_end);
+    prev_end = rec.claimed_end_abs();
+    if (oldest) {
+      if (o.reclaim_abs > rec.claimed_end_abs())
+        return bad("reclaim past the oldest outstanding record",
+                   o.reclaim_abs, rec.claimed_end_abs());
+      oldest = false;
+    }
+  }
+
+  // Published stealval vs. owner mirror. Between any two owner-side
+  // operations the word must be unlocked (every op that swaps in the
+  // sentinel republishes before returning) and must agree with the
+  // owner's private cursors.
+  const StealVal sv = owner_stealval(ctx);
+  if (sv.locked())
+    return bad("stealval locked between owner operations", sv.epoch,
+               kNumEpochs);
+  if (sv.epoch != o.epoch)
+    return bad("stealval epoch mismatch", sv.epoch, o.epoch);
+  if (sv.itasks != o.itasks)
+    return bad("stealval itasks mismatch", sv.itasks, o.itasks);
+  if (sv.tail != buffer_.wrap(o.alloc_base_abs))
+    return bad("stealval tail mismatch", sv.tail,
+               buffer_.wrap(o.alloc_base_abs));
+  return {};
 }
 
 }  // namespace sws::core

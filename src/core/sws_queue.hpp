@@ -62,6 +62,7 @@ class SwsQueue final : public TaskQueue {
                     std::vector<Task>& out) override;
 
   const QueueOpStats& op_stats(int pe) const override;
+  std::string audit(pgas::PeContext& ctx) const override;
   const SwsConfig& config() const noexcept { return cfg_; }
   const QueueConfig& queue_config() const noexcept { return qcfg_; }
 

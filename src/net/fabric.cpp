@@ -74,6 +74,7 @@ void Fabric::reset(int npes) {
   arenas_.assign(static_cast<std::size_t>(npes), Arena{});
   busy_until_.assign(static_cast<std::size_t>(npes), Nanos{0});
   stats_.assign(static_cast<std::size_t>(npes), PaddedStats{});
+  labels_.assign(static_cast<std::size_t>(npes), PaddedLabel{});
   pending_per_pe_ = std::vector<std::atomic<int>>(static_cast<std::size_t>(npes));
   for (auto& p : pending_per_pe_) p.store(0, std::memory_order_relaxed);
   pending_per_target_ =
@@ -100,6 +101,7 @@ void Fabric::new_run() {
                      "pending nbi ops leaked across runs (target count)");
   }
   std::fill(busy_until_.begin(), busy_until_.end(), Nanos{0});
+  std::fill(labels_.begin(), labels_.end(), PaddedLabel{});
   // Reseed the fault streams so run N+1 replays run N's decisions.
   if (faults_) faults_->new_run();
 }
@@ -121,6 +123,16 @@ std::byte* Fabric::translate(int target, std::uint64_t offset,
 std::uint64_t* Fabric::translate_u64(int target, std::uint64_t offset) const {
   SWS_ASSERT_MSG(offset % 8 == 0, "AMO target must be 8-byte aligned");
   return reinterpret_cast<std::uint64_t*>(translate(target, offset, 8));
+}
+
+void Fabric::note_op(int initiator, int target, OpKind kind,
+                     std::uint64_t offset) {
+  labels_[static_cast<std::size_t>(initiator)].l = OpLabel{kind, target, offset};
+}
+
+const OpLabel& Fabric::last_op(int pe) const {
+  SWS_ASSERT(pe >= 0 && pe < npes());
+  return labels_[static_cast<std::size_t>(pe)].l;
 }
 
 void Fabric::charge(int initiator, int target, OpKind kind,
@@ -159,6 +171,7 @@ void Fabric::charge(int initiator, int target, OpKind kind,
 
 void Fabric::put(int initiator, int target, std::uint64_t offset,
                  const void* src, std::size_t n) {
+  note_op(initiator, target, OpKind::kPut, offset);
   charge(initiator, target, OpKind::kPut, n);
   std::memcpy(translate(target, offset, n), src, n);
   stats_[static_cast<std::size_t>(initiator)].s.bytes_put += n;
@@ -166,6 +179,7 @@ void Fabric::put(int initiator, int target, std::uint64_t offset,
 
 void Fabric::get(int initiator, int target, std::uint64_t offset, void* dst,
                  std::size_t n) {
+  note_op(initiator, target, OpKind::kGet, offset);
   charge(initiator, target, OpKind::kGet, n);
   std::memcpy(dst, translate(target, offset, n), n);
   stats_[static_cast<std::size_t>(initiator)].s.bytes_got += n;
@@ -173,6 +187,7 @@ void Fabric::get(int initiator, int target, std::uint64_t offset, void* dst,
 
 void Fabric::put_words(int initiator, int target, std::uint64_t offset,
                        const std::uint64_t* src, std::size_t nwords) {
+  note_op(initiator, target, OpKind::kPut, offset);
   charge(initiator, target, OpKind::kPut, nwords * 8);
   SWS_ASSERT_MSG(offset % 8 == 0, "word put must be 8-byte aligned");
   auto* dst =
@@ -185,6 +200,7 @@ void Fabric::put_words(int initiator, int target, std::uint64_t offset,
 
 void Fabric::get_words(int initiator, int target, std::uint64_t offset,
                        std::uint64_t* dst, std::size_t nwords) {
+  note_op(initiator, target, OpKind::kGet, offset);
   charge(initiator, target, OpKind::kGet, nwords * 8);
   SWS_ASSERT_MSG(offset % 8 == 0, "word get must be 8-byte aligned");
   const auto* src = reinterpret_cast<const std::uint64_t*>(
@@ -198,6 +214,7 @@ void Fabric::get_words(int initiator, int target, std::uint64_t offset,
 std::uint64_t Fabric::amo_fetch_add(int initiator, int target,
                                     std::uint64_t offset,
                                     std::uint64_t value) {
+  note_op(initiator, target, OpKind::kAmoFetchAdd, offset);
   charge(initiator, target, OpKind::kAmoFetchAdd, 8);
   return std::atomic_ref<std::uint64_t>(*translate_u64(target, offset))
       .fetch_add(value, std::memory_order_seq_cst);
@@ -207,6 +224,7 @@ std::uint64_t Fabric::amo_compare_swap(int initiator, int target,
                                        std::uint64_t offset,
                                        std::uint64_t expected,
                                        std::uint64_t desired) {
+  note_op(initiator, target, OpKind::kAmoCompareSwap, offset);
   charge(initiator, target, OpKind::kAmoCompareSwap, 8);
   std::uint64_t e = expected;
   std::atomic_ref<std::uint64_t>(*translate_u64(target, offset))
@@ -216,6 +234,7 @@ std::uint64_t Fabric::amo_compare_swap(int initiator, int target,
 
 std::uint64_t Fabric::amo_swap(int initiator, int target, std::uint64_t offset,
                                std::uint64_t value) {
+  note_op(initiator, target, OpKind::kAmoSwap, offset);
   charge(initiator, target, OpKind::kAmoSwap, 8);
   return std::atomic_ref<std::uint64_t>(*translate_u64(target, offset))
       .exchange(value, std::memory_order_seq_cst);
@@ -223,6 +242,7 @@ std::uint64_t Fabric::amo_swap(int initiator, int target, std::uint64_t offset,
 
 std::uint64_t Fabric::amo_fetch(int initiator, int target,
                                 std::uint64_t offset) {
+  note_op(initiator, target, OpKind::kAmoFetch, offset);
   charge(initiator, target, OpKind::kAmoFetch, 8);
   return std::atomic_ref<std::uint64_t>(*translate_u64(target, offset))
       .load(std::memory_order_seq_cst);
@@ -230,6 +250,7 @@ std::uint64_t Fabric::amo_fetch(int initiator, int target,
 
 void Fabric::amo_set(int initiator, int target, std::uint64_t offset,
                      std::uint64_t value) {
+  note_op(initiator, target, OpKind::kAmoSet, offset);
   charge(initiator, target, OpKind::kAmoSet, 8);
   std::atomic_ref<std::uint64_t>(*translate_u64(target, offset))
       .store(value, std::memory_order_seq_cst);
@@ -277,6 +298,7 @@ void Fabric::enqueue_nbi(int initiator, int target, OpKind kind,
 
 void Fabric::nbi_put(int initiator, int target, std::uint64_t offset,
                      const void* src, std::size_t n) {
+  note_op(initiator, target, OpKind::kNbiPut, offset);
   charge(initiator, target, OpKind::kNbiPut, n);
   stats_[static_cast<std::size_t>(initiator)].s.bytes_put += n;
   std::byte* dst = translate(target, offset, n);
@@ -290,6 +312,7 @@ void Fabric::nbi_put(int initiator, int target, std::uint64_t offset,
 
 void Fabric::nbi_amo_add(int initiator, int target, std::uint64_t offset,
                          std::uint64_t value) {
+  note_op(initiator, target, OpKind::kNbiAmoAdd, offset);
   charge(initiator, target, OpKind::kNbiAmoAdd, 8);
   std::uint64_t* dst = translate_u64(target, offset);
   enqueue_nbi(initiator, target, OpKind::kNbiAmoAdd, 8, [dst, value]() {
@@ -300,6 +323,7 @@ void Fabric::nbi_amo_add(int initiator, int target, std::uint64_t offset,
 
 void Fabric::nbi_amo_set(int initiator, int target, std::uint64_t offset,
                          std::uint64_t value) {
+  note_op(initiator, target, OpKind::kNbiAmoSet, offset);
   charge(initiator, target, OpKind::kNbiAmoSet, 8);
   std::uint64_t* dst = translate_u64(target, offset);
   enqueue_nbi(initiator, target, OpKind::kNbiAmoSet, 8, [dst, value]() {

@@ -35,6 +35,18 @@
 
 namespace sws::net {
 
+/// Label of the operation a PE most recently issued — written before the
+/// op's time charge, so while a PE is parked inside the sequencer its
+/// label names the op whose memory effect it will apply on resume. The
+/// schedule-exploration harness reads these to render human-readable
+/// event traces. Only meaningful under the virtual backend, where the
+/// baton serializes writer and reader.
+struct OpLabel {
+  OpKind kind = OpKind::kCount_;  ///< kCount_ = no op issued yet
+  int target = -1;
+  std::uint64_t offset = 0;
+};
+
 class Fabric {
  public:
   Fabric(TimeModel& time, NetworkModel model, int npes);
@@ -116,6 +128,9 @@ class Fabric {
     return faults_ ? faults_->total_stats() : FaultStats{};
   }
 
+  /// Most recent operation issued by `pe` (see OpLabel).
+  const OpLabel& last_op(int pe) const;
+
   // --- accounting -------------------------------------------------------
   const FabricStats& stats(int pe) const;
   FabricStats total_stats() const;
@@ -139,12 +154,17 @@ class Fabric {
   struct alignas(64) PaddedStats {
     FabricStats s;
   };
+  struct alignas(64) PaddedLabel {
+    OpLabel l;
+  };
 
   std::byte* translate(int target, std::uint64_t offset, std::size_t n) const;
   std::uint64_t* translate_u64(int target, std::uint64_t offset) const;
   /// Charge a blocking op: stats + advance; returns nothing, effect is the
   /// caller's next statement.
   void charge(int initiator, int target, OpKind kind, std::size_t bytes);
+  /// Record `initiator`'s in-flight op label (call before charge()).
+  void note_op(int initiator, int target, OpKind kind, std::uint64_t offset);
   void enqueue_nbi(int initiator, int target, OpKind kind, std::size_t bytes,
                    std::function<void()> effect);
   /// Pop + apply one delivered op; caller holds pend_mu_.
@@ -157,6 +177,7 @@ class Fabric {
   /// Per-target NIC busy horizon (virtual mode only; baton-serialized).
   std::vector<Nanos> busy_until_;
   mutable std::vector<PaddedStats> stats_;
+  std::vector<PaddedLabel> labels_;
 
   mutable std::mutex pend_mu_;
   std::priority_queue<PendingOp, std::vector<PendingOp>, std::greater<>>

@@ -27,7 +27,12 @@ void VirtualTimeModel::set_delivery_hook(DeliveryHook hook) {
   hook_ = std::move(hook);
 }
 
-int VirtualTimeModel::pick_next_locked() const noexcept {
+void VirtualTimeModel::set_ready_arbiter(ReadyArbiter arb) {
+  std::lock_guard<std::mutex> lk(mu_);
+  arbiter_ = std::move(arb);
+}
+
+int VirtualTimeModel::pick_next_locked(int caller) {
   int best = -1;
   for (int i = 0; i < static_cast<int>(slots_.size()); ++i) {
     const auto& s = *slots_[static_cast<std::size_t>(i)];
@@ -35,7 +40,23 @@ int VirtualTimeModel::pick_next_locked() const noexcept {
     if (best < 0 || s.vtime < slots_[static_cast<std::size_t>(best)]->vtime)
       best = i;
   }
-  return best;
+  if (best < 0 || !arbiter_) return best;
+
+  // Collect every PE tied at the minimum: each is a legal next event, and
+  // which one runs decides how the in-flight memory effects interleave.
+  const Nanos floor = slots_[static_cast<std::size_t>(best)]->vtime;
+  ready_scratch_.clear();
+  for (int i = 0; i < static_cast<int>(slots_.size()); ++i) {
+    const auto& s = *slots_[static_cast<std::size_t>(i)];
+    if (!s.finished && s.vtime == floor) ready_scratch_.push_back(i);
+  }
+  if (ready_scratch_.size() == 1) return best;
+  const int chosen = arbiter_(caller, ready_scratch_, floor);
+  SWS_ASSERT_MSG(chosen >= 0 && chosen < static_cast<int>(slots_.size()) &&
+                     !slots_[static_cast<std::size_t>(chosen)]->finished &&
+                     slots_[static_cast<std::size_t>(chosen)]->vtime == floor,
+                 "arbiter returned a PE outside the ready set");
+  return chosen;
 }
 
 void VirtualTimeModel::activate_locked(int next) {
@@ -58,7 +79,7 @@ void VirtualTimeModel::pe_end(int pe) {
   std::unique_lock<std::mutex> lk(mu_);
   SWS_ASSERT(active_ == pe);
   slots_[static_cast<std::size_t>(pe)]->finished = true;
-  activate_locked(pick_next_locked());
+  activate_locked(pick_next_locked(pe));
 }
 
 void VirtualTimeModel::advance(int pe, Nanos dt) {
@@ -66,7 +87,7 @@ void VirtualTimeModel::advance(int pe, Nanos dt) {
   SWS_ASSERT_MSG(active_ == pe, "advance() by a PE not holding the baton");
   auto& slot = *slots_[static_cast<std::size_t>(pe)];
   slot.vtime += dt;
-  const int next = pick_next_locked();
+  const int next = pick_next_locked(pe);
   SWS_ASSERT(next >= 0);  // we are unfinished, so somebody is runnable
   if (next == pe) {
     // Fast path: still the global minimum — keep running, but let the

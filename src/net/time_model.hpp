@@ -35,6 +35,18 @@ namespace sws::net {
 /// time model.
 using DeliveryHook = std::function<void(Nanos now)>;
 
+/// Consulted by the virtual sequencer whenever more than one PE is
+/// runnable at the minimum virtual time — i.e. whenever the discrete-event
+/// queue holds a genuine ordering choice. `caller` is the PE that just
+/// advanced (or finished), `ready` the tied PEs in ascending id order, and
+/// `now` their common virtual time. Must return one element of `ready`.
+/// Runs under the sequencer lock: it must not call back into the time
+/// model or issue fabric operations. The schedule-exploration harness
+/// (src/check/) installs one to enumerate interleavings; when unset, ties
+/// break by lowest id — the legacy deterministic order.
+using ReadyArbiter =
+    std::function<int(int caller, const std::vector<int>& ready, Nanos now)>;
+
 class TimeModel {
  public:
   virtual ~TimeModel() = default;
@@ -74,6 +86,11 @@ class VirtualTimeModel final : public TimeModel {
   bool is_virtual() const noexcept override { return true; }
   int npes() const noexcept override { return static_cast<int>(slots_.size()); }
 
+  /// Install (or clear, with nullptr) the ready-set arbiter. Survives
+  /// reset() — it is sequencer configuration, like the delivery hook.
+  /// Must not be called while PE threads are active.
+  void set_ready_arbiter(ReadyArbiter arb);
+
  private:
   struct PeSlot {
     Nanos vtime = 0;
@@ -81,8 +98,10 @@ class VirtualTimeModel final : public TimeModel {
     std::condition_variable cv;
   };
 
-  /// Pick the next runnable PE (min vtime, ties by id); -1 if none left.
-  int pick_next_locked() const noexcept;
+  /// Pick the next runnable PE: minimum vtime, ties resolved by the
+  /// arbiter when one is installed (else by id); -1 if none left.
+  /// `caller` is the PE whose advance/finish triggered the pick.
+  int pick_next_locked(int caller);
   /// Hand the baton to `next` (may equal current active) and fire the
   /// delivery hook for the new time floor.
   void activate_locked(int next);
@@ -91,6 +110,8 @@ class VirtualTimeModel final : public TimeModel {
   std::vector<std::unique_ptr<PeSlot>> slots_;
   int active_ = -1;
   DeliveryHook hook_;
+  ReadyArbiter arbiter_;
+  std::vector<int> ready_scratch_;  ///< reused per pick; guarded by mu_
 };
 
 /// Wall-clock backend with injected delays.

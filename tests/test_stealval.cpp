@@ -150,5 +150,55 @@ TEST(StealSeq, BlockCountIsLogarithmic) {
   }
 }
 
+TEST(StealSeqProperty, FuzzBlockDecompositionIsExact) {
+  // For any allotment size: every block is non-empty, offsets are strictly
+  // increasing, and the blocks partition [0, itasks) exactly — the
+  // property that makes the fetched asteals prior a sound claim ticket.
+  Xoshiro256 rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto itasks =
+        static_cast<std::uint32_t>(rng.below(ITasksField::kMax + 1));
+    const std::uint32_t n = steal_block_count(itasks);
+    std::uint64_t sum = 0;
+    std::uint32_t prev_off = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const StealBlock blk = steal_block(itasks, i);
+      ASSERT_GE(blk.size, 1u) << "itasks=" << itasks << " idx=" << i;
+      ASSERT_EQ(blk.size, steal_block_size(itasks, i));
+      ASSERT_EQ(blk.offset, steal_block_offset(itasks, i));
+      if (i > 0)
+        ASSERT_GT(blk.offset, prev_off) << "offsets must be strictly monotone";
+      ASSERT_EQ(blk.offset, sum) << "block must start where the last ended";
+      prev_off = blk.offset;
+      sum += blk.size;
+    }
+    ASSERT_EQ(sum, itasks) << "blocks must sum to the allotment";
+    ASSERT_EQ(steal_block_offset(itasks, n), itasks)
+        << "offset past the last block is the full allotment";
+  }
+}
+
+TEST(StealVal, EncodeDecodeAtFieldExtremes) {
+  const StealVal all_max{static_cast<std::uint32_t>(AStealsField::kMax),
+                         kLockedEpoch, kMaxITasks,
+                         static_cast<std::uint32_t>(TailField::kMax)};
+  EXPECT_EQ(StealVal::decode(all_max.encode()), all_max);
+  EXPECT_EQ(all_max.encode(), ~std::uint64_t{0});
+  const StealVal all_zero{0, 0, 0, 0};
+  EXPECT_EQ(all_zero.encode(), 0u);
+  EXPECT_EQ(StealVal::decode(0), all_zero);
+}
+
+TEST(StealValDeath, EncodeRejectsOversizedFields) {
+  // A silently truncated encode would splatter bits into the neighbouring
+  // fields; SWS_ASSERT must catch each one.
+  const auto enc = [](std::uint32_t a, std::uint32_t e, std::uint32_t i,
+                      std::uint32_t t) { return StealVal{a, e, i, t}.encode(); };
+  EXPECT_DEATH((void)enc(1u << 24, 0, 0, 0), "overflow");
+  EXPECT_DEATH((void)enc(0, 4, 0, 0), "overflow");
+  EXPECT_DEATH((void)enc(0, 0, kMaxITasks + 1, 0), "overflow");
+  EXPECT_DEATH((void)enc(0, 0, 0, 1u << 19), "overflow");
+}
+
 }  // namespace
 }  // namespace sws::core

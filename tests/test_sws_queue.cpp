@@ -359,5 +359,116 @@ TEST(SwsQueue, WrappedStealPreservesContent) {
   });
 }
 
+TEST(SwsQueue, AStealsWraparoundCannotDoubleClaim) {
+  // Regression for the 24-bit asteals wrap: a probe storm that carries the
+  // counter past 2^24 makes a late thief's fetched prior alias block 0 of
+  // an allotment whose blocks were all claimed long ago — the same tasks
+  // get copied twice. The guards (thief soft cap + owner renewal) must
+  // keep every task unique and the owner must renew at least once.
+  pgas::Runtime rt(rcfg(2));
+  SwsQueue q(rt, qcfg(256));
+  std::vector<Task> loot;              // thief-side (PE 1 only)
+  std::vector<std::uint32_t> drained;  // owner-side (PE 0 only)
+  constexpr std::uint32_t kTasks = 150;
+  rt.run([&](pgas::PeContext& ctx) {
+    q.reset_pe(ctx);
+    if (ctx.pe() == 0) {
+      for (std::uint32_t i = 0; i < kTasks; ++i)
+        ASSERT_TRUE(q.push_local(ctx, mk(i)));
+      ASSERT_TRUE(q.try_release(ctx));  // exposes 75 tasks = 8 blocks
+    }
+    ctx.barrier();
+    if (ctx.pe() == 1) {
+      // Claim the whole allotment legitimately: 8 blocks, asteals ends at 8.
+      for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(q.steal(ctx, 0, loot).outcome, StealOutcome::kSuccess);
+      // Simulate the probe storm: raw-inject failed-steal increments until
+      // the counter sits 4 below the wrap point.
+      ctx.fabric().amo_fetch_add(
+          1, 0, q.stealval_ptr().off,
+          AStealsField::unit() * (((1u << 24) - 4) - 8));
+      // Unguarded, attempt 5 of this loop wraps the counter to 0 and the
+      // following attempts re-claim blocks 0..7. Guarded, attempt 1 sees
+      // the saturated prior, refuses, and flips to probe-first mode.
+      for (int i = 0; i < 16; ++i) {
+        const StealResult r = q.steal(ctx, 0, loot);
+        EXPECT_NE(r.outcome, StealOutcome::kSuccess)
+            << "steal past a saturated counter claimed a stale block";
+      }
+      ctx.quiet();
+    }
+    ctx.barrier();
+    if (ctx.pe() == 0) {
+      // The saturated counter is the owner's renewal trigger.
+      q.progress(ctx);
+      EXPECT_GE(q.op_stats(0).renews, 1u)
+          << "owner never renewed the saturated allotment";
+      Task t;
+      for (int guard = 0; guard < 64; ++guard) {
+        q.progress(ctx);
+        while (q.pop_local(ctx, t)) drained.push_back(id_of(t));
+        if (!q.shared_available(ctx)) break;
+        (void)q.try_acquire(ctx);
+      }
+    }
+    ctx.barrier();
+  });
+  // Every id surfaced exactly once, somewhere.
+  std::set<std::uint32_t> seen;
+  std::size_t total = drained.size();
+  for (std::uint32_t id : drained) EXPECT_TRUE(seen.insert(id).second) << id;
+  for (const Task& t : loot) {
+    ++total;
+    EXPECT_TRUE(seen.insert(id_of(t)).second)
+        << "task " << id_of(t) << " stolen twice after counter wrap";
+  }
+  EXPECT_EQ(total, kTasks);
+  EXPECT_EQ(seen.size(), kTasks);
+}
+
+TEST(SwsQueue, RejectsCapacityBeyondStealvalFields) {
+  // A ring deeper than the 19-bit itasks/tail fields could publish an
+  // allotment the stealval cannot describe; construction must refuse it
+  // up front rather than truncate at release time.
+  pgas::Runtime rt(rcfg(2));
+  EXPECT_THROW(SwsQueue(rt, qcfg(kMaxITasks + 1)), std::invalid_argument);
+  SwsQueue ok(rt, qcfg(1024));  // sane capacity still constructs
+}
+
+TEST(SwsQueue, AuditStaysGreenThroughProtocol) {
+  // audit() is the Explorer's invariant hook; it must hold between any two
+  // owner-side operations of an ordinary release/steal/acquire exchange.
+  pgas::Runtime rt(rcfg(2));
+  SwsQueue q(rt, qcfg());
+  rt.run([&](pgas::PeContext& ctx) {
+    q.reset_pe(ctx);
+    EXPECT_EQ(q.audit(ctx), "");
+    if (ctx.pe() == 0) {
+      for (std::uint32_t i = 0; i < 40; ++i) (void)q.push_local(ctx, mk(i));
+      EXPECT_EQ(q.audit(ctx), "");
+      ASSERT_TRUE(q.try_release(ctx));
+      EXPECT_EQ(q.audit(ctx), "");
+    }
+    ctx.barrier();
+    if (ctx.pe() == 1) {
+      std::vector<Task> loot;
+      ASSERT_EQ(q.steal(ctx, 0, loot).outcome, StealOutcome::kSuccess);
+      ctx.quiet();
+    }
+    ctx.barrier();
+    if (ctx.pe() == 0) {
+      q.progress(ctx);
+      EXPECT_EQ(q.audit(ctx), "");
+      (void)q.try_acquire(ctx);
+      EXPECT_EQ(q.audit(ctx), "");
+      Task t;
+      while (q.pop_local(ctx, t)) {}
+      q.progress(ctx);
+      EXPECT_EQ(q.audit(ctx), "");
+    }
+    ctx.barrier();
+  });
+}
+
 }  // namespace
 }  // namespace sws::core

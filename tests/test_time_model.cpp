@@ -2,6 +2,7 @@
 // whole reproduction rests on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 #include <vector>
 
@@ -68,6 +69,40 @@ TEST(VirtualTime, ZeroAdvanceKeepsBatonOnTies) {
   });
   // Both reach t=10; tie-break by id: PE0 runs first from t=0.
   EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(VirtualTime, ArbiterReordersTiedPes) {
+  // The schedule explorer's hook: when several PEs are tied at the time
+  // floor, the arbiter (not the lowest-id default) picks who runs.
+  VirtualTimeModel tm(3);
+  std::vector<std::vector<int>> ready_sets;
+  tm.set_ready_arbiter([&](int caller, const std::vector<int>& ready,
+                           Nanos /*now*/) {
+    EXPECT_GE(caller, 0);
+    EXPECT_LT(caller, 3);
+    EXPECT_TRUE(std::is_sorted(ready.begin(), ready.end()))
+        << "tied PEs must be presented in ascending id order";
+    EXPECT_GE(ready.size(), 2u);
+    ready_sets.push_back(ready);
+    return ready.back();  // deliberately invert the default tie-break
+  });
+  std::vector<int> order;
+  run_pes(tm, 3, [&](int pe) {
+    tm.advance(pe, 10);
+    order.push_back(pe);
+  });
+  // All three tie at t=10; highest-id-first is the arbiter's doing.
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 0}));
+  EXPECT_FALSE(ready_sets.empty());
+
+  // Clearing the arbiter restores the deterministic lowest-id default.
+  tm.set_ready_arbiter(nullptr);
+  order.clear();
+  run_pes(tm, 3, [&](int pe) {
+    tm.advance(pe, 10);
+    order.push_back(pe);
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
 }
 
 TEST(VirtualTime, DeliveryHookFiresAtTimeFloor) {
