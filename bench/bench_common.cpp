@@ -17,6 +17,7 @@ BenchSettings BenchSettings::from_options(const Options& opt) {
   s.csv = opt.get("csv", false);
   s.seed = static_cast<std::uint64_t>(
       opt.get("seed", static_cast<std::int64_t>(s.seed)));
+  s.seq_reference = opt.get("seq-reference", false);
   return s;
 }
 
@@ -41,6 +42,7 @@ ConfigResult run_config(core::QueueKind kind, int npes,
     rcfg.npes = npes;
     rcfg.seed = settings.seed + static_cast<std::uint64_t>(rep) * 1000003;
     rcfg.net = tweaks.net;
+    rcfg.sequencer_reference = settings.seq_reference;
     rcfg.heap_bytes =
         tweaks.heap_bytes != 0
             ? tweaks.heap_bytes

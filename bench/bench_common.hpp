@@ -7,6 +7,7 @@
 //   --reps 5               repetitions per configuration
 //   --csv                  emit CSV instead of aligned tables
 //   --seed 42              base seed
+//   --seq-reference        legacy linear-scan sequencer (perf A/B)
 #pragma once
 
 #include <functional>
@@ -31,6 +32,9 @@ struct BenchSettings {
   int reps = 5;
   bool csv = false;
   std::uint64_t seed = 42;
+  /// --seq-reference: run the sequencer in its legacy linear-scan mode
+  /// (same schedules; for measuring the heap + horizon-batching speedup).
+  bool seq_reference = false;
 
   static BenchSettings from_options(const Options& opt);
 };

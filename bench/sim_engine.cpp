@@ -1,0 +1,184 @@
+// Simulator-engine microbenchmarks: the throughput of the discrete-event
+// sequencer and the fabric's non-blocking-op path. Every paper figure is
+// generated through these two hot paths, so they are the "hardware" of
+// this reproduction — scripts/bench_report.py turns this binary's output
+// into the committed machine-readable baseline (BENCH_*.json).
+//
+// Scenarios:
+//  * seq_selfrun   — PEs staggered far apart in virtual time; each burst
+//                    of advance() calls keeps the baton (the common case
+//                    in real workloads: compute charges between comms).
+//  * seq_lockstep  — every PE advances by the same dt, so every event
+//                    hands the baton to the next PE (worst case: pick +
+//                    context switch per event).
+//  * nbi_amo       — nbi_amo_add enqueue+deliver cycles through the
+//                    fabric's pending queue, quiesced every 64 ops.
+//  * nbi_put_small — 32 B payloads (inline-able in the effect pool).
+//  * nbi_put_large — 256 B payloads (slab path).
+//
+// Output: one JSON object per line on stdout (machine-readable); aligned
+// human summary on stderr. `--reference` re-runs the sequencer scenarios
+// with the legacy linear-scan strategy (no ready heap, no run-to-horizon
+// batching) so the speedup can be measured inside one binary.
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/options.hpp"
+#include "net/fabric.hpp"
+#include "net/time_model.hpp"
+
+using namespace sws;
+using net::Nanos;
+
+namespace {
+
+double wall_seconds(const std::function<void()>& f) {
+  const auto t0 = std::chrono::steady_clock::now();
+  f();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// SPMD over a bare time model: one thread per PE with begin/end framing.
+void run_pes(net::TimeModel& tm, int npes,
+             const std::function<void(int)>& body) {
+  tm.reset(npes);
+  std::vector<std::thread> ts;
+  ts.reserve(static_cast<std::size_t>(npes));
+  for (int pe = 0; pe < npes; ++pe)
+    ts.emplace_back([&, pe] {
+      tm.pe_begin(pe);
+      body(pe);
+      tm.pe_end(pe);
+    });
+  for (auto& t : ts) t.join();
+}
+
+struct Measurement {
+  std::string bench;
+  int pes = 0;
+  std::uint64_t events = 0;
+  double wall_s = 0;
+
+  double events_per_sec() const { return static_cast<double>(events) / wall_s; }
+};
+
+void emit(const Measurement& m, const std::string& mode) {
+  std::cout << "{\"bench\":\"" << m.bench << "\",\"mode\":\"" << mode
+            << "\",\"pes\":" << m.pes << ",\"events\":" << m.events
+            << ",\"wall_s\":" << m.wall_s
+            << ",\"events_per_sec\":" << m.events_per_sec() << "}\n";
+  std::cerr << "  " << m.bench << " P=" << m.pes << " [" << mode << "]: "
+            << static_cast<std::uint64_t>(m.events_per_sec())
+            << " events/s (" << m.events << " events in " << m.wall_s
+            << " s)\n";
+}
+
+/// One sequencer scenario: optional stagger so each PE's burst of B
+/// advances stays strictly below every other clock (self-continue), or no
+/// stagger so every advance is a baton hand-off (lockstep). The wall time
+/// of an identical zero-burst run is subtracted to remove thread spawn
+/// and teardown cost from the per-event figure.
+Measurement seq_scenario(net::VirtualTimeModel& tm, const std::string& name,
+                         int npes, std::uint64_t bursts, Nanos step,
+                         bool stagger) {
+  const auto body = [&](std::uint64_t b) {
+    run_pes(tm, npes, [&](int pe) {
+      if (stagger)
+        tm.advance(pe, static_cast<Nanos>(pe) * (b * step + 1000));
+      for (std::uint64_t i = 0; i < b; ++i) tm.advance(pe, step);
+    });
+  };
+  const double setup = wall_seconds([&] { body(0); });
+  const double total = wall_seconds([&] { body(bursts); });
+  Measurement m;
+  m.bench = name;
+  m.pes = npes;
+  m.events = bursts * static_cast<std::uint64_t>(npes);
+  m.wall_s = std::max(total - setup, 1e-9);
+  return m;
+}
+
+/// One nbi scenario: PE 0 streams `events` non-blocking ops at PE 1,
+/// quiescing every 64 so the pending queue cycles through enqueue and
+/// delivery at steady state.
+Measurement nbi_scenario(net::VirtualTimeModel& tm, const std::string& name,
+                         std::uint64_t events, std::size_t payload) {
+  net::Fabric fab(tm, net::NetworkModel{}, 2);
+  std::vector<std::vector<std::byte>> arenas;
+  for (int pe = 0; pe < 2; ++pe) {
+    arenas.emplace_back(4096, std::byte{0});
+    fab.register_arena(pe, arenas.back().data(), arenas.back().size());
+  }
+  std::vector<std::byte> src(payload > 0 ? payload : 1, std::byte{0x5a});
+  Measurement m;
+  m.bench = name;
+  m.pes = 2;
+  m.events = events;
+  m.wall_s = std::max(wall_seconds([&] {
+               run_pes(tm, 2, [&](int pe) {
+                 if (pe != 0) return;
+                 for (std::uint64_t i = 0; i < events; ++i) {
+                   if (payload == 0)
+                     fab.nbi_amo_add(0, 1, 64, 1);
+                   else
+                     fab.nbi_put(0, 1, 128, src.data(), payload);
+                   if ((i & 63) == 63) fab.quiet(0);
+                 }
+                 fab.quiet(0);
+               });
+             }),
+             1e-9);
+  return m;
+}
+
+std::vector<int> parse_pes(const std::string& s) {
+  std::vector<int> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stoi(item));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt(argc, argv);
+  const std::vector<int> pe_counts =
+      parse_pes(opt.get("pes", std::string("64,128,256")));
+  const auto seq_events = static_cast<std::uint64_t>(
+      opt.get("events", std::int64_t{1'000'000}));
+  const auto nbi_events = static_cast<std::uint64_t>(
+      opt.get("nbi-events", std::int64_t{200'000}));
+  const bool reference = opt.get("reference", false);
+  const std::string mode = reference ? "reference" : "optimized";
+
+  for (const int npes : pe_counts) {
+    net::VirtualTimeModel tm(npes);
+    tm.set_reference_mode(reference);
+    const std::uint64_t bursts =
+        std::max<std::uint64_t>(seq_events / static_cast<std::uint64_t>(npes),
+                                1);
+    emit(seq_scenario(tm, "seq_selfrun", npes, bursts, 10, true), mode);
+    // Lockstep is P times more context switches for the same event count;
+    // scale it down so the suite stays quick at 256 PEs.
+    const std::uint64_t lock_bursts = std::max<std::uint64_t>(bursts / 8, 1);
+    emit(seq_scenario(tm, "seq_lockstep", npes, lock_bursts, 100, false),
+         mode);
+  }
+
+  {
+    net::VirtualTimeModel tm(2);
+    tm.set_reference_mode(reference);
+    emit(nbi_scenario(tm, "nbi_amo", nbi_events, 0), mode);
+    emit(nbi_scenario(tm, "nbi_put_small", nbi_events, 32), mode);
+    emit(nbi_scenario(tm, "nbi_put_large", nbi_events / 2, 256), mode);
+  }
+  return 0;
+}

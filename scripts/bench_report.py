@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Machine-readable performance baseline for the simulator engine.
+
+Runs bench/sim_engine (the sequencer + nbi-path microbenchmarks) in both
+the optimized and the legacy linear-scan reference strategy, optionally
+times the end-to-end paper benchmarks (fig8 UTS, fig7 BPC), and writes
+one JSON file (BENCH_<pr>.json) that CI and future PRs diff against.
+
+The committed file also carries a frozen "pre_change" section: the same
+scenarios measured on the tree *before* the sequencer overhaul (PR 4).
+This script never overwrites that section — when the output file already
+exists, pre_change is carried over verbatim, so the historical reference
+survives regeneration on any machine. See docs/performance.md for the
+schema and for how the speedup numbers are derived.
+
+Usage:
+  scripts/bench_report.py                    # full suite -> BENCH_4.json
+  scripts/bench_report.py --quick            # CI smoke: small, no e2e
+  scripts/bench_report.py --compare BENCH_4.json
+                                             # print deltas, never fail
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# End-to-end configurations: one rep of the paper workloads per PE count.
+E2E = {
+    "uts": ["bench/fig8_uts", "--reps", "1", "--depth", "15", "--csv"],
+    "bpc": ["bench/fig7_bpc", "--reps", "1", "--depth", "20", "--n", "64",
+            "--csv"],
+}
+
+
+def run_sim_engine(build_dir, mode, pes, events, nbi_events):
+    exe = os.path.join(build_dir, "bench", "sim_engine")
+    cmd = [exe, "--pes", ",".join(str(p) for p in pes), "--events",
+           str(events), "--nbi-events", str(nbi_events)]
+    if mode == "reference":
+        cmd.append("--reference")
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    rows = [json.loads(line) for line in out.stdout.splitlines() if line]
+    for r in rows:
+        assert r.pop("mode") == mode
+    return rows
+
+
+def run_e2e(build_dir, pe_counts, reps=3):
+    """Best-of-`reps` wall time per workload/PE count (min filters out
+    scheduler noise on a loaded host; the simulator is deterministic, so
+    the fastest run is the least-perturbed one)."""
+    results = {}
+    for name, argv in E2E.items():
+        for pes in pe_counts:
+            cmd = [os.path.join(build_dir, argv[0])] + argv[1:] + [
+                "--pes", str(pes)]
+            best = None
+            for _ in range(reps):
+                t0 = time.monotonic()
+                subprocess.run(cmd, check=True, capture_output=True, text=True)
+                dt = time.monotonic() - t0
+                best = dt if best is None else min(best, dt)
+            results[f"{name}_{pes}"] = {"wall_s": round(best, 3)}
+            print(f"  e2e {name} P={pes}: {results[f'{name}_{pes}']['wall_s']}"
+                  " s", file=sys.stderr)
+    return results
+
+
+def index_rows(rows):
+    return {(r["bench"], r["pes"]): r for r in rows}
+
+
+def speedups(optimized, reference):
+    """events/sec ratio per (bench, pes) present in both row sets."""
+    opt, ref = index_rows(optimized), index_rows(reference)
+    out = {}
+    for key in sorted(opt.keys() & ref.keys()):
+        out[f"{key[0]}_{key[1]}"] = round(
+            opt[key]["events_per_sec"] / ref[key]["events_per_sec"], 2)
+    return out
+
+
+def compare(path, report):
+    """Non-gating delta print: committed baseline vs this run."""
+    with open(path) as f:
+        base = json.load(f)
+    base_opt = index_rows(base.get("sim_engine", {}).get("optimized", []))
+    for r in report["sim_engine"]["optimized"]:
+        key = (r["bench"], r["pes"])
+        if key not in base_opt:
+            continue
+        old = base_opt[key]["events_per_sec"]
+        delta = 100.0 * (r["events_per_sec"] - old) / old
+        print(f"  {r['bench']} P={r['pes']}: {r['events_per_sec']:.3g} ev/s "
+              f"({delta:+.1f}% vs committed)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default=os.path.join(REPO, "build"))
+    ap.add_argument("--out", default=os.path.join(REPO, "BENCH_4.json"))
+    ap.add_argument("--quick", action="store_true",
+                    help="CI smoke: 64 PEs, fewer events, no e2e runs")
+    ap.add_argument("--skip-e2e", action="store_true")
+    ap.add_argument("--compare", metavar="FILE",
+                    help="also print event-rate deltas vs FILE (never fails)")
+    ap.add_argument("--pre-change-jsonl",
+                    help="seed the pre_change section: sim_engine JSONL "
+                         "captured on the pre-overhaul tree")
+    ap.add_argument("--pre-change-e2e",
+                    help="seed the pre_change section: e2e wall times JSON "
+                         "captured on the pre-overhaul tree")
+    args = ap.parse_args()
+
+    if args.quick:
+        pes, events, nbi = [64], 200_000, 50_000
+    else:
+        pes, events, nbi = [64, 128, 256], 1_000_000, 200_000
+
+    print(f"sim_engine optimized (pes={pes})", file=sys.stderr)
+    optimized = run_sim_engine(args.build_dir, "optimized", pes, events, nbi)
+    print("sim_engine reference (legacy linear scan)", file=sys.stderr)
+    reference = run_sim_engine(args.build_dir, "reference", pes, events, nbi)
+
+    report = {
+        "schema": "sws-bench",
+        "pr": 4,
+        "quick": args.quick,
+        "host": {"nproc": os.cpu_count()},
+        "sim_engine": {"optimized": optimized, "reference": reference},
+        "speedup_vs_reference": speedups(optimized, reference),
+    }
+    if not (args.quick or args.skip_e2e):
+        print("end-to-end paper benchmarks", file=sys.stderr)
+        report["e2e"] = run_e2e(args.build_dir, [64, 128, 256])
+
+    # Carry the frozen pre-overhaul measurements forward (or seed them).
+    pre = None
+    if os.path.exists(args.out):
+        with open(args.out) as f:
+            pre = json.load(f).get("pre_change")
+    if pre is None and args.pre_change_jsonl:
+        with open(args.pre_change_jsonl) as f:
+            rows = [json.loads(line) for line in f if line.strip()]
+        for r in rows:
+            r.pop("mode", None)
+        pre = {"note": "measured at the pre-overhaul commit (PR 3 HEAD), "
+                       "same host, RelWithDebInfo",
+               "sim_engine": rows}
+        if args.pre_change_e2e:
+            with open(args.pre_change_e2e) as f:
+                pre["e2e"] = json.load(f)
+    if pre is not None:
+        report["pre_change"] = pre
+        pre_rows = index_rows(pre.get("sim_engine", []))
+        sp = {}
+        for r in optimized:
+            key = (r["bench"], r["pes"])
+            if key in pre_rows:
+                sp[f"{key[0]}_{key[1]}"] = round(
+                    r["events_per_sec"] / pre_rows[key]["events_per_sec"], 2)
+        if sp:
+            report["speedup_vs_pre_change"] = sp
+
+    if args.compare:
+        print(f"delta vs {args.compare} (informational):", file=sys.stderr)
+        try:
+            compare(args.compare, report)
+        except Exception as e:  # non-gating by design
+            print(f"  comparison skipped: {e}", file=sys.stderr)
+
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -12,7 +12,7 @@ Fabric::Fabric(TimeModel& time, NetworkModel model, int npes)
     faults_ = std::make_unique<FaultInjector>(model_.params().faults, npes);
   reset(npes);
   if (time_.is_virtual()) {
-    time_.set_delivery_hook([this](Nanos now) { deliver_until(now); });
+    time_.set_delivery_hook([this](Nanos now) { return deliver_until(now); });
   } else {
     // Real-time backend: a progress thread plays the NIC, applying nbi
     // effects once their wall-clock deadline passes.
@@ -31,15 +31,62 @@ Fabric::~Fabric() {
   }
 }
 
+std::uint32_t Fabric::grab_slab_locked(const void* src, std::size_t n,
+                                       int refs) {
+  ++pool_stats_.slab_grabs;
+  std::uint32_t idx;
+  if (slab_free_ != Slab::kNone) {
+    idx = slab_free_;
+    slab_free_ = slabs_[idx].next_free;
+  } else {
+    idx = static_cast<std::uint32_t>(slabs_.size());
+    slabs_.emplace_back();
+    ++pool_stats_.slab_allocs;
+  }
+  Slab& s = slabs_[idx];
+  s.refs = refs;
+  s.next_free = Slab::kNone;
+  const auto* p = static_cast<const std::byte*>(src);
+  s.data.assign(p, p + n);  // reuses capacity on a recycled slab
+  return idx;
+}
+
+void Fabric::apply_effect_locked(const PendingEffect& e) {
+  // Atomics/memcpy on arenas: safe off-thread (real backend's progress
+  // thread) as well as under the sequencer hook.
+  switch (e.kind) {
+    case PendingEffect::Kind::kAmoAdd:
+      std::atomic_ref<std::uint64_t>(*static_cast<std::uint64_t*>(e.dst))
+          .fetch_add(e.value, std::memory_order_seq_cst);
+      break;
+    case PendingEffect::Kind::kAmoSet:
+      std::atomic_ref<std::uint64_t>(*static_cast<std::uint64_t*>(e.dst))
+          .store(e.value, std::memory_order_seq_cst);
+      break;
+    case PendingEffect::Kind::kPut:
+      if (!e.in_slab) {
+        std::memcpy(e.dst, e.inline_buf.data(), e.len);
+      } else {
+        Slab& s = slabs_[e.slab];
+        std::memcpy(e.dst, s.data.data(), e.len);
+        if (--s.refs == 0) {
+          s.next_free = slab_free_;
+          slab_free_ = e.slab;
+        }
+      }
+      break;
+    case PendingEffect::Kind::kNone:
+      break;
+  }
+}
+
 void Fabric::apply_top_locked() {
-  // priority_queue::top is const; the effect is moved via const_cast,
-  // which is safe because pop() immediately discards the slot.
-  auto& top = const_cast<PendingOp&>(pending_.top());
-  auto effect = std::move(top.effect);
+  const PendingOp& top = pending_.top();
+  const PendingEffect effect = top.effect;
   const int initiator = top.initiator;
   const int target = top.target;
   pending_.pop();
-  effect();  // atomics/memcpy on arenas: safe off-thread
+  apply_effect_locked(effect);
   pending_per_pe_[static_cast<std::size_t>(initiator)].fetch_sub(
       1, std::memory_order_relaxed);
   pending_per_target_[static_cast<std::size_t>(target)].fetch_sub(
@@ -70,6 +117,14 @@ void Fabric::reset(int npes) {
     std::lock_guard<std::mutex> lk(pend_mu_);
     while (!pending_.empty()) pending_.pop();
     next_seq_ = 0;
+    // Dropped ops never deliver, so rebuild the slab free list from
+    // scratch; buffers (and their capacity) are kept for reuse.
+    slab_free_ = Slab::kNone;
+    for (std::uint32_t i = 0; i < slabs_.size(); ++i) {
+      slabs_[i].refs = 0;
+      slabs_[i].next_free = slab_free_;
+      slab_free_ = i;
+    }
   }
   arenas_.assign(static_cast<std::size_t>(npes), Arena{});
   busy_until_.assign(static_cast<std::size_t>(npes), Nanos{0});
@@ -259,7 +314,8 @@ void Fabric::amo_set(int initiator, int target, std::uint64_t offset,
 // --------------------------------------------------------- non-blocking
 
 void Fabric::enqueue_nbi(int initiator, int target, OpKind kind,
-                         std::size_t bytes, std::function<void()> effect) {
+                         std::size_t bytes, PendingEffect effect,
+                         const void* slab_src) {
   const Nanos base_delay =
       model_.delivery_delay(bytes, model_.locality(initiator, target));
   Nanos deadline = time_.now(initiator) + base_delay;
@@ -277,23 +333,32 @@ void Fabric::enqueue_nbi(int initiator, int target, OpKind kind,
   {
     std::lock_guard<std::mutex> lk(pend_mu_);
     const int copies = duplicate ? 2 : 1;
+    if (slab_src != nullptr) {
+      effect.in_slab = true;
+      effect.slab = grab_slab_locked(slab_src, effect.len, copies);
+    } else {
+      ++pool_stats_.inline_effects;
+    }
     pending_per_pe_[static_cast<std::size_t>(initiator)].fetch_add(
         copies, std::memory_order_relaxed);
     pending_per_target_[static_cast<std::size_t>(target)].fetch_add(
         copies, std::memory_order_relaxed);
+    pending_.push(PendingOp{deadline, next_seq_++, initiator, target, effect});
     if (duplicate) {
-      // Both copies enter pending_ atomically with the original, so
-      // pending_to(target)==0 proves no stray duplicate is in flight.
-      pending_.push(PendingOp{deadline, next_seq_++, initiator, target,
-                              effect});
-      pending_.push(PendingOp{dup_deadline, next_seq_++, initiator, target,
-                              std::move(effect)});
-    } else {
-      pending_.push(PendingOp{deadline, next_seq_++, initiator, target,
-                              std::move(effect)});
+      // Both copies enter pending_ atomically with the original (sharing
+      // one slab via refcount), so pending_to(target)==0 proves no stray
+      // duplicate is in flight.
+      pending_.push(
+          PendingOp{dup_deadline, next_seq_++, initiator, target, effect});
     }
   }
   if (!time_.is_virtual()) pend_cv_.notify_all();
+  // Only the baton holder issues ops under the virtual backend, so this
+  // needs no lock: shrink our batching horizon so the sequencer cannot
+  // run past the new deadline without delivering. Fault-extended (and
+  // duplicate) deadlines are covered: the original's deadline is the
+  // earliest of the copies.
+  time_.clamp_horizon(initiator, deadline);
 }
 
 void Fabric::nbi_put(int initiator, int target, std::uint64_t offset,
@@ -301,44 +366,55 @@ void Fabric::nbi_put(int initiator, int target, std::uint64_t offset,
   note_op(initiator, target, OpKind::kNbiPut, offset);
   charge(initiator, target, OpKind::kNbiPut, n);
   stats_[static_cast<std::size_t>(initiator)].s.bytes_put += n;
-  std::byte* dst = translate(target, offset, n);
-  std::vector<std::byte> copy(static_cast<const std::byte*>(src),
-                              static_cast<const std::byte*>(src) + n);
-  enqueue_nbi(initiator, target, OpKind::kNbiPut, n,
-              [dst, data = std::move(copy)]() {
-                std::memcpy(dst, data.data(), data.size());
-              });
+  PendingEffect e;
+  e.kind = PendingEffect::Kind::kPut;
+  e.dst = translate(target, offset, n);
+  e.len = static_cast<std::uint32_t>(n);
+  if (n <= PendingEffect::kInlineBytes) {
+    std::memcpy(e.inline_buf.data(), src, n);
+    enqueue_nbi(initiator, target, OpKind::kNbiPut, n, e, nullptr);
+  } else {
+    // `src` is copied into a pooled slab inside enqueue_nbi, before this
+    // call returns, so the caller's buffer lifetime contract is unchanged.
+    enqueue_nbi(initiator, target, OpKind::kNbiPut, n, e, src);
+  }
 }
 
 void Fabric::nbi_amo_add(int initiator, int target, std::uint64_t offset,
                          std::uint64_t value) {
   note_op(initiator, target, OpKind::kNbiAmoAdd, offset);
   charge(initiator, target, OpKind::kNbiAmoAdd, 8);
-  std::uint64_t* dst = translate_u64(target, offset);
-  enqueue_nbi(initiator, target, OpKind::kNbiAmoAdd, 8, [dst, value]() {
-    std::atomic_ref<std::uint64_t>(*dst).fetch_add(value,
-                                                   std::memory_order_seq_cst);
-  });
+  PendingEffect e;
+  e.kind = PendingEffect::Kind::kAmoAdd;
+  e.dst = translate_u64(target, offset);
+  e.value = value;
+  enqueue_nbi(initiator, target, OpKind::kNbiAmoAdd, 8, e, nullptr);
 }
 
 void Fabric::nbi_amo_set(int initiator, int target, std::uint64_t offset,
                          std::uint64_t value) {
   note_op(initiator, target, OpKind::kNbiAmoSet, offset);
   charge(initiator, target, OpKind::kNbiAmoSet, 8);
-  std::uint64_t* dst = translate_u64(target, offset);
-  enqueue_nbi(initiator, target, OpKind::kNbiAmoSet, 8, [dst, value]() {
-    std::atomic_ref<std::uint64_t>(*dst).store(value,
-                                               std::memory_order_seq_cst);
-  });
+  PendingEffect e;
+  e.kind = PendingEffect::Kind::kAmoSet;
+  e.dst = translate_u64(target, offset);
+  e.value = value;
+  enqueue_nbi(initiator, target, OpKind::kNbiAmoSet, 8, e, nullptr);
 }
 
-void Fabric::deliver_until(Nanos now) {
+Nanos Fabric::deliver_until(Nanos now) {
   // Called from the sequencer (under its lock) each time global virtual
   // time reaches a new floor. Applies every effect whose deadline passed,
   // in (deadline, issue-sequence) order — deterministic.
   std::lock_guard<std::mutex> lk(pend_mu_);
   while (!pending_.empty() && pending_.top().deadline <= now)
     apply_top_locked();
+  return pending_.empty() ? kNoPendingDeadline : pending_.top().deadline;
+}
+
+EffectPoolStats Fabric::effect_pool_stats() const {
+  std::lock_guard<std::mutex> lk(pend_mu_);
+  return pool_stats_;
 }
 
 int Fabric::pending(int pe) const {

@@ -15,12 +15,18 @@
 //    backend via a fabric progress thread.
 //  * quiet(pe) blocks until all of pe's outstanding nbi ops delivered
 //    (the OpenSHMEM shmem_quiet contract).
+//
+// Pending-op storage (docs/performance.md): a queued nbi effect is a
+// tagged union, not a std::function. AMOs and puts up to 64 B live
+// entirely inside the queue entry; larger put payloads borrow a slab
+// buffer from a free-listed pool that is recycled across deliveries and
+// runs, so the steady-state nbi path performs no heap allocation.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -45,6 +51,31 @@ struct OpLabel {
   OpKind kind = OpKind::kCount_;  ///< kCount_ = no op issued yet
   int target = -1;
   std::uint64_t offset = 0;
+};
+
+/// Memory effect of a queued non-blocking op, stored without per-op heap
+/// allocation: a tagged union whose put payload is inline up to
+/// kInlineBytes and otherwise lives in a recycled slab (see Fabric).
+struct PendingEffect {
+  enum class Kind : std::uint8_t { kNone, kAmoAdd, kAmoSet, kPut };
+  static constexpr std::size_t kInlineBytes = 64;
+
+  Kind kind = Kind::kNone;
+  bool in_slab = false;       ///< kPut only: payload in Fabric::slabs_[slab]
+  std::uint32_t slab = 0;     ///< slab index when in_slab
+  std::uint32_t len = 0;      ///< kPut payload length in bytes
+  void* dst = nullptr;        ///< translated target address
+  std::uint64_t value = 0;    ///< AMO operand
+  std::array<std::byte, kInlineBytes> inline_buf;  ///< kPut inline payload
+};
+
+/// Allocation accounting for the pending-effect pool. `slab_grabs -
+/// slab_allocs` is the number of large-put payloads served by recycling;
+/// at steady state slab_allocs stops growing (tests/test_fabric.cpp).
+struct EffectPoolStats {
+  std::uint64_t inline_effects = 0;  ///< AMOs + puts <= kInlineBytes
+  std::uint64_t slab_grabs = 0;      ///< large-put payloads enqueued
+  std::uint64_t slab_allocs = 0;     ///< grabs that created a fresh slab
 };
 
 class Fabric {
@@ -131,6 +162,10 @@ class Fabric {
   /// Most recent operation issued by `pe` (see OpLabel).
   const OpLabel& last_op(int pe) const;
 
+  /// Monotonic allocation counters of the pending-effect pool (survive
+  /// reset/new_run so tests can difference across rounds).
+  EffectPoolStats effect_pool_stats() const;
+
   // --- accounting -------------------------------------------------------
   const FabricStats& stats(int pe) const;
   FabricStats total_stats() const;
@@ -146,10 +181,21 @@ class Fabric {
     std::uint64_t seq;  // tie-break for determinism
     int initiator;
     int target;
-    std::function<void()> effect;
+    PendingEffect effect;
     bool operator>(const PendingOp& o) const noexcept {
       return deadline != o.deadline ? deadline > o.deadline : seq > o.seq;
     }
+  };
+  /// Pool entry for large put payloads. `refs` counts queued ops sharing
+  /// the buffer (a fault-injected duplicate shares its original's slab);
+  /// the last delivery returns it to the free list. The byte vector keeps
+  /// its capacity across reuse, so a recycled grab of a same-or-smaller
+  /// payload allocates nothing.
+  struct Slab {
+    static constexpr std::uint32_t kNone = ~std::uint32_t{0};
+    std::vector<std::byte> data;
+    int refs = 0;
+    std::uint32_t next_free = kNone;
   };
   struct alignas(64) PaddedStats {
     FabricStats s;
@@ -165,11 +211,23 @@ class Fabric {
   void charge(int initiator, int target, OpKind kind, std::size_t bytes);
   /// Record `initiator`'s in-flight op label (call before charge()).
   void note_op(int initiator, int target, OpKind kind, std::uint64_t offset);
+  /// Queue `effect` for delivery after the modeled nbi delay (plus any
+  /// fault verdict), then clamp the initiator's sequencer horizon to the
+  /// deadline. When `slab_src` is non-null the payload is copied into a
+  /// pooled slab under pend_mu_ (effect.len bytes); inline payloads are
+  /// already inside `effect`.
   void enqueue_nbi(int initiator, int target, OpKind kind, std::size_t bytes,
-                   std::function<void()> effect);
+                   PendingEffect effect, const void* slab_src);
+  /// Acquire a slab holding [src, src+n) with `refs` queued references;
+  /// caller holds pend_mu_.
+  std::uint32_t grab_slab_locked(const void* src, std::size_t n, int refs);
+  void apply_effect_locked(const PendingEffect& e);
   /// Pop + apply one delivered op; caller holds pend_mu_.
   void apply_top_locked();
-  void deliver_until(Nanos now);
+  /// Apply every pending effect with deadline <= now; returns the earliest
+  /// deadline still pending (kNoPendingDeadline if none) — the sequencer
+  /// caps run-to-horizon batching with it.
+  Nanos deliver_until(Nanos now);
 
   TimeModel& time_;
   NetworkModel model_;
@@ -185,6 +243,9 @@ class Fabric {
   std::vector<std::atomic<int>> pending_per_pe_;
   std::vector<std::atomic<int>> pending_per_target_;
   std::uint64_t next_seq_ = 0;
+  std::vector<Slab> slabs_;                    ///< guarded by pend_mu_
+  std::uint32_t slab_free_ = Slab::kNone;      ///< free-list head
+  EffectPoolStats pool_stats_;                 ///< guarded by pend_mu_
 
   /// Present iff model_.params().faults.enabled(); a null injector means
   /// every fault hook short-circuits to the pre-fault fast path.

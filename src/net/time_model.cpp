@@ -18,8 +18,11 @@ void VirtualTimeModel::reset(int npes) {
   slots_.clear();
   slots_.reserve(static_cast<std::size_t>(npes));
   for (int i = 0; i < npes; ++i) slots_.push_back(std::make_unique<PeSlot>());
+  heap_.rebuild(npes);
   // The baton starts with PE 0: all clocks are 0 and ties break by id.
-  active_ = npes > 0 ? 0 : -1;
+  // Horizons start at 0, so the first advance of every PE enters the
+  // sequencer and computes a real horizon.
+  active_.store(npes > 0 ? 0 : -1, std::memory_order_relaxed);
 }
 
 void VirtualTimeModel::set_delivery_hook(DeliveryHook hook) {
@@ -32,77 +35,137 @@ void VirtualTimeModel::set_ready_arbiter(ReadyArbiter arb) {
   arbiter_ = std::move(arb);
 }
 
+void VirtualTimeModel::set_reference_mode(bool on) {
+  std::lock_guard<std::mutex> lk(mu_);
+  reference_ = on;
+}
+
 int VirtualTimeModel::pick_next_locked(int caller) {
   int best = -1;
-  for (int i = 0; i < static_cast<int>(slots_.size()); ++i) {
-    const auto& s = *slots_[static_cast<std::size_t>(i)];
-    if (s.finished) continue;
-    if (best < 0 || s.vtime < slots_[static_cast<std::size_t>(best)]->vtime)
-      best = i;
+  if (reference_) {
+    // Legacy strategy: O(N) scan, kept as the A/B measurement baseline.
+    for (int i = 0; i < static_cast<int>(slots_.size()); ++i) {
+      const auto& s = *slots_[static_cast<std::size_t>(i)];
+      if (s.finished) continue;
+      if (best < 0 ||
+          s.vtime.load(std::memory_order_relaxed) <
+              slots_[static_cast<std::size_t>(best)]->vtime.load(
+                  std::memory_order_relaxed))
+        best = i;
+    }
+  } else {
+    // The heap's (vtime, pe) order reproduces the scan's lowest-id
+    // tie-break exactly. Callers refresh the active PE's key before
+    // picking, so the top is authoritative.
+    best = heap_.top();
   }
   if (best < 0 || !arbiter_) return best;
 
   // Collect every PE tied at the minimum: each is a legal next event, and
   // which one runs decides how the in-flight memory effects interleave.
-  const Nanos floor = slots_[static_cast<std::size_t>(best)]->vtime;
+  // Only worth O(N) when an arbiter is actually installed.
+  const Nanos floor =
+      slots_[static_cast<std::size_t>(best)]->vtime.load(
+          std::memory_order_relaxed);
   ready_scratch_.clear();
   for (int i = 0; i < static_cast<int>(slots_.size()); ++i) {
     const auto& s = *slots_[static_cast<std::size_t>(i)];
-    if (!s.finished && s.vtime == floor) ready_scratch_.push_back(i);
+    if (!s.finished && s.vtime.load(std::memory_order_relaxed) == floor)
+      ready_scratch_.push_back(i);
   }
   if (ready_scratch_.size() == 1) return best;
   const int chosen = arbiter_(caller, ready_scratch_, floor);
   SWS_ASSERT_MSG(chosen >= 0 && chosen < static_cast<int>(slots_.size()) &&
                      !slots_[static_cast<std::size_t>(chosen)]->finished &&
-                     slots_[static_cast<std::size_t>(chosen)]->vtime == floor,
+                     slots_[static_cast<std::size_t>(chosen)]->vtime.load(
+                         std::memory_order_relaxed) == floor,
                  "arbiter returned a PE outside the ready set");
   return chosen;
 }
 
-void VirtualTimeModel::activate_locked(int next) {
-  active_ = next;
-  if (next < 0) return;
+Nanos VirtualTimeModel::horizon_locked(int pe) {
   // Deliver everything that is now in the past before the PE resumes, so
-  // it observes a consistent "nothing from the future" memory state.
-  if (hook_) hook_(slots_[static_cast<std::size_t>(next)]->vtime);
-  slots_[static_cast<std::size_t>(next)]->cv.notify_one();
+  // it observes a consistent "nothing from the future" memory state; the
+  // hook reports the earliest deadline still pending so batching can
+  // never skip over a delivery.
+  Nanos next_deadline = kNoPendingDeadline;
+  const Nanos now =
+      slots_[static_cast<std::size_t>(pe)]->vtime.load(
+          std::memory_order_relaxed);
+  if (hook_) next_deadline = hook_(now);
+  // Batching off: reference mode measures the legacy per-event lock, and
+  // an installed arbiter must see every advance as a potential tie.
+  if (reference_ || arbiter_) return 0;
+  Nanos h = heap_.second_vtime();
+  if (next_deadline < h) h = next_deadline;
+  return h;
+}
+
+void VirtualTimeModel::activate_locked(int next) {
+  active_.store(next, std::memory_order_relaxed);
+  if (next < 0) return;
+  PeSlot& slot = *slots_[static_cast<std::size_t>(next)];
+  slot.horizon = horizon_locked(next);
+  slot.cv.notify_one();
 }
 
 void VirtualTimeModel::pe_begin(int pe) {
   std::unique_lock<std::mutex> lk(mu_);
   SWS_ASSERT(pe >= 0 && pe < static_cast<int>(slots_.size()));
   auto& slot = *slots_[static_cast<std::size_t>(pe)];
-  slot.cv.wait(lk, [&] { return active_ == pe; });
+  slot.cv.wait(
+      lk, [&] { return active_.load(std::memory_order_relaxed) == pe; });
 }
 
 void VirtualTimeModel::pe_end(int pe) {
   std::unique_lock<std::mutex> lk(mu_);
-  SWS_ASSERT(active_ == pe);
+  SWS_ASSERT(active_.load(std::memory_order_relaxed) == pe);
   slots_[static_cast<std::size_t>(pe)]->finished = true;
+  if (!reference_) heap_.remove(pe);
   activate_locked(pick_next_locked(pe));
 }
 
 void VirtualTimeModel::advance(int pe, Nanos dt) {
+  SWS_ASSERT(pe >= 0 && pe < static_cast<int>(slots_.size()));
+  PeSlot& slot = *slots_[static_cast<std::size_t>(pe)];
+  SWS_ASSERT_MSG(active_.load(std::memory_order_relaxed) == pe,
+                 "advance() by a PE not holding the baton");
+  const Nanos nv = slot.vtime.load(std::memory_order_relaxed) + dt;
+  if (nv < slot.horizon) {
+    // Run-to-horizon fast path: still strictly the global minimum and
+    // strictly before the next delivery deadline — nothing to pick,
+    // nothing to deliver, nobody to wake. Publish the clock and return.
+    slot.vtime.store(nv, std::memory_order_release);
+    return;
+  }
   std::unique_lock<std::mutex> lk(mu_);
-  SWS_ASSERT_MSG(active_ == pe, "advance() by a PE not holding the baton");
-  auto& slot = *slots_[static_cast<std::size_t>(pe)];
-  slot.vtime += dt;
+  slot.vtime.store(nv, std::memory_order_release);
+  if (!reference_) heap_.update(pe, nv);  // increase-key
   const int next = pick_next_locked(pe);
   SWS_ASSERT(next >= 0);  // we are unfinished, so somebody is runnable
   if (next == pe) {
-    // Fast path: still the global minimum — keep running, but let the
-    // fabric deliver anything that our own advance made due.
-    if (hook_) hook_(slot.vtime);
+    // Still the minimum: deliver anything our own advance made due and
+    // batch up to the refreshed horizon.
+    slot.horizon = horizon_locked(pe);
     return;
   }
   activate_locked(next);
-  slot.cv.wait(lk, [&] { return active_ == pe; });
+  slot.cv.wait(
+      lk, [&] { return active_.load(std::memory_order_relaxed) == pe; });
 }
 
 Nanos VirtualTimeModel::now(int pe) const {
-  std::lock_guard<std::mutex> lk(mu_);
   SWS_ASSERT(pe >= 0 && pe < static_cast<int>(slots_.size()));
-  return slots_[static_cast<std::size_t>(pe)]->vtime;
+  return slots_[static_cast<std::size_t>(pe)]->vtime.load(
+      std::memory_order_acquire);
+}
+
+void VirtualTimeModel::clamp_horizon(int pe, Nanos deadline) {
+  SWS_ASSERT(pe >= 0 && pe < static_cast<int>(slots_.size()));
+  SWS_ASSERT_MSG(active_.load(std::memory_order_relaxed) == pe,
+                 "clamp_horizon() by a PE not holding the baton");
+  PeSlot& slot = *slots_[static_cast<std::size_t>(pe)];
+  if (deadline < slot.horizon) slot.horizon = deadline;
 }
 
 // ------------------------------------------------------------------ real

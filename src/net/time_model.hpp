@@ -15,8 +15,21 @@
 //
 // Both expose the same interface, so the whole runtime above this layer
 // is written once.
+//
+// Sequencer hot path (docs/performance.md): the ready set lives in an
+// indexed (vtime, pe) min-heap, and the baton holder caches a *horizon* —
+// the minimum of every other PE's clock and the earliest pending nbi
+// deadline. advance() calls that keep the clock strictly below the
+// horizon touch no lock, fire no hook, and wake no thread; only crossing
+// the horizon enters the sequencer. Anything that could schedule an event
+// below the holder's horizon must shrink it via clamp_horizon() (the
+// fabric does this on every nbi enqueue), and the delivery hook reports
+// the earliest still-pending deadline so the sequencer can cap horizons
+// with it. Installing a ReadyArbiter disables horizon batching entirely:
+// the schedule explorer must observe every potential tie.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <functional>
@@ -24,16 +37,23 @@
 #include <mutex>
 #include <vector>
 
+#include "net/ready_heap.hpp"
 #include "net/types.hpp"
 
 namespace sws::net {
 
+/// Sentinel "no pending deadline" for DeliveryHook results: later than any
+/// representable virtual time.
+inline constexpr Nanos kNoPendingDeadline = ~Nanos{0};
+
 /// Callback invoked by the virtual sequencer whenever global time reaches
 /// a new floor `now`; the fabric uses it to deliver pending non-blocking
-/// operations whose deadline has passed. Runs under the sequencer lock —
-/// it must only touch fabric/pending state, never call back into the
-/// time model.
-using DeliveryHook = std::function<void(Nanos now)>;
+/// operations whose deadline has passed. Returns the earliest deadline
+/// still pending after the sweep (kNoPendingDeadline if none) — the
+/// sequencer caps run-to-horizon batching with it so no delivery is ever
+/// skipped over. Runs under the sequencer lock — it must only touch
+/// fabric/pending state, never call back into the time model.
+using DeliveryHook = std::function<Nanos(Nanos now)>;
 
 /// Consulted by the virtual sequencer whenever more than one PE is
 /// runnable at the minimum virtual time — i.e. whenever the discrete-event
@@ -65,6 +85,16 @@ class TimeModel {
   /// Current clock of PE `pe`.
   virtual Nanos now(int pe) const = 0;
 
+  /// Inform the sequencer that an event (e.g. an nbi delivery deadline)
+  /// was scheduled at virtual time `deadline` by the running PE `pe`.
+  /// Virtual backend: shrinks pe's batching horizon so the deadline is
+  /// not skipped over; may only be called by the baton holder. Real
+  /// backend: no-op (deliveries are driven by a progress thread).
+  virtual void clamp_horizon(int pe, Nanos deadline) {
+    (void)pe;
+    (void)deadline;
+  }
+
   virtual void set_delivery_hook(DeliveryHook hook) = 0;
 
   virtual bool is_virtual() const noexcept = 0;
@@ -81,19 +111,45 @@ class VirtualTimeModel final : public TimeModel {
   void pe_begin(int pe) override;
   void pe_end(int pe) override;
   void advance(int pe, Nanos dt) override;
+
+  /// Lock-free: reads the PE's published clock mirror. Exact when called
+  /// by `pe` itself (every advance publishes before returning) or by any
+  /// thread ordered after the writer (joined threads, the sequencer's
+  /// baton hand-off). A concurrent reader on another thread may observe a
+  /// slightly stale — but monotonic — value; there is no torn read.
   Nanos now(int pe) const override;
+
+  void clamp_horizon(int pe, Nanos deadline) override;
   void set_delivery_hook(DeliveryHook hook) override;
   bool is_virtual() const noexcept override { return true; }
   int npes() const noexcept override { return static_cast<int>(slots_.size()); }
 
   /// Install (or clear, with nullptr) the ready-set arbiter. Survives
   /// reset() — it is sequencer configuration, like the delivery hook.
-  /// Must not be called while PE threads are active.
+  /// Must not be called while PE threads are active. While installed,
+  /// run-to-horizon batching is disabled so every advance() is a
+  /// potential branch point for the explorer.
   void set_ready_arbiter(ReadyArbiter arb);
+
+  /// Test/bench-only strategy switch: revert to the pre-heap linear ready
+  /// scan with no run-to-horizon batching (every advance takes the lock
+  /// and fires the delivery hook — the legacy implementation). Schedules
+  /// are identical either way; this exists so the determinism A/B test
+  /// and bench/sim_engine can compare both inside one binary. Must not be
+  /// toggled while PE threads are active.
+  void set_reference_mode(bool on);
+  bool reference_mode() const noexcept { return reference_; }
 
  private:
   struct PeSlot {
-    Nanos vtime = 0;
+    /// Authoritative clock, written only by the baton-holding thread (or
+    /// under mu_ during reset). Atomic so now() can read it lock-free.
+    std::atomic<Nanos> vtime{0};
+    /// Fast-path cap: advance() stays lock-free while the resulting clock
+    /// is *strictly* below this. Written under mu_ when the baton is
+    /// handed over, then owned by the holder (clamp_horizon) until the
+    /// next hand-off; the cv round-trip orders the accesses.
+    Nanos horizon = 0;
     bool finished = false;
     std::condition_variable cv;
   };
@@ -102,15 +158,22 @@ class VirtualTimeModel final : public TimeModel {
   /// arbiter when one is installed (else by id); -1 if none left.
   /// `caller` is the PE whose advance/finish triggered the pick.
   int pick_next_locked(int caller);
-  /// Hand the baton to `next` (may equal current active) and fire the
-  /// delivery hook for the new time floor.
+  /// Hand the baton to `next` (may equal current active): fire the
+  /// delivery hook for the new time floor, refresh `next`'s horizon,
+  /// and wake it.
   void activate_locked(int next);
+  /// Fire the hook at `pe`'s clock and compute its fresh horizon:
+  /// min(second-lowest ready clock, earliest pending delivery deadline);
+  /// 0 (batching off) in reference/arbiter mode.
+  Nanos horizon_locked(int pe);
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<PeSlot>> slots_;
-  int active_ = -1;
+  ReadyHeap heap_;           ///< ready PEs keyed by (vtime, pe); guarded by mu_
+  std::atomic<int> active_{-1};  ///< written under mu_; read lock-free by asserts
   DeliveryHook hook_;
   ReadyArbiter arbiter_;
+  bool reference_ = false;
   std::vector<int> ready_scratch_;  ///< reused per pick; guarded by mu_
 };
 

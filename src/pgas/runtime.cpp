@@ -11,10 +11,13 @@ namespace sws::pgas {
 
 Runtime::Runtime(RuntimeConfig cfg) : cfg_(cfg) {
   SWS_CHECK(cfg_.npes > 0, "npes must be positive");
-  if (cfg_.mode == TimeMode::kVirtual)
-    time_ = std::make_unique<net::VirtualTimeModel>(cfg_.npes);
-  else
+  if (cfg_.mode == TimeMode::kVirtual) {
+    auto vt = std::make_unique<net::VirtualTimeModel>(cfg_.npes);
+    vt->set_reference_mode(cfg_.sequencer_reference);
+    time_ = std::move(vt);
+  } else {
     time_ = std::make_unique<net::RealTimeModel>(cfg_.npes);
+  }
 
   fabric_ = std::make_unique<net::Fabric>(*time_, net::NetworkModel(cfg_.net),
                                           cfg_.npes);

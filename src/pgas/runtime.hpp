@@ -23,6 +23,10 @@ struct RuntimeConfig {
   net::NetworkParams net{};
   TimeMode mode = TimeMode::kVirtual;
   std::uint64_t seed = 42;  ///< base seed for per-PE RNG streams
+  /// Virtual mode only: run the sequencer in its legacy linear-scan
+  /// strategy (no ready heap, no run-to-horizon batching). Schedules are
+  /// identical; exists for A/B determinism tests and benchmarks.
+  bool sequencer_reference = false;
 };
 
 class Runtime;

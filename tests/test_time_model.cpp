@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <random>
 #include <thread>
 #include <vector>
 
+#include "net/ready_heap.hpp"
 #include "net/time_model.hpp"
 
 namespace sws::net {
@@ -108,7 +110,10 @@ TEST(VirtualTime, ArbiterReordersTiedPes) {
 TEST(VirtualTime, DeliveryHookFiresAtTimeFloor) {
   VirtualTimeModel tm(2);
   std::vector<Nanos> hook_times;
-  tm.set_delivery_hook([&](Nanos now) { hook_times.push_back(now); });
+  tm.set_delivery_hook([&](Nanos now) {
+    hook_times.push_back(now);
+    return net::kNoPendingDeadline;
+  });
   run_pes(tm, 2, [&](int pe) { tm.advance(pe, pe == 0 ? 100 : 70); });
   ASSERT_FALSE(hook_times.empty());
   // Hook times never decrease: deliveries respect global time order.
@@ -138,6 +143,170 @@ TEST(VirtualTime, IsVirtual) {
   VirtualTimeModel tm(1);
   EXPECT_TRUE(tm.is_virtual());
   EXPECT_EQ(tm.npes(), 1);
+}
+
+TEST(VirtualTime, HorizonBatchingSkipsHookUntilReportedDeadline) {
+  // A single PE has no competing clock, so its batching horizon is
+  // whatever deadline the delivery hook reports: advances strictly below
+  // it must not re-enter the sequencer, and the first advance reaching it
+  // must fire the hook again.
+  VirtualTimeModel tm(1);
+  std::vector<Nanos> hook_times;
+  tm.set_delivery_hook([&](Nanos now) {
+    hook_times.push_back(now);
+    return now < 100 ? Nanos{100} : kNoPendingDeadline;
+  });
+  run_pes(tm, 1, [&](int pe) {
+    tm.advance(pe, 10);  // slow path (initial horizon 0): hook at 10
+    tm.advance(pe, 30);  // 40  < 100: batched
+    tm.advance(pe, 30);  // 70  < 100: batched
+    tm.advance(pe, 30);  // 100 >= 100: hook at 100
+  });
+  // pe_end leaves no runnable PE, so no further hook fires.
+  EXPECT_EQ(hook_times, (std::vector<Nanos>{10, 100}));
+}
+
+TEST(VirtualTime, ClampHorizonForcesDeliverySweep) {
+  // What Fabric::enqueue_nbi does after queueing an op: shrink the
+  // issuing PE's horizon to the delivery deadline so batching cannot run
+  // past it.
+  VirtualTimeModel tm(1);
+  std::vector<Nanos> hook_times;
+  tm.set_delivery_hook([&](Nanos now) {
+    hook_times.push_back(now);
+    return kNoPendingDeadline;  // hook reports nothing pending...
+  });
+  run_pes(tm, 1, [&](int pe) {
+    tm.advance(pe, 10);          // hook at 10, horizon now unbounded
+    tm.clamp_horizon(pe, 50);    // ...but an op was just scheduled for 50
+    tm.advance(pe, 30);          // 40 < 50: batched
+    tm.advance(pe, 30);          // 70 >= 50: hook at 70
+  });
+  EXPECT_EQ(hook_times, (std::vector<Nanos>{10, 70}));
+}
+
+TEST(VirtualTime, ReferenceModeMatchesOptimizedSchedule) {
+  // The legacy linear-scan strategy and the heap + horizon-batching one
+  // must produce the same interleaving and the same final clocks.
+  const auto workload = [](VirtualTimeModel& tm, std::vector<int>& order) {
+    run_pes(tm, 3, [&](int pe) {
+      for (int i = 0; i < 3; ++i) {
+        tm.advance(pe, static_cast<Nanos>(100 * (pe + 1)));
+        order.push_back(pe);
+      }
+    });
+  };
+  VirtualTimeModel opt(3), ref(3);
+  ref.set_reference_mode(true);
+  EXPECT_TRUE(ref.reference_mode());
+  std::vector<int> opt_order, ref_order;
+  workload(opt, opt_order);
+  workload(ref, ref_order);
+  EXPECT_EQ(opt_order, ref_order);
+  for (int pe = 0; pe < 3; ++pe) EXPECT_EQ(opt.now(pe), ref.now(pe));
+}
+
+TEST(VirtualTime, ReferenceModeFiresHookEveryEvent) {
+  // Reference mode disables batching: every advance is a sequencer event
+  // and fires the delivery hook, like the pre-heap implementation.
+  VirtualTimeModel tm(1);
+  tm.set_reference_mode(true);
+  std::vector<Nanos> hook_times;
+  tm.set_delivery_hook([&](Nanos now) {
+    hook_times.push_back(now);
+    return kNoPendingDeadline;
+  });
+  run_pes(tm, 1, [&](int pe) {
+    for (int i = 1; i <= 4; ++i) tm.advance(pe, 10);
+  });
+  EXPECT_EQ(hook_times, (std::vector<Nanos>{10, 20, 30, 40}));
+}
+
+TEST(VirtualTime, NowIsReadableFromOtherPes) {
+  // now() is lock-free; the baton holder may read any parked PE's clock.
+  VirtualTimeModel tm(2);
+  run_pes(tm, 2, [&](int pe) {
+    tm.advance(pe, pe == 0 ? 10 : 100);
+    // When PE1's first advance returns (t=100), PE0 has already published
+    // its second advance (10 + 100) and parked waiting for the baton.
+    if (pe == 1) {
+      EXPECT_EQ(tm.now(0), 110u);
+    }
+    tm.advance(pe, 100);
+  });
+  EXPECT_EQ(tm.now(0), 110u);
+  EXPECT_EQ(tm.now(1), 200u);
+}
+
+TEST(ReadyHeap, TopFollowsUpdatesAndRemovals) {
+  ReadyHeap h;
+  h.rebuild(4);
+  EXPECT_EQ(h.top(), 0);  // all zero: lowest id wins
+  EXPECT_EQ(h.second_vtime(), 0u);
+  h.update(0, 50);  // increase-key
+  EXPECT_EQ(h.top(), 1);
+  h.update(1, 30);
+  h.update(2, 20);
+  h.update(3, 40);
+  EXPECT_EQ(h.top(), 2);
+  EXPECT_EQ(h.top_vtime(), 20u);
+  EXPECT_EQ(h.second_vtime(), 30u);
+  h.update(3, 10);  // decrease-key
+  EXPECT_EQ(h.top(), 3);
+  EXPECT_EQ(h.second_vtime(), 20u);
+  h.remove(3);
+  EXPECT_EQ(h.top(), 2);
+  EXPECT_FALSE(h.contains(3));
+  EXPECT_EQ(h.vtime_of(0), 50u);
+  h.remove(2);
+  h.remove(1);
+  EXPECT_EQ(h.top(), 0);
+  EXPECT_EQ(h.second_vtime(), ReadyHeap::kNoVtime);
+  h.remove(0);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.top(), -1);
+  EXPECT_EQ(h.top_vtime(), ReadyHeap::kNoVtime);
+}
+
+TEST(ReadyHeap, MatchesNaiveScanUnderRandomOps) {
+  // Reference check against the linear scan the heap replaced: after
+  // every random update/remove, top() and second_vtime() must agree.
+  std::mt19937_64 rng(12345);
+  const int n = 17;
+  ReadyHeap h;
+  h.rebuild(n);
+  std::vector<Nanos> naive(n, 0);
+  std::vector<bool> alive(n, true);
+  const auto naive_top = [&] {
+    int best = -1;
+    for (int i = 0; i < n; ++i) {
+      if (!alive[i]) continue;
+      if (best < 0 || naive[i] < naive[best]) best = i;
+    }
+    return best;
+  };
+  const auto naive_second = [&] {
+    const int t = naive_top();
+    Nanos s = ReadyHeap::kNoVtime;
+    for (int i = 0; i < n; ++i)
+      if (alive[i] && i != t && naive[i] < s) s = naive[i];
+    return s;
+  };
+  for (int step = 0; step < 2000; ++step) {
+    const int pe = static_cast<int>(rng() % n);
+    if (!alive[pe]) continue;
+    if (rng() % 16 == 0 && h.size() > 1) {
+      h.remove(pe);
+      alive[pe] = false;
+    } else {
+      // Mostly increase-key (the advance() pattern), sometimes decrease.
+      const Nanos v = rng() % 8 == 0 ? naive[pe] / 2 : naive[pe] + rng() % 100;
+      h.update(pe, v);
+      naive[pe] = v;
+    }
+    ASSERT_EQ(h.top(), naive_top()) << "step " << step;
+    ASSERT_EQ(h.second_vtime(), naive_second()) << "step " << step;
+  }
 }
 
 TEST(RealTime, AdvanceTakesAtLeastDt) {
