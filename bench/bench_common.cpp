@@ -1,8 +1,30 @@
 #include "bench_common.hpp"
 
+#include <fstream>
 #include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
 
 namespace sws::bench {
+
+namespace {
+
+/// PREFIX.sws.p8.json — one artifact per (kind, npes) configuration, so a
+/// sweep doesn't overwrite itself.
+std::string config_file(const std::string& prefix, core::QueueKind kind,
+                        int npes) {
+  return prefix + (kind == core::QueueKind::kSws ? ".sws.p" : ".sdc.p") +
+         std::to_string(npes) + ".json";
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot write " + path);
+  return f;
+}
+
+}  // namespace
 
 BenchSettings BenchSettings::from_options(const Options& opt) {
   BenchSettings s;
@@ -18,6 +40,8 @@ BenchSettings BenchSettings::from_options(const Options& opt) {
   s.seed = static_cast<std::uint64_t>(
       opt.get("seed", static_cast<std::int64_t>(s.seed)));
   s.seq_reference = opt.get("seq-reference", false);
+  s.trace_out = opt.get("trace-out", std::string(""));
+  s.metrics_out = opt.get("metrics-out", std::string(""));
   return s;
 }
 
@@ -37,12 +61,16 @@ ConfigResult run_config(core::QueueKind kind, int npes,
                         const PoolTweaks& tweaks,
                         const SeederFactory& factory) {
   ConfigResult out;
+  const bool want_trace = !settings.trace_out.empty();
+  const bool want_metrics = !settings.metrics_out.empty();
+  obs::MetricsSnapshot merged_metrics;
   for (int rep = 0; rep < settings.reps; ++rep) {
     pgas::RuntimeConfig rcfg;
     rcfg.npes = npes;
     rcfg.seed = settings.seed + static_cast<std::uint64_t>(rep) * 1000003;
     rcfg.net = tweaks.net;
     rcfg.sequencer_reference = settings.seq_reference;
+    rcfg.metrics = want_metrics;
     rcfg.heap_bytes =
         tweaks.heap_bytes != 0
             ? tweaks.heap_bytes
@@ -60,11 +88,26 @@ ConfigResult run_config(core::QueueKind kind, int npes,
     pcfg.sws = tweaks.sws;
     pcfg.sdc = tweaks.sdc;
     pcfg.steal = tweaks.steal;
+    if (want_trace) {
+      pcfg.trace.enable = true;
+      // Large rings: a truncated trace still loads in Perfetto but makes
+      // sws-analyze's span accounting report orphans.
+      pcfg.trace.events = std::size_t{1} << 16;
+    }
     core::TaskPool pool(rt, registry, pcfg);
 
     rt.run([&](pgas::PeContext& ctx) {
       pool.run_pe(ctx, [&](core::Worker& w) { seeder(w); });
     });
+
+    if (want_metrics) {
+      pool.publish_metrics(rt.metrics());
+      merged_metrics.merge(rt.metrics().snapshot());
+    }
+    if (want_trace && rep == settings.reps - 1) {
+      auto f = open_out(config_file(settings.trace_out, kind, npes));
+      pool.dump_trace_json(f);
+    }
 
     const core::PoolRunReport r = pool.report();
     const double ms = static_cast<double>(r.total.run_time_ns) / 1e6;
@@ -80,6 +123,10 @@ ConfigResult run_config(core::QueueKind kind, int npes,
     out.steal_attempts += r.total.steal_attempts;
     out.total_compute_ns = r.total.compute_time_ns;
     out.steal_latency.merge(r.total.steal_latency);
+  }
+  if (want_metrics) {
+    auto f = open_out(config_file(settings.metrics_out, kind, npes));
+    merged_metrics.write_json(f);
   }
   return out;
 }

@@ -8,6 +8,10 @@
 //   --csv                  emit CSV instead of aligned tables
 //   --seed 42              base seed
 //   --seq-reference        legacy linear-scan sequencer (perf A/B)
+//   --trace-out PREFIX     per config, dump the last repetition's Chrome
+//                          trace JSON to PREFIX.<kind>.p<npes>.json
+//   --metrics-out PREFIX   per config, write the metrics snapshot merged
+//                          across reps to PREFIX.<kind>.p<npes>.json
 #pragma once
 
 #include <functional>
@@ -35,6 +39,12 @@ struct BenchSettings {
   /// --seq-reference: run the sequencer in its legacy linear-scan mode
   /// (same schedules; for measuring the heap + horizon-batching speedup).
   bool seq_reference = false;
+  /// --trace-out: filename prefix for per-config Chrome trace dumps
+  /// ("" = tracing off). Tracing never perturbs virtual-time schedules
+  /// (tests/test_determinism_ab.cpp), so traced runs measure real runs.
+  std::string trace_out;
+  /// --metrics-out: filename prefix for per-config metrics JSON.
+  std::string metrics_out;
 
   static BenchSettings from_options(const Options& opt);
 };

@@ -98,13 +98,30 @@ int main(int argc, char** argv) {
             << static_cast<double>(r.steal_latency_ns(0.5)) / 1e3 << " us, p95 "
             << static_cast<double>(r.steal_latency_ns(0.95)) / 1e3
             << " us)\n";
+  std::cout << "spans: "
+            << tracer.count(core::TraceKind::kStealSpan,
+                            core::TracePhase::kBegin)
+            << " steal, "
+            << tracer.count(core::TraceKind::kReleaseSpan,
+                            core::TracePhase::kBegin)
+            << " release, "
+            << tracer.count(core::TraceKind::kAcquireSpan,
+                            core::TracePhase::kBegin)
+            << " acquire;  " << tracer.count(core::TraceKind::kFabricOp)
+            << " fabric ops attributed"
+            << (tracer.truncated() ? "  [ring wrapped: grow --trace events]"
+                                   : "")
+            << "\n";
 
   const std::string json_path = opt.get("chrome-json", std::string(""));
   if (!json_path.empty()) {
     std::ofstream out(json_path);
-    tracer.dump_chrome_json(out);
+    // The pool's dump embeds run metadata (protocol, npes, slot size) —
+    // required by sws-analyze, harmless for Perfetto / chrome://tracing.
+    pool.dump_trace_json(out);
     std::cout << "chrome trace written to " << json_path
-              << " (open in chrome://tracing)\n";
+              << " (load in Perfetto or chrome://tracing; analyze with "
+               "sws-analyze)\n";
   }
   return 0;
 }

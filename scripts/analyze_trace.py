@@ -1,0 +1,280 @@
+#!/usr/bin/env python3
+"""Analyze a Tracer::dump_chrome_json trace without the C++ build tree.
+
+Pure-python mirror of tools/sws-analyze (same span model, same checks):
+
+    analyze_trace.py trace.json                full report
+    analyze_trace.py --diff a.json b.json      A/B comparison
+    analyze_trace.py --self-check trace.json   protocol op-shape check;
+                                               exit 1 on any violation
+
+The self-check encodes the paper's Fig 2 claim: a successful SWS steal is
+exactly one remote fetch-add + one task-copy get (two if the victim ring
+wrapped) + one non-blocking completion add; a successful SDC steal is the
+six-op lock / fetch / claim / unlock / copy / notify sequence.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+from collections import Counter, defaultdict
+
+OUTCOMES = {0: "ok", 1: "empty", 2: "retry"}
+
+
+def parse_trace(path):
+    with open(path) as f:
+        events = json.load(f)
+
+    run = {
+        "protocol": "",
+        "npes": 0,
+        "truncated": False,
+        "spans": [],
+        "orphan_begins": 0,
+        "orphan_ends": 0,
+        "orphan_ops": 0,
+        "duration_ns": 0,
+    }
+    open_spans = {}
+
+    def ns(ev, key="ts"):
+        return round(float(ev.get(key, 0)) * 1000)
+
+    for ev in events:
+        name, ph = ev.get("name", ""), ev.get("ph", "")
+        args = ev.get("args", {})
+        if name == "sws_run_meta":
+            run["protocol"] = args.get("protocol", "")
+            run["npes"] = args.get("npes", 0)
+            run["truncated"] = bool(args.get("truncated", 0))
+            continue
+        run["duration_ns"] = max(run["duration_ns"], ns(ev))
+        if ph == "B":
+            sid = args.get("span", 0)
+            if sid in open_spans:
+                run["orphan_begins"] += 1
+            open_spans[sid] = {
+                "kind": name,
+                "pe": ev.get("tid", -1),
+                "begin_ns": ns(ev),
+                "victim": args.get("a", 0),
+                "ops": [],
+            }
+        elif ph == "E":
+            sid = args.get("span", 0)
+            span = open_spans.pop(sid, None)
+            if span is None:
+                run["orphan_ends"] += 1
+                continue
+            span["end_ns"] = ns(ev)
+            b = int(args.get("b", 0))
+            span["outcome"], span["ntasks"] = b & 0xFF, b >> 8
+            run["spans"].append(span)
+        elif ph == "X":
+            run["duration_ns"] = max(run["duration_ns"], ns(ev) + ns(ev, "dur"))
+            span = open_spans.get(args.get("span", 0))
+            if span is None:
+                run["orphan_ops"] += 1
+                continue
+            span["ops"].append(args.get("op", ""))
+
+    run["orphan_begins"] += len(open_spans)
+    run["spans"].sort(key=lambda s: (s["begin_ns"], s["pe"]))
+    return run
+
+
+def check_success(protocol, span):
+    """Return a list of Fig 2 shape violations for one successful steal.
+
+    Legitimate contention ops are admitted: SWS may lead with one
+    empty-mode probe fetch; SDC pays one extra cswap + one probe get per
+    failed lock attempt.
+    """
+    ops = Counter(span["ops"])
+    gets = ops["get"]
+    bad = []
+    if protocol == "sws":
+        probes = ops["amo_fetch"]
+        if ops["amo_fetch_add"] != 1:
+            bad.append("expected exactly 1 remote fetch-add")
+        if probes > 1:
+            bad.append("expected at most 1 empty-mode probe fetch")
+        if not 1 <= gets <= 2:
+            bad.append("expected 1 task-copy get (2 if wrapped)")
+        if ops["nbi_amo_add"] != 1:
+            bad.append("expected exactly 1 nbi completion add")
+        if sum(ops.values()) != 2 + gets + probes:
+            bad.append("unexpected extra ops in SWS steal")
+    elif protocol == "sdc":
+        cswaps = ops["amo_cswap"]
+        if cswaps < 1:
+            bad.append("expected at least 1 lock cswap")
+        for op, what in (("put", "tail-claim put"), ("amo_set", "unlock set"),
+                         ("nbi_amo_set", "nbi completion set")):
+            if ops[op] != 1:
+                bad.append(f"expected exactly 1 {what}")
+        if not cswaps + 1 <= gets <= cswaps + 2:
+            bad.append("expected 1 probe get per failed lock attempt "
+                       "+ metadata get + task-copy get (1 more if wrapped)")
+        if sum(ops.values()) != 3 + cswaps + gets:
+            bad.append("unexpected extra ops in SDC steal")
+    return [
+        f"{protocol} steal (pe {span['pe']} -> victim {span['victim']}, "
+        f"t={span['begin_ns']}ns): {w} [ops: {dict(ops)}]" for w in bad
+    ]
+
+
+def analyze(run, window_ns=0):
+    r = {
+        "protocol": run["protocol"],
+        "npes": run["npes"],
+        "truncated": run["truncated"],
+        "duration_ns": run["duration_ns"],
+        "steals": Counter(),
+        "tasks_stolen": 0,
+        "signatures": Counter(),
+        "latency": defaultdict(list),
+        "releases": 0,
+        "acquires": 0,
+        "violations": [],
+        "ops_per_success": 0.0,
+        "blocking_per_success": 0.0,
+    }
+    window_ns = window_ns or max(run["duration_ns"] // 64, 1000)
+    r["window_ns"] = window_ns
+    windows = defaultdict(lambda: Counter())
+    total_ops = total_blocking = 0
+
+    for s in run["spans"]:
+        if s["kind"] == "release_span":
+            r["releases"] += 1
+            continue
+        if s["kind"] == "acquire_span":
+            r["acquires"] += 1
+            continue
+        if s["kind"] != "steal":
+            continue
+        outcome = OUTCOMES.get(s["outcome"], "retry")
+        r["steals"][outcome] += 1
+        r["latency"][outcome].append(s["end_ns"] - s["begin_ns"])
+        w = windows[s["begin_ns"] // window_ns]
+        if outcome == "ok":
+            w["oks"] += 1
+            r["tasks_stolen"] += s["ntasks"]
+            sig = " ".join(f"{k}:{v}" for k, v in sorted(Counter(s["ops"]).items()))
+            r["signatures"][sig or "(none)"] += 1
+            total_ops += len(s["ops"])
+            total_blocking += sum(1 for op in s["ops"] if not op.startswith("nbi_"))
+            if run["protocol"] and not run["truncated"]:
+                r["violations"] += check_success(run["protocol"], s)
+        else:
+            w["fails"] += 1
+            if outcome == "retry":
+                w["retries"] += 1
+
+    oks = r["steals"]["ok"]
+    if oks:
+        r["ops_per_success"] = total_ops / oks
+        r["blocking_per_success"] = total_blocking / oks
+    r["storm_windows"] = sum(
+        1 for w in windows.values() if w["fails"] >= 16 and w["fails"] >= 4 * w["oks"])
+    r["churn_windows"] = sum(
+        1 for w in windows.values()
+        if w["retries"] >= 8 and 2 * w["retries"] >= sum(w.values()) - w["retries"])
+    if not run["truncated"] and (run["orphan_begins"] or run["orphan_ends"]):
+        r["violations"].append(
+            f"orphaned span begin/end in an untruncated trace "
+            f"({run['orphan_begins']} begins, {run['orphan_ends']} ends)")
+    return r
+
+
+def quantiles(xs):
+    if not xs:
+        return "n=0"
+    xs = sorted(xs)
+    q = lambda p: xs[min(len(xs) - 1, int(p * (len(xs) - 1)))]
+    return (f"n={len(xs)} p50={q(.5)}ns p95={q(.95)}ns "
+            f"p99={q(.99)}ns max={xs[-1]}ns")
+
+
+def report(r):
+    print(f"run: protocol={r['protocol'] or '?'} npes={r['npes']} "
+          f"duration={r['duration_ns']}ns"
+          + (" (trace TRUNCATED: ring wrapped)" if r["truncated"] else ""))
+    s = r["steals"]
+    print(f"steals: attempts={sum(s.values())} ok={s['ok']} "
+          f"empty={s['empty']} retry={s['retry']} "
+          f"tasks_stolen={r['tasks_stolen']} "
+          f"releases={r['releases']} acquires={r['acquires']}")
+    print(f"comm per successful steal (Fig 2): ops={r['ops_per_success']:.2f} "
+          f"blocking={r['blocking_per_success']:.2f}")
+    for sig, n in sorted(r["signatures"].items()):
+        print(f"    {n}x  {sig}")
+    for outcome in ("ok", "empty", "retry"):
+        print(f"  latency {outcome:6s} {quantiles(r['latency'][outcome])}")
+    print(f"pathologies (window={r['window_ns']}ns): "
+          f"storms={r['storm_windows']} churn={r['churn_windows']}")
+    for v in r["violations"]:
+        print(f"  ! {v}")
+
+
+def diff(a, b):
+    print(f"A/B: A={a['protocol'] or '?'} B={b['protocol'] or '?'}  (B vs A)")
+
+    def line(label, va, vb):
+        rel = f"  {(vb - va) / va * 100:+.1f}%" if va else ""
+        print(f"  {label:<24}{va:>14.2f}{vb:>14.2f}{rel}")
+
+    line("duration_ns", a["duration_ns"], b["duration_ns"])
+    for k in ("ok", "empty", "retry"):
+        line(f"steals {k}", a["steals"][k], b["steals"][k])
+    line("ops/success", a["ops_per_success"], b["ops_per_success"])
+    line("blocking/success", a["blocking_per_success"], b["blocking_per_success"])
+    for r, name in ((a, "A"), (b, "B")):
+        lat = r["latency"]["ok"]
+        if lat:
+            print(f"  steal-ok latency {name}: mean={statistics.mean(lat):.0f}ns "
+                  f"{quantiles(lat)}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("traces", nargs="+", help="trace JSON file(s)")
+    ap.add_argument("--diff", action="store_true", help="A/B compare two traces")
+    ap.add_argument("--self-check", action="store_true",
+                    help="exit 1 on protocol violations")
+    ap.add_argument("--window-ns", type=int, default=0)
+    args = ap.parse_args()
+
+    if args.diff:
+        if len(args.traces) != 2:
+            ap.error("--diff needs exactly two trace files")
+        diff(analyze(parse_trace(args.traces[0]), args.window_ns),
+             analyze(parse_trace(args.traces[1]), args.window_ns))
+        return 0
+
+    if len(args.traces) != 1:
+        ap.error("expected exactly one trace file")
+    r = analyze(parse_trace(args.traces[0]), args.window_ns)
+    report(r)
+    if args.self_check:
+        if not r["protocol"]:
+            print("self-check: trace carries no sws_run_meta protocol",
+                  file=sys.stderr)
+            return 1
+        if not r["steals"]["ok"]:
+            print("self-check: no successful steals to validate", file=sys.stderr)
+            return 1
+        if r["violations"]:
+            print(f"self-check: {len(r['violations'])} violation(s)",
+                  file=sys.stderr)
+            return 1
+        print(f"self-check: OK ({r['steals']['ok']} successful "
+              f"{r['protocol']} steals validated)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -73,9 +73,17 @@ std::uint64_t LogHistogram::quantile(double q) const noexcept {
   std::uint64_t seen = 0;
   for (std::size_t b = 0; b < kBuckets; ++b) {
     seen += buckets_[b];
-    if (seen > target) return b == 0 ? 0 : (std::uint64_t{1} << b);
+    if (seen <= target) continue;
+    // Interior quantiles report the bucket's *lower* bound (a value <= the
+    // true quantile). q=1.0 instead reports the top occupied bucket's
+    // inclusive upper bound, so "max <= quantile(1.0)" actually holds —
+    // the lower bound would understate the max by up to 2x.
+    if (q >= 1.0)
+      return b + 1 >= kBuckets ? ~std::uint64_t{0}
+                               : (std::uint64_t{1} << (b + 1)) - 1;
+    return b == 0 ? 0 : (std::uint64_t{1} << b);
   }
-  return std::uint64_t{1} << (kBuckets - 1);
+  return ~std::uint64_t{0};  // unreachable: seen reaches total_ > target
 }
 
 std::string LogHistogram::to_string() const {

@@ -52,7 +52,12 @@ class LogHistogram {
 
   std::uint64_t count() const noexcept { return total_; }
   std::uint64_t bucket(std::size_t b) const noexcept { return buckets_[b]; }
-  /// Approximate quantile q in [0,1] using bucket lower bounds.
+  /// Approximate quantile q in [0,1). Reports the lower bound of the
+  /// bucket holding the q-th sample — an underestimate of the true
+  /// quantile by at most 2x (one log2 bucket). q=1.0 is special: it
+  /// reports the top occupied bucket's inclusive *upper* bound, i.e. a
+  /// value every recorded sample is <= (saturating to UINT64_MAX in the
+  /// last bucket).
   std::uint64_t quantile(double q) const noexcept;
 
   /// Multi-line human-readable rendering of occupied buckets.

@@ -90,7 +90,24 @@ TaskPool::TaskPool(pgas::Runtime& rt, TaskRegistry& registry, PoolConfig cfg)
   if (cfg_.remote_spawn)
     inbox_ = std::make_unique<TaskInbox>(rt, cfg_.inbox_capacity,
                                          cfg_.queue.slot_bytes);
-  if (cfg_.trace.enable) tracer_ = Tracer(rt.npes(), cfg_.trace.events);
+  if (cfg_.trace.enable) {
+    tracer_ = Tracer(rt.npes(), cfg_.trace.events);
+    // Every fabric op issued under a nonzero span becomes a child event
+    // of that span. The callback runs on the initiating PE's thread and
+    // writes only that PE's trace ring, so it needs no synchronization
+    // and cannot perturb the schedule (it never touches a clock).
+    rt_.fabric().set_op_observer([this](const net::OpRecord& r) {
+      tracer_.complete(
+          r.initiator, r.begin, r.dur, TraceKind::kFabricOp, r.span,
+          static_cast<std::uint64_t>(r.kind),
+          static_cast<std::uint64_t>(static_cast<unsigned>(r.target)) |
+              (static_cast<std::uint64_t>(r.bytes) << 16));
+    });
+  }
+}
+
+TaskPool::~TaskPool() {
+  if (cfg_.trace.enable) rt_.fabric().set_op_observer(nullptr);
 }
 
 std::uint32_t TaskPool::drain_inbox(Worker& w) {
@@ -131,6 +148,14 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
   std::vector<Task> loot;
   Task t;
 
+  // Span ids are unique per (PE, run): high bits name the PE, low bits
+  // count this PE's spans. Restarting per run is fine — the tracer is
+  // cleared above.
+  std::uint64_t span_seq = 0;
+  const auto next_span = [&]() noexcept {
+    return (static_cast<std::uint64_t>(ctx.pe() + 1) << 40) | ++span_seq;
+  };
+
   bool done = false;
   while (!done) {
     queue_->progress(ctx);
@@ -139,19 +164,47 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
     // Release: shared portion exhausted but local work remains (paper §3).
     if (!queue_->shared_available(ctx) &&
         queue_->local_count(ctx) >= cfg_.release_threshold) {
-      if (queue_->try_release(ctx) && tracer_.enabled())
-        tracer_.record(ctx.pe(), ctx.now(), TraceKind::kRelease);
+      if (tracer_.enabled()) {
+        const std::uint64_t span = next_span();
+        tracer_.begin(ctx.pe(), ctx.now(), TraceKind::kReleaseSpan, span);
+        ctx.fabric().set_span(ctx.pe(), span);
+        const bool released = queue_->try_release(ctx);
+        ctx.fabric().set_span(ctx.pe(), 0);
+        tracer_.end(ctx.pe(), ctx.now(), TraceKind::kReleaseSpan, span,
+                    released ? 1 : 0);
+        if (released)
+          tracer_.record(ctx.pe(), ctx.now(), TraceKind::kRelease);
+      } else {
+        queue_->try_release(ctx);
+      }
     }
 
     if (queue_->pop_local(ctx, t)) {
       w.execute(t);
+      if (tracer_.enabled()) {
+        tracer_.counter(ctx.pe(), ctx.now(), TraceKind::kQueueDepth,
+                        queue_->local_count(ctx));
+        tracer_.counter(ctx.pe(), ctx.now(), TraceKind::kPendingNbi,
+                        static_cast<std::uint64_t>(
+                            ctx.fabric().pending(ctx.pe())));
+      }
       continue;
     }
-    if (queue_->try_acquire(ctx)) {
-      if (tracer_.enabled())
+    bool acquired;
+    if (tracer_.enabled()) {
+      const std::uint64_t span = next_span();
+      tracer_.begin(ctx.pe(), ctx.now(), TraceKind::kAcquireSpan, span);
+      ctx.fabric().set_span(ctx.pe(), span);
+      acquired = queue_->try_acquire(ctx);
+      ctx.fabric().set_span(ctx.pe(), 0);
+      tracer_.end(ctx.pe(), ctx.now(), TraceKind::kAcquireSpan, span,
+                  acquired ? 1 : 0);
+      if (acquired)
         tracer_.record(ctx.pe(), ctx.now(), TraceKind::kAcquire);
-      continue;
+    } else {
+      acquired = queue_->try_acquire(ctx);
     }
+    if (acquired) continue;
 
     // Out of local and own-shared work: search the system. Successful
     // attempts count as steal time, failures as search time (§5.3).
@@ -171,7 +224,21 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
         const net::Nanos t0 = ctx.now();
         loot.clear();
         const int victim = victims.next();
+        std::uint64_t span = 0;
+        if (tracer_.enabled()) {
+          span = next_span();
+          tracer_.begin(ctx.pe(), ctx.now(), TraceKind::kStealSpan, span,
+                        static_cast<std::uint64_t>(victim));
+          ctx.fabric().set_span(ctx.pe(), span);
+        }
         const StealResult res = queue_->steal(ctx, victim, loot);
+        if (tracer_.enabled()) {
+          ctx.fabric().set_span(ctx.pe(), 0);
+          tracer_.end(ctx.pe(), ctx.now(), TraceKind::kStealSpan, span,
+                      static_cast<std::uint64_t>(victim),
+                      static_cast<std::uint64_t>(res.outcome) |
+                          (static_cast<std::uint64_t>(res.ntasks) << 8));
+        }
         const net::Nanos dt = ctx.now() - t0;
         ++w.stats_.steal_attempts;
         if (res.outcome == StealOutcome::kSuccess) {
@@ -251,6 +318,70 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
 
   last_stats_[static_cast<std::size_t>(ctx.pe())] = w.stats_;
   return w.stats_;
+}
+
+void TaskPool::dump_trace_json(std::ostream& os) const {
+  TraceMeta meta;
+  meta.protocol = cfg_.kind == QueueKind::kSws ? "sws" : "sdc";
+  meta.npes = rt_.npes();
+  meta.slot_bytes = cfg_.queue.slot_bytes;
+  tracer_.dump_chrome_json(os, meta);
+}
+
+void TaskPool::publish_metrics(obs::MetricsRegistry& reg) const {
+  const int npes = static_cast<int>(last_stats_.size());
+  auto set_worker = [&](const char* name, const char* help, auto&& field) {
+    const auto id = reg.counter(name, help);
+    for (int pe = 0; pe < npes; ++pe)
+      reg.set(id, pe, field(last_stats_[static_cast<std::size_t>(pe)]));
+  };
+  set_worker("pool.tasks_executed", "tasks run to completion",
+             [](const WorkerStats& s) { return s.tasks_executed; });
+  set_worker("pool.tasks_spawned", "children + seeds added",
+             [](const WorkerStats& s) { return s.tasks_spawned; });
+  set_worker("pool.tasks_stolen", "tasks pulled from victims",
+             [](const WorkerStats& s) { return s.tasks_stolen; });
+  set_worker("pool.steals_ok", "successful steal operations",
+             [](const WorkerStats& s) { return s.steals_ok; });
+  set_worker("pool.steal_attempts", "successful + failed steals",
+             [](const WorkerStats& s) { return s.steal_attempts; });
+  set_worker("pool.steal_time_ns", "time in successful steals",
+             [](const WorkerStats& s) { return s.steal_time_ns; });
+  set_worker("pool.search_time_ns", "failed attempts + backoff",
+             [](const WorkerStats& s) { return s.search_time_ns; });
+  set_worker("pool.term_check_ns", "time in termination detection",
+             [](const WorkerStats& s) { return s.term_check_ns; });
+  set_worker("pool.compute_time_ns", "charged task compute",
+             [](const WorkerStats& s) { return s.compute_time_ns; });
+  const auto run_time =
+      reg.gauge("pool.run_time_ns", "per-PE whole-run time (max = Fig 8 y)");
+  for (int pe = 0; pe < npes; ++pe)
+    reg.set(run_time, pe, last_stats_[static_cast<std::size_t>(pe)].run_time_ns);
+  const auto lat = reg.histogram("pool.steal_latency_ns",
+                                 "per-successful-steal latency");
+  for (int pe = 0; pe < npes; ++pe)
+    reg.set_hist(lat, pe,
+                 last_stats_[static_cast<std::size_t>(pe)].steal_latency);
+
+  auto set_queue = [&](const char* name, const char* help, auto&& field) {
+    const auto id = reg.counter(name, help);
+    for (int pe = 0; pe < npes; ++pe)
+      reg.set(id, pe, field(queue_->op_stats(pe)));
+  };
+  set_queue("queue.releases", "local→shared transfers",
+            [](const QueueOpStats& s) { return s.releases; });
+  set_queue("queue.acquires", "shared→local transfers",
+            [](const QueueOpStats& s) { return s.acquires; });
+  set_queue("queue.acquire_poll_ns", "acquire time waiting on epochs",
+            [](const QueueOpStats& s) { return s.acquire_poll_ns; });
+  set_queue("queue.steals_empty", "steals finding no work",
+            [](const QueueOpStats& s) { return s.steals_empty; });
+  set_queue("queue.steals_retry", "steals bouncing off busy victims",
+            [](const QueueOpStats& s) { return s.steals_retry; });
+  set_queue("queue.damping_probes", "SWS empty-mode read-only probes",
+            [](const QueueOpStats& s) { return s.damping_probes; });
+  set_queue("queue.renews", "SWS owner-forced allotment renewals",
+            [](const QueueOpStats& s) { return s.renews; });
 }
 
 PoolRunReport TaskPool::report() const { return aggregate_reports(last_stats_); }

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
 
 #include "core/inbox.hpp"
@@ -111,8 +112,12 @@ class Worker {
 
 class TaskPool {
  public:
-  /// Allocates all symmetric state; construct before Runtime::run.
+  /// Allocates all symmetric state; construct before Runtime::run. With
+  /// tracing enabled the pool also installs itself as the fabric's op
+  /// observer, so every fabric op issued inside a steal/release/acquire
+  /// span lands in the trace as a child event.
   TaskPool(pgas::Runtime& rt, TaskRegistry& registry, PoolConfig cfg);
+  ~TaskPool();
 
   /// SPMD entry point: call once per PE inside Runtime::run. `seed` runs
   /// after the collective reset (spawn initial tasks from any PE); the
@@ -136,6 +141,14 @@ class TaskPool {
   const PoolConfig& config() const noexcept { return cfg_; }
   /// Disabled (records nothing) unless PoolConfig::trace is set.
   Tracer& tracer() noexcept { return tracer_; }
+  /// Chrome trace-event JSON of the last run, stamped with run metadata
+  /// (protocol, npes, slot_bytes) so sws-analyze can validate protocol op
+  /// signatures without side channels.
+  void dump_trace_json(std::ostream& os) const;
+  /// Publish the last run's per-PE worker and queue statistics into `reg`
+  /// under the pool.* / queue.* namespaces (docs/observability.md).
+  /// Overwrites previously published values.
+  void publish_metrics(obs::MetricsRegistry& reg) const;
   /// Null when remote_spawn is disabled.
   TaskInbox* inbox() noexcept { return inbox_.get(); }
 

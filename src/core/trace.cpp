@@ -1,6 +1,7 @@
 #include "core/trace.hpp"
 
 #include <algorithm>
+#include <iomanip>
 #include <ostream>
 
 #include "common/assert.hpp"
@@ -20,6 +21,12 @@ const char* trace_kind_name(TraceKind k) noexcept {
     case TraceKind::kInboxDrain: return "inbox_drain";
     case TraceKind::kTermCheck: return "term_check";
     case TraceKind::kTerminated: return "terminated";
+    case TraceKind::kStealSpan: return "steal";
+    case TraceKind::kReleaseSpan: return "release_span";
+    case TraceKind::kAcquireSpan: return "acquire_span";
+    case TraceKind::kFabricOp: return "fabric_op";
+    case TraceKind::kQueueDepth: return "queue_depth";
+    case TraceKind::kPendingNbi: return "pending_nbi";
   }
   return "?";
 }
@@ -30,13 +37,75 @@ Tracer::Tracer(int npes, std::size_t events_per_pe) {
   for (auto& r : rings_) r.buf.resize(events_per_pe);
 }
 
+void Tracer::push(int pe, TraceEvent e) noexcept {
+  Ring& r = rings_[static_cast<std::size_t>(pe)];
+  e.pe = pe;
+  e.seq = r.total;
+  r.buf[r.next] = e;
+  r.next = (r.next + 1) % r.buf.size();
+  ++r.total;
+}
+
 void Tracer::record(int pe, net::Nanos time, TraceKind kind, std::uint64_t a,
                     std::uint64_t b) noexcept {
   if (rings_.empty()) return;
-  Ring& r = rings_[static_cast<std::size_t>(pe)];
-  r.buf[r.next] = TraceEvent{time, kind, pe, a, b};
-  r.next = (r.next + 1) % r.buf.size();
-  ++r.total;
+  TraceEvent e;
+  e.time = time;
+  e.kind = kind;
+  e.a = a;
+  e.b = b;
+  push(pe, e);
+}
+
+void Tracer::begin(int pe, net::Nanos time, TraceKind kind, std::uint64_t span,
+                   std::uint64_t a) noexcept {
+  if (rings_.empty()) return;
+  TraceEvent e;
+  e.time = time;
+  e.kind = kind;
+  e.phase = TracePhase::kBegin;
+  e.span = span;
+  e.a = a;
+  push(pe, e);
+}
+
+void Tracer::end(int pe, net::Nanos time, TraceKind kind, std::uint64_t span,
+                 std::uint64_t a, std::uint64_t b) noexcept {
+  if (rings_.empty()) return;
+  TraceEvent e;
+  e.time = time;
+  e.kind = kind;
+  e.phase = TracePhase::kEnd;
+  e.span = span;
+  e.a = a;
+  e.b = b;
+  push(pe, e);
+}
+
+void Tracer::complete(int pe, net::Nanos time, net::Nanos dur, TraceKind kind,
+                      std::uint64_t span, std::uint64_t a,
+                      std::uint64_t b) noexcept {
+  if (rings_.empty()) return;
+  TraceEvent e;
+  e.time = time;
+  e.dur = dur;
+  e.kind = kind;
+  e.phase = TracePhase::kComplete;
+  e.span = span;
+  e.a = a;
+  e.b = b;
+  push(pe, e);
+}
+
+void Tracer::counter(int pe, net::Nanos time, TraceKind kind,
+                     std::uint64_t value) noexcept {
+  if (rings_.empty()) return;
+  TraceEvent e;
+  e.time = time;
+  e.kind = kind;
+  e.phase = TracePhase::kCounter;
+  e.a = value;
+  push(pe, e);
 }
 
 void Tracer::clear() {
@@ -66,32 +135,116 @@ std::vector<TraceEvent> Tracer::merged() const {
     const auto evs = events(pe);
     out.insert(out.end(), evs.begin(), evs.end());
   }
-  std::stable_sort(out.begin(), out.end(),
-                   [](const TraceEvent& x, const TraceEvent& y) {
-                     return x.time != y.time ? x.time < y.time : x.pe < y.pe;
-                   });
+  // (time, pe, seq) is a total order over the recorded events — no two
+  // events of one PE share a seq — so the merge does not depend on input
+  // order or sort stability, and dumps are deterministic across runs.
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& x, const TraceEvent& y) {
+              if (x.time != y.time) return x.time < y.time;
+              if (x.pe != y.pe) return x.pe < y.pe;
+              return x.seq < y.seq;
+            });
   return out;
+}
+
+bool Tracer::truncated() const noexcept {
+  for (const Ring& r : rings_)
+    if (r.total > r.buf.size()) return true;
+  return false;
 }
 
 void Tracer::dump(std::ostream& os) const {
   for (const TraceEvent& e : merged()) {
     os << e.time << "ns pe" << e.pe << " " << trace_kind_name(e.kind);
-    if (e.a || e.b) os << " a=" << e.a << " b=" << e.b;
+    switch (e.phase) {
+      case TracePhase::kBegin: os << " begin span=" << e.span; break;
+      case TracePhase::kEnd: os << " end span=" << e.span; break;
+      case TracePhase::kComplete:
+        os << " dur=" << e.dur << " span=" << e.span;
+        break;
+      case TracePhase::kCounter: os << " value=" << e.a; break;
+      case TracePhase::kInstant: break;
+    }
+    if (e.phase != TracePhase::kCounter && (e.a || e.b))
+      os << " a=" << e.a << " b=" << e.b;
     os << "\n";
   }
 }
 
+namespace {
+
+/// Nanoseconds -> trace-format microseconds with exact .001 resolution.
+void json_ts(std::ostream& os, net::Nanos t) {
+  os << t / 1000 << "." << std::setw(3) << std::setfill('0') << t % 1000
+     << std::setfill(' ');
+}
+
+void json_common(std::ostream& os, const TraceEvent& e, const char* ph) {
+  os << "{\"name\":\"" << trace_kind_name(e.kind) << "\",\"ph\":\"" << ph
+     << "\",\"ts\":";
+  json_ts(os, e.time);
+  os << ",\"pid\":0,\"tid\":" << e.pe;
+}
+
+void json_event(std::ostream& os, const TraceEvent& e) {
+  switch (e.phase) {
+    case TracePhase::kBegin:
+      json_common(os, e, "B");
+      os << ",\"args\":{\"span\":" << e.span << ",\"a\":" << e.a << "}}";
+      break;
+    case TracePhase::kEnd:
+      json_common(os, e, "E");
+      os << ",\"args\":{\"span\":" << e.span << ",\"a\":" << e.a
+         << ",\"b\":" << e.b << "}}";
+      break;
+    case TracePhase::kComplete:
+      json_common(os, e, "X");
+      os << ",\"dur\":";
+      json_ts(os, e.dur);
+      if (e.kind == TraceKind::kFabricOp) {
+        const auto kind = static_cast<net::OpKind>(e.a);
+        os << ",\"args\":{\"span\":" << e.span << ",\"op\":\""
+           << net::op_kind_name(kind) << "\",\"target\":" << (e.b & 0xFFFF)
+           << ",\"bytes\":" << (e.b >> 16) << "}}";
+      } else {
+        os << ",\"args\":{\"span\":" << e.span << ",\"a\":" << e.a
+           << ",\"b\":" << e.b << "}}";
+      }
+      break;
+    case TracePhase::kCounter:
+      json_common(os, e, "C");
+      os << ",\"args\":{\"value\":" << e.a << "}}";
+      break;
+    case TracePhase::kInstant:
+      json_common(os, e, "i");
+      os << ",\"s\":\"t\",\"args\":{\"a\":" << e.a << ",\"b\":" << e.b
+         << "}}";
+      break;
+  }
+}
+
+}  // namespace
+
 void Tracer::dump_chrome_json(std::ostream& os) const {
+  dump_chrome_json(os, TraceMeta{});
+}
+
+void Tracer::dump_chrome_json(std::ostream& os, const TraceMeta& meta) const {
   os << "[";
   bool first = true;
+  if (!meta.protocol.empty() || meta.npes > 0) {
+    first = false;
+    os << "\n{\"name\":\"sws_run_meta\",\"ph\":\"i\",\"s\":\"g\",\"ts\":0,"
+       << "\"pid\":0,\"tid\":0,\"args\":{\"protocol\":\"" << meta.protocol
+       << "\",\"npes\":" << meta.npes
+       << ",\"slot_bytes\":" << meta.slot_bytes
+       << ",\"truncated\":" << (truncated() ? 1 : 0) << "}}";
+  }
   for (const TraceEvent& e : merged()) {
     if (!first) os << ",";
     first = false;
-    // Timestamps are microseconds in the trace-event format.
-    os << "\n{\"name\":\"" << trace_kind_name(e.kind) << "\",\"ph\":\"i\","
-       << "\"s\":\"t\",\"ts\":" << static_cast<double>(e.time) / 1e3
-       << ",\"pid\":0,\"tid\":" << e.pe << ",\"args\":{\"a\":" << e.a
-       << ",\"b\":" << e.b << "}}";
+    os << "\n";
+    json_event(os, e);
   }
   os << "\n]\n";
 }
@@ -101,6 +254,14 @@ std::uint64_t Tracer::count(TraceKind kind) const {
   for (int pe = 0; pe < static_cast<int>(rings_.size()); ++pe)
     for (const TraceEvent& e : events(pe))
       if (e.kind == kind) ++n;
+  return n;
+}
+
+std::uint64_t Tracer::count(TraceKind kind, TracePhase phase) const {
+  std::uint64_t n = 0;
+  for (int pe = 0; pe < static_cast<int>(rings_.size()); ++pe)
+    for (const TraceEvent& e : events(pe))
+      if (e.kind == kind && e.phase == phase) ++n;
   return n;
 }
 

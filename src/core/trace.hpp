@@ -2,9 +2,19 @@
 //
 // Each PE records fixed-size events into its own bounded ring (newest
 // overwrite oldest); recording is a couple of stores, cheap enough to
-// leave on in benchmarks. Dumps merge all PEs in time order — the tool we
-// use to inspect steal storms, release/acquire churn, and termination
-// behaviour.
+// leave on in benchmarks. Dumps merge all PEs in (time, pe, sequence)
+// order — the tool we use to inspect steal storms, release/acquire churn,
+// and termination behaviour.
+//
+// Beyond instant events, the tracer records *spans*: begin/end pairs
+// correlated by a span id. The scheduler opens one span per steal /
+// release / acquire attempt and the fabric attributes every one-sided
+// operation issued inside it as a child (kFabricOp complete events), so a
+// single steal renders as one bar with its fetch-add / get / completion
+// AMO — or SDC's lock / fetch / tail-update / unlock sequence — nested
+// under it. Counter events (queue depth, in-flight nbi ops) add numeric
+// tracks. dump_chrome_json() emits all of this in the Chrome trace-event
+// format Perfetto loads directly (docs/observability.md).
 #pragma once
 
 #include <cstdint>
@@ -28,16 +38,44 @@ enum class TraceKind : std::uint8_t {
   kInboxDrain,
   kTermCheck,
   kTerminated,
+  // Spans (phase kBegin/kEnd) and their children (phase kComplete).
+  kStealSpan,    ///< begin: a=victim; end: a=victim, b=outcome|(ntasks<<8)
+  kReleaseSpan,  ///< end: a = 1 if tasks were exposed
+  kAcquireSpan,  ///< end: a = 1 if tasks were reacquired
+  kFabricOp,     ///< complete: a=OpKind, b=target|(bytes<<16), dur=charge
+  // Counter tracks (phase kCounter, value in a).
+  kQueueDepth,   ///< local (unshared) task count
+  kPendingNbi,   ///< this PE's not-yet-delivered nbi ops
+};
+
+enum class TracePhase : std::uint8_t {
+  kInstant = 0,
+  kBegin,
+  kEnd,
+  kComplete,  ///< self-contained duration event (time .. time+dur)
+  kCounter,
 };
 
 const char* trace_kind_name(TraceKind k) noexcept;
 
 struct TraceEvent {
   net::Nanos time = 0;
-  TraceKind kind = TraceKind::kTaskExec;
-  std::int32_t pe = 0;
-  std::uint64_t a = 0;  ///< kind-specific (victim, task count, …)
+  net::Nanos dur = 0;      ///< kComplete only
+  std::uint64_t span = 0;  ///< correlates begin/end/children; 0 = none
+  std::uint64_t a = 0;     ///< kind-specific (victim, task count, …)
   std::uint64_t b = 0;
+  std::uint64_t seq = 0;   ///< per-PE record sequence (merge tie-break)
+  std::int32_t pe = 0;
+  TraceKind kind = TraceKind::kTaskExec;
+  TracePhase phase = TracePhase::kInstant;
+};
+
+/// Run-level metadata embedded in the JSON dump so the analyzer knows
+/// what it is looking at without side channels.
+struct TraceMeta {
+  std::string protocol;  ///< "sws" | "sdc" | ""
+  int npes = 0;
+  std::uint32_t slot_bytes = 0;
 };
 
 class Tracer {
@@ -50,22 +88,47 @@ class Tracer {
 
   void record(int pe, net::Nanos time, TraceKind kind, std::uint64_t a = 0,
               std::uint64_t b = 0) noexcept;
+  /// Open / close a span. Begin and end carry the same span id; the pair
+  /// brackets every child op the fabric attributes to that id.
+  void begin(int pe, net::Nanos time, TraceKind kind, std::uint64_t span,
+             std::uint64_t a = 0) noexcept;
+  void end(int pe, net::Nanos time, TraceKind kind, std::uint64_t span,
+           std::uint64_t a = 0, std::uint64_t b = 0) noexcept;
+  /// Self-contained duration event (a fabric op inside a span).
+  void complete(int pe, net::Nanos time, net::Nanos dur, TraceKind kind,
+                std::uint64_t span, std::uint64_t a = 0,
+                std::uint64_t b = 0) noexcept;
+  /// Sample of a numeric track (queue depth, pending nbi ops).
+  void counter(int pe, net::Nanos time, TraceKind kind,
+               std::uint64_t value) noexcept;
 
   void clear();
 
   /// All retained events of one PE, oldest first.
   std::vector<TraceEvent> events(int pe) const;
-  /// All PEs' retained events merged in (time, pe) order.
+  /// All PEs' retained events merged in (time, pe, sequence) order — a
+  /// total order, so dumps are byte-identical across runs that recorded
+  /// the same events.
   std::vector<TraceEvent> merged() const;
   /// Human-readable dump of merged(), one event per line.
   void dump(std::ostream& os) const;
 
   /// Chrome trace-event JSON (load in chrome://tracing or Perfetto):
-  /// one instant event per record, one lane per PE.
+  /// instants, B/E span pairs, X complete events, and C counter tracks,
+  /// one lane per PE. With `meta`, a leading sws_run_meta record carries
+  /// protocol/npes/slot_bytes plus a truncation flag — sws-analyze needs
+  /// it to validate protocol op signatures.
   void dump_chrome_json(std::ostream& os) const;
+  void dump_chrome_json(std::ostream& os, const TraceMeta& meta) const;
 
-  /// Count of retained events of one kind across all PEs.
+  /// Count of retained events of one kind across all PEs (all phases).
   std::uint64_t count(TraceKind kind) const;
+  /// Count restricted to one phase (e.g. kStealSpan begins only).
+  std::uint64_t count(TraceKind kind, TracePhase phase) const;
+
+  /// True when any PE's ring wrapped (oldest events were overwritten) —
+  /// span begin/end pairs may then be truncated at the front.
+  bool truncated() const noexcept;
 
  private:
   struct alignas(64) Ring {
@@ -73,6 +136,7 @@ class Tracer {
     std::size_t next = 0;
     std::uint64_t total = 0;  ///< lifetime events (>= retained)
   };
+  void push(int pe, TraceEvent e) noexcept;
   std::vector<Ring> rings_;
 };
 

@@ -1,8 +1,10 @@
 #include "net/fabric.hpp"
 
 #include <cstring>
+#include <string>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace sws::net {
 
@@ -182,12 +184,21 @@ std::uint64_t* Fabric::translate_u64(int target, std::uint64_t offset) const {
 
 void Fabric::note_op(int initiator, int target, OpKind kind,
                      std::uint64_t offset) {
-  labels_[static_cast<std::size_t>(initiator)].l = OpLabel{kind, target, offset};
+  PaddedLabel& pl = labels_[static_cast<std::size_t>(initiator)];
+  pl.l = OpLabel{kind, target, offset, pl.span};
 }
 
 const OpLabel& Fabric::last_op(int pe) const {
   SWS_ASSERT(pe >= 0 && pe < npes());
   return labels_[static_cast<std::size_t>(pe)].l;
+}
+
+void Fabric::set_span(int pe, std::uint64_t span) noexcept {
+  labels_[static_cast<std::size_t>(pe)].span = span;
+}
+
+std::uint64_t Fabric::current_span(int pe) const noexcept {
+  return labels_[static_cast<std::size_t>(pe)].span;
 }
 
 void Fabric::charge(int initiator, int target, OpKind kind,
@@ -219,6 +230,25 @@ void Fabric::charge(int initiator, int target, OpKind kind,
                                  time_.now(initiator), c);
 
   s.blocking_ns += c;
+  // Span-scoped op observation: report the charge window to the tracer
+  // before the clock moves. Reads only — a recorded op must not perturb
+  // the schedule, which is what keeps determinism A/B byte-identical
+  // with tracing enabled.
+  if (observer_) {
+    const PaddedLabel& pl = labels_[static_cast<std::size_t>(initiator)];
+    if (pl.span != 0) {
+      OpRecord r;
+      r.initiator = initiator;
+      r.target = target;
+      r.kind = kind;
+      r.offset = pl.l.offset;
+      r.span = pl.span;
+      r.bytes = bytes;
+      r.begin = time_.now(initiator);
+      r.dur = c;
+      observer_(r);
+    }
+  }
   time_.advance(initiator, c);
 }
 
@@ -460,6 +490,60 @@ FabricStats Fabric::total_stats() const {
 
 void Fabric::reset_stats() {
   for (auto& p : stats_) p.s = FabricStats{};
+}
+
+void Fabric::publish_metrics(obs::MetricsRegistry& reg) const {
+  auto set_per_pe = [&](obs::MetricId id, auto&& field) {
+    for (int pe = 0; pe < npes(); ++pe)
+      reg.set(id, pe, field(stats_[static_cast<std::size_t>(pe)].s));
+  };
+  for (std::size_t k = 0; k < kNumOpKinds; ++k) {
+    const auto id = reg.counter(
+        std::string("fabric.ops.") + op_kind_name(static_cast<OpKind>(k)),
+        "one-sided ops issued, by kind");
+    set_per_pe(id, [k](const FabricStats& s) { return s.ops[k]; });
+  }
+  set_per_pe(reg.counter("fabric.remote_ops", "ops whose target != initiator"),
+             [](const FabricStats& s) { return s.remote_ops; });
+  set_per_pe(reg.counter("fabric.local_ops", "ops whose target == initiator"),
+             [](const FabricStats& s) { return s.local_ops; });
+  set_per_pe(reg.counter("fabric.bytes_put", "payload bytes written"),
+             [](const FabricStats& s) { return s.bytes_put; });
+  set_per_pe(reg.counter("fabric.bytes_got", "payload bytes read"),
+             [](const FabricStats& s) { return s.bytes_got; });
+  set_per_pe(reg.counter("fabric.blocking_ns", "initiator-blocking time"),
+             [](const FabricStats& s) { return s.blocking_ns; });
+  set_per_pe(
+      reg.counter("fabric.occupancy_wait_ns", "queueing behind busy NICs"),
+      [](const FabricStats& s) { return s.occupancy_wait_ns; });
+
+  // Effect-pool counters are fabric-global (guarded by pend_mu_); they
+  // land on PE 0's slot.
+  const EffectPoolStats pool = effect_pool_stats();
+  reg.set(reg.counter("fabric.effect_pool.inline", "inline nbi effects"), 0,
+          pool.inline_effects);
+  reg.set(reg.counter("fabric.effect_pool.slab_grabs", "large-put payloads"),
+          0, pool.slab_grabs);
+  reg.set(reg.counter("fabric.effect_pool.slab_allocs", "fresh slabs"), 0,
+          pool.slab_allocs);
+
+  if (faults_) {
+    auto set_fault = [&](const char* name, const char* help, auto&& field) {
+      const auto id = reg.counter(std::string("fabric.faults.") + name, help);
+      for (int pe = 0; pe < npes(); ++pe)
+        reg.set(id, pe, field(faults_->stats(pe)));
+    };
+    set_fault("spikes", "latency spikes injected",
+              [](const FaultStats& s) { return s.spikes; });
+    set_fault("drops", "lost transmissions",
+              [](const FaultStats& s) { return s.drops; });
+    set_fault("dups", "duplicated deliveries",
+              [](const FaultStats& s) { return s.dups; });
+    set_fault("retransmit_extra_ns", "delay paid to retransmits",
+              [](const FaultStats& s) { return s.retransmit_extra_ns; });
+    set_fault("spike_extra_ns", "delay paid to spikes",
+              [](const FaultStats& s) { return s.spike_extra_ns; });
+  }
 }
 
 }  // namespace sws::net

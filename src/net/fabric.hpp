@@ -28,6 +28,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -38,6 +39,10 @@
 #include "net/network_model.hpp"
 #include "net/time_model.hpp"
 #include "net/types.hpp"
+
+namespace sws::obs {
+class MetricsRegistry;
+}
 
 namespace sws::net {
 
@@ -51,7 +56,33 @@ struct OpLabel {
   OpKind kind = OpKind::kCount_;  ///< kCount_ = no op issued yet
   int target = -1;
   std::uint64_t offset = 0;
+  /// Observability span the op was issued under (0 = none): the steal /
+  /// release / acquire lifecycle id the scheduler set via set_span(), so
+  /// a trace can show every fabric op as a child of the protocol
+  /// operation that issued it.
+  std::uint64_t span = 0;
 };
+
+/// One issued fabric operation, as seen by an op observer: identity,
+/// enclosing span, and the initiator-side charge window [begin, begin +
+/// dur). For non-blocking ops the window covers the issue overhead only;
+/// delivery happens later (Fabric semantics above).
+struct OpRecord {
+  int initiator = -1;
+  int target = -1;
+  OpKind kind = OpKind::kCount_;
+  std::uint64_t offset = 0;
+  std::uint64_t span = 0;
+  std::size_t bytes = 0;
+  Nanos begin = 0;
+  Nanos dur = 0;
+};
+
+/// Called for every op issued under a nonzero span, from the initiating
+/// PE's thread, after the cost is computed and before the clock advances.
+/// Must only observe (record into a per-PE trace ring) — it runs on the
+/// hot path and must not touch the fabric or the clock.
+using OpObserver = std::function<void(const OpRecord&)>;
 
 /// Memory effect of a queued non-blocking op, stored without per-op heap
 /// allocation: a tagged union whose put payload is inline up to
@@ -162,6 +193,21 @@ class Fabric {
   /// Most recent operation issued by `pe` (see OpLabel).
   const OpLabel& last_op(int pe) const;
 
+  // --- observability ----------------------------------------------------
+  /// Set `pe`'s current span id; every op `pe` issues until the next
+  /// set_span carries it (OpLabel::span) and is reported to the op
+  /// observer. 0 clears the span. Per-PE state — each PE sets its own.
+  void set_span(int pe, std::uint64_t span) noexcept;
+  std::uint64_t current_span(int pe) const noexcept;
+  /// Install (or clear, with nullptr) the op observer. Not thread-safe
+  /// against in-flight ops: install before the PEs run.
+  void set_op_observer(OpObserver cb) { observer_ = std::move(cb); }
+
+  /// Publish this fabric's accounting (per-PE op counts and bytes, the
+  /// effect pool, fault totals) into `reg` under the fabric.* namespace
+  /// (docs/observability.md). Overwrites previously published values.
+  void publish_metrics(obs::MetricsRegistry& reg) const;
+
   /// Monotonic allocation counters of the pending-effect pool (survive
   /// reset/new_run so tests can difference across rounds).
   EffectPoolStats effect_pool_stats() const;
@@ -202,6 +248,7 @@ class Fabric {
   };
   struct alignas(64) PaddedLabel {
     OpLabel l;
+    std::uint64_t span = 0;  ///< current span; note_op copies it into l
   };
 
   std::byte* translate(int target, std::uint64_t offset, std::size_t n) const;
@@ -236,6 +283,7 @@ class Fabric {
   std::vector<Nanos> busy_until_;
   mutable std::vector<PaddedStats> stats_;
   std::vector<PaddedLabel> labels_;
+  OpObserver observer_;
 
   mutable std::mutex pend_mu_;
   std::priority_queue<PendingOp, std::vector<PendingOp>, std::greater<>>

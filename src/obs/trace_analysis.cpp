@@ -1,0 +1,565 @@
+#include "obs/trace_analysis.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace sws::obs {
+
+namespace {
+
+// --------------------------------------------------------------- mini JSON
+//
+// Recursive-descent parser for the subset our own writer emits: objects,
+// arrays, strings with \" and \\ escapes, numbers, true/false/null. Keys
+// and values we don't recognize are parsed and dropped, so the format can
+// grow without breaking older analyzers.
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  const JsonValue* get(const std::string& key) const noexcept {
+    for (const auto& [k, v] : obj)
+      if (k == key) return &v;
+    return nullptr;
+  }
+  double num_or(const std::string& key, double fb) const noexcept {
+    const JsonValue* v = get(key);
+    return v != nullptr && v->type == Type::kNumber ? v->number : fb;
+  }
+  std::string str_or(const std::string& key, std::string fb) const {
+    const JsonValue* v = get(key);
+    return v != nullptr && v->type == Type::kString ? v->str : fb;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::istream& is) {
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    text_ = buf.str();
+  }
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("trace JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': return literal("true", [] {
+        JsonValue v;
+        v.type = JsonValue::Type::kBool;
+        v.boolean = true;
+        return v;
+      }());
+      case 'f': return literal("false", [] {
+        JsonValue v;
+        v.type = JsonValue::Type::kBool;
+        return v;
+      }());
+      case 'n': return literal("null", JsonValue{});
+      default: return number();
+    }
+  }
+
+  JsonValue literal(const char* word, JsonValue v) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_)
+      if (pos_ >= text_.size() || text_[pos_] != *p) fail("bad literal");
+    return v;
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      JsonValue key = string_value();
+      expect(':');
+      v.obj.emplace_back(std::move(key.str), value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.arr.push_back(value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    expect('"');
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("dangling escape");
+        c = text_[pos_++];
+        if (c != '"' && c != '\\') fail("unsupported escape");
+      }
+      v.str.push_back(c);
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return v;
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    try {
+      v.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+/// Trace-format µs (possibly fractional) -> integer ns.
+std::uint64_t to_ns(double ts_us) {
+  return static_cast<std::uint64_t>(std::llround(ts_us * 1000.0));
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ parse
+
+RunTrace parse_chrome_trace(std::istream& is) {
+  JsonParser parser(is);
+  const JsonValue root = parser.parse();
+  if (root.type != JsonValue::Type::kArray)
+    throw std::runtime_error("trace JSON: top-level value is not an array");
+
+  RunTrace rt;
+  // Open spans, keyed by span id (globally unique per run by
+  // construction: high bits name the PE).
+  std::unordered_map<std::uint64_t, Span> open;
+  const auto note_time = [&rt](std::uint64_t t) {
+    rt.duration_ns = std::max(rt.duration_ns, t);
+  };
+
+  for (const JsonValue& ev : root.arr) {
+    if (ev.type != JsonValue::Type::kObject)
+      throw std::runtime_error("trace JSON: event is not an object");
+    const std::string name = ev.str_or("name", "");
+    const std::string ph = ev.str_or("ph", "");
+    const std::uint64_t ts = to_ns(ev.num_or("ts", 0.0));
+    const int pe = static_cast<int>(ev.num_or("tid", -1.0));
+    const JsonValue* args = ev.get("args");
+
+    if (name == "sws_run_meta" && args != nullptr) {
+      rt.protocol = args->str_or("protocol", "");
+      rt.npes = static_cast<int>(args->num_or("npes", 0.0));
+      rt.slot_bytes =
+          static_cast<std::uint32_t>(args->num_or("slot_bytes", 0.0));
+      rt.truncated = args->num_or("truncated", 0.0) != 0.0;
+      continue;
+    }
+    note_time(ts);
+
+    if (ph == "B") {
+      Span s;
+      s.kind = name;
+      s.id = static_cast<std::uint64_t>(args ? args->num_or("span", 0.0) : 0);
+      s.pe = pe;
+      s.begin_ns = ts;
+      s.a_begin = static_cast<std::uint64_t>(args ? args->num_or("a", 0.0) : 0);
+      // A begin colliding with an already-open id means the end was lost
+      // to ring truncation; the stale one becomes an orphan.
+      if (!open.emplace(s.id, std::move(s)).second) ++rt.orphan_begins;
+    } else if (ph == "E") {
+      const std::uint64_t id =
+          static_cast<std::uint64_t>(args ? args->num_or("span", 0.0) : 0);
+      const auto it = open.find(id);
+      if (it == open.end()) {
+        ++rt.orphan_ends;
+        continue;
+      }
+      Span s = std::move(it->second);
+      open.erase(it);
+      s.end_ns = ts;
+      s.a_end = static_cast<std::uint64_t>(args ? args->num_or("a", 0.0) : 0);
+      s.b_end = static_cast<std::uint64_t>(args ? args->num_or("b", 0.0) : 0);
+      s.closed = true;
+      rt.spans.push_back(std::move(s));
+    } else if (ph == "X") {
+      ++rt.fabric_ops;
+      const std::uint64_t dur = to_ns(ev.num_or("dur", 0.0));
+      note_time(ts + dur);
+      const std::uint64_t id =
+          static_cast<std::uint64_t>(args ? args->num_or("span", 0.0) : 0);
+      const auto it = open.find(id);
+      if (it == open.end()) {
+        ++rt.orphan_ops;
+        continue;
+      }
+      TraceOp op;
+      op.op = args ? args->str_or("op", "") : "";
+      op.target = static_cast<int>(args ? args->num_or("target", -1.0) : -1);
+      op.bytes = static_cast<std::uint64_t>(args ? args->num_or("bytes", 0.0)
+                                                 : 0);
+      op.ts_ns = ts;
+      op.dur_ns = dur;
+      it->second.ops.push_back(std::move(op));
+    } else if (ph == "C") {
+      ++rt.counters;
+    } else {
+      ++rt.instants;
+    }
+  }
+
+  rt.orphan_begins += open.size();
+  std::sort(rt.spans.begin(), rt.spans.end(),
+            [](const Span& x, const Span& y) {
+              if (x.begin_ns != y.begin_ns) return x.begin_ns < y.begin_ns;
+              if (x.pe != y.pe) return x.pe < y.pe;
+              return x.id < y.id;
+            });
+  return rt;
+}
+
+RunTrace parse_chrome_trace_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open trace file: " + path);
+  return parse_chrome_trace(f);
+}
+
+// ---------------------------------------------------------------- analyze
+
+namespace {
+
+/// Canonical signature of a span's op multiset: names sorted, counted.
+std::string op_signature(const Span& s) {
+  std::map<std::string, int> counts;
+  for (const TraceOp& op : s.ops) ++counts[op.op];
+  std::string sig;
+  for (const auto& [name, n] : counts) {
+    if (!sig.empty()) sig += ' ';
+    sig += name + ':' + std::to_string(n);
+  }
+  return sig.empty() ? "(none)" : sig;
+}
+
+int count_op(const Span& s, const char* name) {
+  int n = 0;
+  for (const TraceOp& op : s.ops) n += op.op == name ? 1 : 0;
+  return n;
+}
+
+/// The Fig 2 op-shape check: what a successful steal must look like on
+/// the wire for each protocol. `wrapped_gets` allows one extra get when
+/// the victim's ring wrapped mid-copy.
+void check_success_span(const std::string& protocol, const Span& s,
+                        std::vector<std::string>& out) {
+  auto violation = [&](const std::string& what) {
+    if (out.size() >= 16) return;  // cap the noise; counts tell the rest
+    std::ostringstream msg;
+    msg << protocol << " steal span " << s.id << " (pe " << s.pe
+        << " -> victim " << s.victim() << ", t=" << s.begin_ns
+        << "ns): " << what << " [ops: " << op_signature(s) << "]";
+    out.push_back(msg.str());
+  };
+  const int gets = count_op(s, "get");
+  if (protocol == "sws") {
+    // One fused discover+claim fetch-add, one task-copy get (two when the
+    // victim ring wrapped), one passive completion add. An empty-mode
+    // thief may precede the claim with one read-only amo_fetch probe.
+    const int probes = count_op(s, "amo_fetch");
+    if (count_op(s, "amo_fetch_add") != 1)
+      violation("expected exactly 1 remote fetch-add");
+    if (probes > 1) violation("expected at most 1 empty-mode probe fetch");
+    if (gets < 1 || gets > 2) violation("expected 1 task-copy get (2 if wrapped)");
+    if (count_op(s, "nbi_amo_add") != 1)
+      violation("expected exactly 1 nbi completion add");
+    if (s.ops.size() != 2 + static_cast<std::size_t>(gets + probes))
+      violation("unexpected extra ops in SWS steal");
+  } else if (protocol == "sdc") {
+    // Lock, metadata fetch, tail claim, unlock, task copy, completion
+    // notify — the six-op sequence SWS collapses. Under lock contention
+    // each failed cswap adds one more cswap plus one metadata probe get
+    // before the steal eventually succeeds.
+    const int cswaps = count_op(s, "amo_cswap");
+    if (cswaps < 1) violation("expected at least 1 lock cswap");
+    if (count_op(s, "put") != 1) violation("expected exactly 1 tail-claim put");
+    if (count_op(s, "amo_set") != 1) violation("expected exactly 1 unlock set");
+    if (count_op(s, "nbi_amo_set") != 1)
+      violation("expected exactly 1 nbi completion set");
+    if (gets < cswaps + 1 || gets > cswaps + 2)
+      violation("expected 1 probe get per failed lock attempt + metadata get "
+                "+ task-copy get (1 more if wrapped)");
+    if (s.ops.size() != 3 + static_cast<std::size_t>(cswaps + gets))
+      violation("unexpected extra ops in SDC steal");
+  }
+}
+
+}  // namespace
+
+AnalyzeReport analyze(const RunTrace& rt, const WindowConfig& wc) {
+  AnalyzeReport r;
+  r.protocol = rt.protocol;
+  r.npes = rt.npes;
+  r.truncated = rt.truncated;
+  r.duration_ns = rt.duration_ns;
+  r.orphan_begins = rt.orphan_begins;
+  r.orphan_ends = rt.orphan_ends;
+  r.orphan_ops = rt.orphan_ops;
+
+  std::uint64_t total_ops = 0;
+  std::uint64_t total_blocking = 0;
+
+  r.window_ns = wc.window_ns != 0
+                    ? wc.window_ns
+                    : std::max<std::uint64_t>(rt.duration_ns / 64, 1000);
+  // window index -> (fails, oks, retries) for the pathology scan.
+  struct Win {
+    std::uint64_t fails = 0, oks = 0, retries = 0;
+  };
+  std::map<std::uint64_t, Win> windows;
+
+  for (const Span& s : rt.spans) {
+    if (s.kind == "release_span") {
+      ++r.release_spans;
+      continue;
+    }
+    if (s.kind == "acquire_span") {
+      ++r.acquire_spans;
+      continue;
+    }
+    if (s.kind != "steal") continue;
+    ++r.steal_spans;
+    Win& w = windows[s.begin_ns / r.window_ns];
+    switch (s.outcome()) {
+      case 0:
+        ++r.steals_ok;
+        ++w.oks;
+        r.tasks_stolen += s.ntasks();
+        r.lat_ok_ns.add(s.duration_ns());
+        ++r.signatures[op_signature(s)];
+        total_ops += s.ops.size();
+        for (const TraceOp& op : s.ops) total_blocking += op.blocking() ? 1 : 0;
+        if (!rt.protocol.empty() && !rt.truncated)
+          check_success_span(rt.protocol, s, r.violations);
+        break;
+      case 1:
+        ++r.steals_empty;
+        ++w.fails;
+        r.lat_empty_ns.add(s.duration_ns());
+        break;
+      default:
+        ++r.steals_retry;
+        ++w.fails;
+        ++w.retries;
+        r.lat_retry_ns.add(s.duration_ns());
+        break;
+    }
+  }
+
+  if (r.steals_ok > 0) {
+    r.ops_per_success =
+        static_cast<double>(total_ops) / static_cast<double>(r.steals_ok);
+    r.blocking_per_success =
+        static_cast<double>(total_blocking) / static_cast<double>(r.steals_ok);
+  }
+
+  for (const auto& [idx, w] : windows) {
+    (void)idx;
+    r.peak_window_fails = std::max(r.peak_window_fails, w.fails);
+    // A storm window: failures dominate (thieves hammering empty or busy
+    // victims); churn: the SDC lock bounce pattern, retries specifically.
+    if (w.fails >= wc.storm_min_fails && w.fails >= 4 * w.oks)
+      ++r.storm_windows;
+    if (w.retries >= wc.churn_min_retries &&
+        2 * w.retries >= w.fails + w.oks + w.retries)
+      ++r.churn_windows;
+  }
+
+  if (!rt.truncated && (rt.orphan_begins != 0 || rt.orphan_ends != 0))
+    r.violations.push_back(
+        "orphaned span begin/end in an untruncated trace (" +
+        std::to_string(rt.orphan_begins) + " begins, " +
+        std::to_string(rt.orphan_ends) + " ends)");
+  return r;
+}
+
+// ----------------------------------------------------------------- output
+
+namespace {
+
+void quantile_line(std::ostream& os, const char* label,
+                   const sws::LogHistogram& h) {
+  os << "  " << std::left << std::setw(26) << label << std::right
+     << "n=" << h.count();
+  if (h.count() > 0)
+    os << "  p50<=" << h.quantile(0.5) << "ns p95<=" << h.quantile(0.95)
+       << "ns p99<=" << h.quantile(0.99) << "ns max<" << h.quantile(1.0)
+       << "ns";
+  os << "\n";
+}
+
+void metric_line(std::ostream& os, const char* label, std::uint64_t v) {
+  os << "  " << std::left << std::setw(26) << label << std::right << v
+     << "\n";
+}
+
+}  // namespace
+
+void write_report(std::ostream& os, const AnalyzeReport& r) {
+  os << "run: protocol=" << (r.protocol.empty() ? "?" : r.protocol)
+     << " npes=" << r.npes << " duration=" << r.duration_ns << "ns"
+     << (r.truncated ? " (trace TRUNCATED: ring wrapped)" : "") << "\n";
+  os << "steals:\n";
+  metric_line(os, "attempts", r.steal_spans);
+  metric_line(os, "ok", r.steals_ok);
+  metric_line(os, "empty", r.steals_empty);
+  metric_line(os, "retry", r.steals_retry);
+  metric_line(os, "tasks_stolen", r.tasks_stolen);
+  metric_line(os, "releases", r.release_spans);
+  metric_line(os, "acquires", r.acquire_spans);
+  os << "comm per successful steal (Fig 2):\n";
+  os << "  " << std::left << std::setw(26) << "ops" << std::right
+     << std::fixed << std::setprecision(2) << r.ops_per_success << "\n";
+  os << "  " << std::left << std::setw(26) << "blocking ops" << std::right
+     << r.blocking_per_success << "\n"
+     << std::defaultfloat;
+  for (const auto& [sig, n] : r.signatures)
+    os << "    " << n << "x  " << sig << "\n";
+  os << "latency:\n";
+  quantile_line(os, "steal ok", r.lat_ok_ns);
+  quantile_line(os, "steal empty", r.lat_empty_ns);
+  quantile_line(os, "steal retry", r.lat_retry_ns);
+  os << "pathologies (window=" << r.window_ns << "ns):\n";
+  metric_line(os, "storm windows", r.storm_windows);
+  metric_line(os, "churn windows", r.churn_windows);
+  metric_line(os, "peak fails/window", r.peak_window_fails);
+  if (r.orphan_begins != 0 || r.orphan_ends != 0 || r.orphan_ops != 0) {
+    os << "orphans:\n";
+    metric_line(os, "span begins", r.orphan_begins);
+    metric_line(os, "span ends", r.orphan_ends);
+    metric_line(os, "fabric ops", r.orphan_ops);
+  }
+  if (!r.violations.empty()) {
+    os << "protocol violations (" << r.violations.size() << "):\n";
+    for (const std::string& v : r.violations) os << "  ! " << v << "\n";
+  }
+}
+
+namespace {
+
+void diff_u64(std::ostream& os, const char* label, std::uint64_t a,
+              std::uint64_t b) {
+  os << "  " << std::left << std::setw(26) << label << std::right
+     << std::setw(14) << a << std::setw(14) << b;
+  if (a != 0) {
+    const double rel = (static_cast<double>(b) - static_cast<double>(a)) /
+                       static_cast<double>(a) * 100.0;
+    os << "  " << std::showpos << std::fixed << std::setprecision(1) << rel
+       << "%" << std::noshowpos << std::defaultfloat;
+  }
+  os << "\n";
+}
+
+void diff_f(std::ostream& os, const char* label, double a, double b) {
+  os << "  " << std::left << std::setw(26) << label << std::right
+     << std::setw(14) << std::fixed << std::setprecision(2) << a
+     << std::setw(14) << b << std::defaultfloat << "\n";
+}
+
+}  // namespace
+
+void write_diff(std::ostream& os, const AnalyzeReport& a,
+                const AnalyzeReport& b) {
+  os << "A/B: A=" << (a.protocol.empty() ? "?" : a.protocol)
+     << " B=" << (b.protocol.empty() ? "?" : b.protocol) << "  (B vs A)\n";
+  os << "  " << std::left << std::setw(26) << "" << std::right
+     << std::setw(14) << "A" << std::setw(14) << "B" << "\n";
+  diff_u64(os, "duration_ns", a.duration_ns, b.duration_ns);
+  diff_u64(os, "steal attempts", a.steal_spans, b.steal_spans);
+  diff_u64(os, "steals ok", a.steals_ok, b.steals_ok);
+  diff_u64(os, "steals empty", a.steals_empty, b.steals_empty);
+  diff_u64(os, "steals retry", a.steals_retry, b.steals_retry);
+  diff_u64(os, "tasks stolen", a.tasks_stolen, b.tasks_stolen);
+  diff_f(os, "ops/success", a.ops_per_success, b.ops_per_success);
+  diff_f(os, "blocking/success", a.blocking_per_success,
+         b.blocking_per_success);
+  diff_u64(os, "steal-ok p50_ns", a.lat_ok_ns.quantile(0.5),
+           b.lat_ok_ns.quantile(0.5));
+  diff_u64(os, "steal-ok p99_ns", a.lat_ok_ns.quantile(0.99),
+           b.lat_ok_ns.quantile(0.99));
+  diff_u64(os, "storm windows", a.storm_windows, b.storm_windows);
+  diff_u64(os, "churn windows", a.churn_windows, b.churn_windows);
+}
+
+}  // namespace sws::obs

@@ -1,0 +1,137 @@
+// Offline analysis of Tracer::dump_chrome_json output — the C++ core
+// behind tools/sws-analyze (scripts/analyze_trace.py is the pure-python
+// fallback for machines without the build tree).
+//
+// The analyzer reconstructs steal/release/acquire spans and their child
+// fabric ops from a trace file, then derives the quantities the paper
+// argues about: communication ops per successful steal (Fig 2's 6-vs-3),
+// steal-latency quantiles per outcome, and pathology windows (steal
+// storms, SDC abort churn). It also implements the protocol self-check CI
+// runs on every push: a successful SWS steal must be exactly one remote
+// fetch-add plus one task-copy get (two when the ring wrapped) plus one
+// non-blocking completion add; a successful SDC steal must show the
+// six-op lock / fetch / claim / unlock / copy / notify shape. Both checks
+// admit the protocols' legitimate contention ops — SWS one empty-mode
+// probe fetch, SDC one extra cswap + probe get per failed lock attempt.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace sws::obs {
+
+/// One fabric op attributed to a span (a kFabricOp complete event).
+struct TraceOp {
+  std::string op;  ///< net::op_kind_name string ("get", "amo_fetch_add", …)
+  int target = -1;
+  std::uint64_t bytes = 0;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  /// Blocking = everything that stalls the initiator (non-nbi).
+  bool blocking() const noexcept { return op.rfind("nbi_", 0) != 0; }
+};
+
+/// A reconstructed begin/end pair plus its child ops.
+struct Span {
+  std::string kind;  ///< "steal" | "release_span" | "acquire_span"
+  std::uint64_t id = 0;
+  int pe = -1;
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint64_t a_begin = 0;  ///< steal: victim
+  std::uint64_t a_end = 0;
+  std::uint64_t b_end = 0;  ///< steal: outcome | (ntasks << 8)
+  bool closed = false;
+  std::vector<TraceOp> ops;
+
+  std::uint64_t duration_ns() const noexcept { return end_ns - begin_ns; }
+  // Steal-span decoding (StealOutcome values: 0 success, 1 empty, 2 retry).
+  int victim() const noexcept { return static_cast<int>(a_begin); }
+  int outcome() const noexcept { return static_cast<int>(b_end & 0xFF); }
+  std::uint32_t ntasks() const noexcept {
+    return static_cast<std::uint32_t>(b_end >> 8);
+  }
+};
+
+/// Everything parse_chrome_trace recovers from one trace file.
+struct RunTrace {
+  std::string protocol;  ///< from sws_run_meta; "" when absent
+  int npes = 0;
+  std::uint32_t slot_bytes = 0;
+  bool truncated = false;  ///< ring wrapped: orphans at the front are benign
+  std::vector<Span> spans;  ///< closed spans in begin-time order
+  std::uint64_t orphan_begins = 0;  ///< begin with no matching end
+  std::uint64_t orphan_ends = 0;    ///< end with no matching begin
+  std::uint64_t orphan_ops = 0;     ///< fabric op outside any open span
+  std::uint64_t instants = 0;
+  std::uint64_t counters = 0;
+  std::uint64_t fabric_ops = 0;  ///< attributed + orphaned
+  std::uint64_t duration_ns = 0;  ///< max event end time
+};
+
+/// Parse a Chrome trace-event JSON array as written by
+/// Tracer::dump_chrome_json. Throws std::runtime_error on malformed
+/// input (this is a validator for our own writer, not a general JSON
+/// toolkit).
+RunTrace parse_chrome_trace(std::istream& is);
+RunTrace parse_chrome_trace_file(const std::string& path);
+
+/// Pathology window scan parameters; defaults match sws-analyze's.
+struct WindowConfig {
+  std::uint64_t window_ns = 0;  ///< 0 = auto (duration / 64, min 1 µs)
+  std::uint64_t storm_min_fails = 16;   ///< failed steals to call a storm
+  std::uint64_t churn_min_retries = 8;  ///< kRetry results to call churn
+};
+
+struct AnalyzeReport {
+  std::string protocol;
+  int npes = 0;
+  bool truncated = false;
+  std::uint64_t duration_ns = 0;
+
+  std::uint64_t steal_spans = 0;
+  std::uint64_t steals_ok = 0;
+  std::uint64_t steals_empty = 0;
+  std::uint64_t steals_retry = 0;
+  std::uint64_t tasks_stolen = 0;
+  std::uint64_t release_spans = 0;
+  std::uint64_t acquire_spans = 0;
+  std::uint64_t orphan_begins = 0;
+  std::uint64_t orphan_ends = 0;
+  std::uint64_t orphan_ops = 0;
+
+  /// Canonical op-multiset signature ("amo_fetch_add:1 get:1
+  /// nbi_amo_add:1") → number of *successful* steals showing it. The
+  /// per-protocol op count claim is read straight off this map.
+  std::map<std::string, std::uint64_t> signatures;
+  double ops_per_success = 0.0;       ///< mean total ops
+  double blocking_per_success = 0.0;  ///< mean blocking (initiator-stalling)
+
+  sws::LogHistogram lat_ok_ns;     ///< successful-steal span durations
+  sws::LogHistogram lat_empty_ns;  ///< kEmpty attempts
+  sws::LogHistogram lat_retry_ns;  ///< kRetry attempts
+
+  std::uint64_t window_ns = 0;
+  std::uint64_t storm_windows = 0;  ///< fails >= min and >= 4x successes
+  std::uint64_t churn_windows = 0;  ///< retries >= min and >= attempts/2
+  std::uint64_t peak_window_fails = 0;
+
+  /// Protocol self-check findings; empty = clean. Populated only when the
+  /// trace carries run metadata naming the protocol.
+  std::vector<std::string> violations;
+};
+
+AnalyzeReport analyze(const RunTrace& rt, const WindowConfig& wc = {});
+
+/// Human-readable report (one metric per line, stable ordering).
+void write_report(std::ostream& os, const AnalyzeReport& r);
+/// Side-by-side A/B comparison of the headline metrics.
+void write_diff(std::ostream& os, const AnalyzeReport& a,
+                const AnalyzeReport& b);
+
+}  // namespace sws::obs

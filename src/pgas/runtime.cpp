@@ -32,6 +32,8 @@ Runtime::Runtime(RuntimeConfig cfg) : cfg_(cfg) {
       sizeof(std::uint64_t) * static_cast<std::size_t>(cfg_.npes), 64);
   coll_.reduce_result = heap_->alloc(sizeof(std::uint64_t), 8);
   coll_.bcast_slot = heap_->alloc(sizeof(std::uint64_t), 8);
+
+  metrics_.reset(cfg_.npes);
 }
 
 Runtime::~Runtime() = default;
@@ -77,6 +79,19 @@ void Runtime::run(const std::function<void(PeContext&)>& body) {
   for (int pe = 0; pe < cfg_.npes; ++pe)
     max_t = std::max(max_t, time_->now(pe));
   last_duration_ = max_t;
+
+  if (cfg_.metrics) {
+    fabric_->publish_metrics(metrics_);
+    const auto clock = metrics_.gauge("runtime.pe_clock_ns",
+                                      "per-PE clock at end of run");
+    for (int pe = 0; pe < cfg_.npes; ++pe)
+      metrics_.set(clock, pe, static_cast<std::uint64_t>(time_->now(pe)));
+    metrics_.set(metrics_.gauge("runtime.last_run_duration_ns",
+                                "max PE clock of the last run"),
+                 0, static_cast<std::uint64_t>(max_t));
+    metrics_.add(metrics_.counter("runtime.runs", "completed run() calls"),
+                 0);
+  }
 
   if (first_error) std::rethrow_exception(first_error);
 }

@@ -11,6 +11,7 @@
 
 #include "common/rng.hpp"
 #include "net/fabric.hpp"
+#include "obs/metrics.hpp"
 #include "pgas/symmetric_heap.hpp"
 
 namespace sws::pgas {
@@ -27,6 +28,10 @@ struct RuntimeConfig {
   /// strategy (no ready heap, no run-to-horizon batching). Schedules are
   /// identical; exists for A/B determinism tests and benchmarks.
   bool sequencer_reference = false;
+  /// Publish runtime/fabric accounting into the metrics registry at the
+  /// end of every run() (docs/observability.md). Off the hot path either
+  /// way — publishing happens once, after the PE threads join.
+  bool metrics = false;
 };
 
 class Runtime;
@@ -117,6 +122,13 @@ class Runtime {
   /// whole-program time ("maximum runtime of any process", §5.3).
   net::Nanos last_run_duration() const noexcept { return last_duration_; }
 
+  /// Cross-layer metrics registry (docs/observability.md). Always
+  /// constructed; the runtime itself only publishes into it after run()
+  /// when config().metrics is set, but other layers (scheduler, bench
+  /// harness) may register and update metrics regardless.
+  obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
+
   // --- internal symmetric control space used by collectives --------------
   struct CollectiveSpace {
     SymPtr barrier_flags;  ///< kMaxRounds u64 generation flags per PE
@@ -133,6 +145,7 @@ class Runtime {
   std::unique_ptr<net::Fabric> fabric_;
   std::unique_ptr<SymmetricHeap> heap_;
   CollectiveSpace coll_{};
+  obs::MetricsRegistry metrics_;
   net::Nanos last_duration_ = 0;
 };
 

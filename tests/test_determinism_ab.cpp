@@ -6,6 +6,8 @@
 // nbi-heavy stealing exercises every hot path the overhaul touched.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "sws.hpp"
@@ -34,6 +36,7 @@ struct RunTrace {
   std::uint64_t steals_ok = 0;
   std::uint64_t steal_attempts = 0;
   net::Nanos duration = 0;
+  std::string trace_json;  ///< only when tracing was enabled
 };
 
 void expect_identical(const RunTrace& a, const RunTrace& b,
@@ -48,7 +51,8 @@ void expect_identical(const RunTrace& a, const RunTrace& b,
         << what << ": PE " << pe << " diverged (ops/bytes/blocking_ns/clock)";
 }
 
-RunTrace run_uts(core::QueueKind kind, int npes, bool reference) {
+RunTrace run_uts(core::QueueKind kind, int npes, bool reference,
+                 bool trace = false) {
   pgas::RuntimeConfig rc;
   rc.npes = npes;
   rc.heap_bytes = 4 << 20;
@@ -67,6 +71,10 @@ RunTrace run_uts(core::QueueKind kind, int npes, bool reference) {
   pc.kind = kind;
   pc.queue.capacity = 8192;
   pc.queue.slot_bytes = 64;
+  if (trace) {
+    pc.trace.enable = true;
+    pc.trace.events = std::size_t{1} << 18;
+  }
   core::TaskPool pool(rt, reg, pc);
   rt.fabric().reset_stats();
   rt.run([&](pgas::PeContext& ctx) {
@@ -80,6 +88,11 @@ RunTrace run_uts(core::QueueKind kind, int npes, bool reference) {
   t.steals_ok = pool.report().total.steals_ok;
   t.steal_attempts = pool.report().total.steal_attempts;
   t.duration = rt.last_run_duration();
+  if (trace) {
+    std::ostringstream os;
+    pool.dump_trace_json(os);
+    t.trace_json = os.str();
+  }
   return t;
 }
 
@@ -96,6 +109,27 @@ TEST_P(DeterminismAb, OptimizedMatchesReferenceStrategy) {
   const RunTrace opt = run_uts(GetParam(), 8, /*reference=*/false);
   const RunTrace ref = run_uts(GetParam(), 8, /*reference=*/true);
   expect_identical(opt, ref, "optimized vs linear-scan reference");
+}
+
+TEST_P(DeterminismAb, TracingIsObservationOnly) {
+  // Span tracing + the fabric-op observer read clocks but never advance
+  // them: a traced run must be byte-identical to an untraced one.
+  const RunTrace off = run_uts(GetParam(), 8, /*reference=*/false);
+  const RunTrace on = run_uts(GetParam(), 8, /*reference=*/false,
+                              /*trace=*/true);
+  EXPECT_FALSE(on.trace_json.empty());
+  expect_identical(off, on, "trace-off vs trace-on");
+}
+
+TEST_P(DeterminismAb, TracedRunsDumpByteIdenticalJson) {
+  const RunTrace a = run_uts(GetParam(), 8, /*reference=*/false,
+                             /*trace=*/true);
+  const RunTrace b = run_uts(GetParam(), 8, /*reference=*/false,
+                             /*trace=*/true);
+  expect_identical(a, b, "traced run-to-run");
+  // The dump includes every event in merged (time, pe, seq) order, so
+  // any nondeterminism in spans/ops/ordering shows up as a byte diff.
+  EXPECT_EQ(a.trace_json, b.trace_json);
 }
 
 INSTANTIATE_TEST_SUITE_P(BothQueues, DeterminismAb,

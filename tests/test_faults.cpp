@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <sstream>
 #include <thread>
 #include <vector>
 
+#include "obs/trace_analysis.hpp"
 #include "sws.hpp"
 
 namespace sws {
@@ -28,13 +30,6 @@ FaultPlan drop_dup_plan() {
   f.dup_rate = 0.10;
   f.retransmit_ns = 20'000;
   f.dup_delay_ns = 5'000;
-  return f;
-}
-
-FaultPlan spike_plan() {
-  FaultPlan f;
-  f.spike_rate = 0.10;
-  f.spike_factor = 10.0;
   return f;
 }
 
@@ -504,6 +499,47 @@ TEST(ChaosDeterminism, FaultsOffMatchesPlainRunExactly) {
     });
     EXPECT_EQ(off.duration, rt.last_run_duration());
     EXPECT_EQ(off.tasks, pool.report().total.tasks_executed);
+  }
+}
+
+TEST(ChaosTracing, SpanLifecycleSurvivesFaultInjection) {
+  // Every steal/release/acquire span opened under the combined fault plan
+  // (drops + dups + spikes + jitter + a slow PE) must still close exactly
+  // once, and every traced fabric op must land inside an open span —
+  // retransmits and duplicate deliveries never leak span state.
+  const workloads::UtsParams p = small_uts();
+  for (const auto kind : {core::QueueKind::kSws, core::QueueKind::kSdc}) {
+    pgas::Runtime rt(
+        chaos_rcfg(8, combined_plan(), pgas::TimeMode::kVirtual));
+    core::TaskRegistry reg;
+    workloads::UtsBenchmark uts(reg, p);
+    core::PoolConfig pcfg = chaos_pcfg(kind);
+    pcfg.trace.enable = true;
+    pcfg.trace.events = std::size_t{1} << 18;  // must not wrap: no orphans
+    core::TaskPool pool(rt, reg, pcfg);
+    rt.run([&](pgas::PeContext& ctx) {
+      pool.run_pe(ctx, [&](core::Worker& w) { uts.seed(w); });
+    });
+
+    const core::Tracer& t = pool.tracer();
+    ASSERT_FALSE(t.truncated());
+    for (const auto k : {core::TraceKind::kStealSpan,
+                         core::TraceKind::kReleaseSpan,
+                         core::TraceKind::kAcquireSpan})
+      EXPECT_EQ(t.count(k, core::TracePhase::kBegin),
+                t.count(k, core::TracePhase::kEnd));
+
+    std::ostringstream os;
+    pool.dump_trace_json(os);
+    std::istringstream is(os.str());
+    const obs::RunTrace trace = obs::parse_chrome_trace(is);
+    EXPECT_EQ(trace.orphan_begins, 0u);
+    EXPECT_EQ(trace.orphan_ends, 0u);
+    EXPECT_EQ(trace.orphan_ops, 0u) << "fabric op outside any span";
+    const obs::AnalyzeReport r = obs::analyze(trace);
+    EXPECT_TRUE(r.violations.empty()) << r.violations.front();
+    EXPECT_EQ(r.steals_ok, pool.report().total.steals_ok);
+    EXPECT_GT(r.steals_ok, 0u);
   }
 }
 

@@ -1,0 +1,341 @@
+// Observability layer: metrics registry semantics, trace-analysis span
+// reconstruction, and the end-to-end protocol op-shape claims (Fig 2) on
+// live 2-PE UTS traces.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_analysis.hpp"
+#include "sws.hpp"
+
+namespace sws::obs {
+namespace {
+
+// ----------------------------------------------------------- registry unit
+
+TEST(MetricsRegistry, CounterAddsPerPeAndTotals) {
+  MetricsRegistry reg(3);
+  const MetricId c = reg.counter("test.count", "help text");
+  reg.add(c, 0, 5);
+  reg.add(c, 2, 7);
+  reg.add(c, 2);
+  EXPECT_EQ(reg.value(c, 0), 5u);
+  EXPECT_EQ(reg.value(c, 1), 0u);
+  EXPECT_EQ(reg.value(c, 2), 8u);
+  EXPECT_EQ(reg.total(c), 13u);
+}
+
+TEST(MetricsRegistry, GaugeTotalsByMax) {
+  MetricsRegistry reg(2);
+  const MetricId g = reg.gauge("test.gauge");
+  reg.set(g, 0, 100);
+  reg.set(g, 1, 40);
+  reg.set(g, 0, 60);  // overwrite, not accumulate
+  EXPECT_EQ(reg.value(g, 0), 60u);
+  EXPECT_EQ(reg.total(g), 60u);
+}
+
+TEST(MetricsRegistry, HistogramObserves) {
+  MetricsRegistry reg(2);
+  const MetricId h = reg.histogram("test.hist");
+  reg.observe(h, 0, 10);
+  reg.observe(h, 1, 1000);
+  reg.observe(h, 1, 1001);
+  EXPECT_EQ(reg.total(h), 3u);
+  const MetricsSnapshot snap = reg.snapshot();
+  const auto* e = snap.find("test.hist");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->hist.count(), 3u);  // merged across PEs
+}
+
+TEST(MetricsRegistry, RegistrationIsIdempotentByName) {
+  MetricsRegistry reg(1);
+  const MetricId a = reg.counter("same.name");
+  const MetricId b = reg.counter("same.name", "different help is fine");
+  EXPECT_EQ(a.idx, b.idx);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.find("same.name").idx, a.idx);
+  EXPECT_FALSE(reg.find("no.such.metric").valid());
+}
+
+TEST(MetricsRegistry, InvalidIdIsIgnored) {
+  MetricsRegistry reg(1);
+  MetricId bad;
+  reg.add(bad, 0, 1);  // must not crash
+  reg.set(bad, 0, 1);
+  reg.observe(bad, 0, 1);
+  EXPECT_EQ(reg.total(bad), 0u);
+}
+
+TEST(MetricsRegistry, RegistrationAfterValuesExistExtendsSlabs) {
+  MetricsRegistry reg(2);
+  const MetricId a = reg.counter("first");
+  reg.add(a, 1, 3);
+  const MetricId h = reg.histogram("late.hist");
+  const MetricId b = reg.counter("late.counter");
+  reg.observe(h, 0, 9);
+  reg.add(b, 0, 2);
+  EXPECT_EQ(reg.value(a, 1), 3u);
+  EXPECT_EQ(reg.total(h), 1u);
+  EXPECT_EQ(reg.total(b), 2u);
+}
+
+TEST(MetricsRegistry, ResetValuesKeepsRegistrations) {
+  MetricsRegistry reg(2);
+  const MetricId c = reg.counter("keep.me");
+  reg.add(c, 0, 9);
+  reg.reset_values();
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.total(c), 0u);
+  reg.add(c, 1, 4);
+  EXPECT_EQ(reg.total(c), 4u);
+}
+
+TEST(MetricsRegistry, ResetResizesPeCount) {
+  MetricsRegistry reg(1);
+  const MetricId c = reg.counter("c");
+  reg.add(c, 0, 1);
+  reg.reset(4);
+  EXPECT_EQ(reg.npes(), 4);
+  EXPECT_EQ(reg.total(c), 0u);
+  reg.add(c, 3, 2);
+  EXPECT_EQ(reg.total(c), 2u);
+}
+
+// -------------------------------------------------------- snapshot algebra
+
+TEST(MetricsSnapshot, MergeSumsCountersMaxesGauges) {
+  MetricsRegistry reg(2);
+  const MetricId c = reg.counter("runs.counter");
+  const MetricId g = reg.gauge("runs.gauge");
+  const MetricId h = reg.histogram("runs.hist");
+  reg.add(c, 0, 10);
+  reg.set(g, 0, 5);
+  reg.observe(h, 0, 100);
+  MetricsSnapshot first = reg.snapshot();
+
+  reg.reset_values();
+  reg.add(c, 0, 7);
+  reg.add(c, 1, 1);
+  reg.set(g, 0, 3);
+  reg.observe(h, 1, 200);
+  MetricsSnapshot second = reg.snapshot();
+
+  first.merge(second);
+  EXPECT_EQ(first.find("runs.counter")->total(), 18u);
+  EXPECT_EQ(first.find("runs.counter")->per_pe[0], 17u);
+  EXPECT_EQ(first.find("runs.gauge")->total(), 5u) << "gauges merge by max";
+  EXPECT_EQ(first.find("runs.hist")->hist.count(), 2u);
+}
+
+TEST(MetricsSnapshot, MergeAppendsUnknownEntries) {
+  MetricsRegistry a(1), b(1);
+  a.add(a.counter("only.in.a"), 0, 1);
+  b.add(b.counter("only.in.b"), 0, 2);
+  MetricsSnapshot sa = a.snapshot();
+  sa.merge(b.snapshot());
+  ASSERT_NE(sa.find("only.in.a"), nullptr);
+  ASSERT_NE(sa.find("only.in.b"), nullptr);
+  EXPECT_EQ(sa.find("only.in.b")->total(), 2u);
+}
+
+TEST(MetricsSnapshot, ExportersProduceOutput) {
+  MetricsRegistry reg(2);
+  reg.add(reg.counter("exp.counter", "a \"quoted\" help"), 1, 3);
+  reg.observe(reg.histogram("exp.hist"), 0, 42);
+  std::ostringstream text, json;
+  reg.write_text(text);
+  reg.write_json(json);
+  EXPECT_NE(text.str().find("exp.counter"), std::string::npos);
+  EXPECT_NE(text.str().find("p50="), std::string::npos);
+  EXPECT_NE(json.str().find("\"schema\":\"sws-metrics\""), std::string::npos);
+  EXPECT_NE(json.str().find("\\\"quoted\\\""), std::string::npos)
+      << "JSON strings must escape quotes";
+  EXPECT_NE(json.str().find("\"per_pe\":[0,3]"), std::string::npos);
+  EXPECT_NE(json.str().find("\"buckets\":[[5,1]]"), std::string::npos);
+}
+
+TEST(MetricsSnapshot, SetHistReplacesWholesale) {
+  MetricsRegistry reg(1);
+  const MetricId h = reg.histogram("pub.hist");
+  LogHistogram src;
+  src.add(8);
+  src.add(8);
+  reg.set_hist(h, 0, src);
+  reg.set_hist(h, 0, src);  // publish twice: idempotent, no doubling
+  EXPECT_EQ(reg.total(h), 2u);
+}
+
+// ------------------------------------------------- trace-analysis parsing
+
+TEST(TraceAnalysis, ReconstructsSpansFromTracerDump) {
+  core::Tracer t(2, 64);
+  t.begin(1, 1000, core::TraceKind::kStealSpan, 77, 0);
+  t.complete(1, 1010, 300, core::TraceKind::kFabricOp, 77,
+             static_cast<std::uint64_t>(net::OpKind::kAmoFetchAdd),
+             0 | (8u << 16));
+  t.complete(1, 1400, 500, core::TraceKind::kFabricOp, 77,
+             static_cast<std::uint64_t>(net::OpKind::kGet),
+             0 | (96u << 16));
+  t.complete(1, 1950, 40, core::TraceKind::kFabricOp, 77,
+             static_cast<std::uint64_t>(net::OpKind::kNbiAmoAdd),
+             0 | (8u << 16));
+  t.end(1, 2000, core::TraceKind::kStealSpan, 77, 0, 0 | (2u << 8));
+  std::ostringstream os;
+  core::TraceMeta meta;
+  meta.protocol = "sws";
+  meta.npes = 2;
+  meta.slot_bytes = 48;
+  t.dump_chrome_json(os, meta);
+
+  std::istringstream is(os.str());
+  const RunTrace rt = parse_chrome_trace(is);
+  EXPECT_EQ(rt.protocol, "sws");
+  EXPECT_EQ(rt.npes, 2);
+  EXPECT_FALSE(rt.truncated);
+  ASSERT_EQ(rt.spans.size(), 1u);
+  const Span& s = rt.spans[0];
+  EXPECT_EQ(s.kind, "steal");
+  EXPECT_EQ(s.pe, 1);
+  EXPECT_EQ(s.victim(), 0);
+  EXPECT_EQ(s.outcome(), 0);
+  EXPECT_EQ(s.ntasks(), 2u);
+  EXPECT_EQ(s.duration_ns(), 1000u);
+  ASSERT_EQ(s.ops.size(), 3u);
+  EXPECT_EQ(s.ops[0].op, "amo_fetch_add");
+  EXPECT_EQ(s.ops[1].op, "get");
+  EXPECT_EQ(s.ops[1].bytes, 96u);
+  EXPECT_TRUE(s.ops[0].blocking());
+  EXPECT_FALSE(s.ops[2].blocking());
+
+  const AnalyzeReport r = analyze(rt);
+  EXPECT_EQ(r.steals_ok, 1u);
+  EXPECT_TRUE(r.violations.empty()) << r.violations.front();
+  ASSERT_EQ(r.signatures.size(), 1u);
+  EXPECT_EQ(r.signatures.begin()->first, "amo_fetch_add:1 get:1 nbi_amo_add:1");
+}
+
+TEST(TraceAnalysis, FlagsOrphansInUntruncatedTrace) {
+  core::Tracer t(1, 64);
+  t.begin(0, 100, core::TraceKind::kStealSpan, 5, 0);
+  // No end: the span id stays open.
+  std::ostringstream os;
+  core::TraceMeta meta;
+  meta.protocol = "sws";
+  meta.npes = 1;
+  t.dump_chrome_json(os, meta);
+  std::istringstream is(os.str());
+  const RunTrace rt = parse_chrome_trace(is);
+  EXPECT_EQ(rt.orphan_begins, 1u);
+  const AnalyzeReport r = analyze(rt);
+  ASSERT_FALSE(r.violations.empty());
+}
+
+TEST(TraceAnalysis, RejectsMalformedJson) {
+  std::istringstream is("{\"not\": \"an array\"}");
+  EXPECT_THROW(parse_chrome_trace(is), std::runtime_error);
+  std::istringstream truncated("[{\"name\":\"x\"");
+  EXPECT_THROW(parse_chrome_trace(truncated), std::runtime_error);
+}
+
+// ----------------------------------------- live end-to-end (Fig 2 claims)
+
+struct UtsRun {
+  AnalyzeReport report;
+  core::PoolRunReport pool_report;
+  MetricsSnapshot metrics;
+};
+
+UtsRun run_uts_traced(core::QueueKind kind) {
+  pgas::RuntimeConfig rcfg;
+  rcfg.npes = 2;
+  rcfg.metrics = true;
+  pgas::Runtime rt(rcfg);
+
+  workloads::UtsParams p;
+  p.b0 = 4;
+  p.gen_mx = 9;
+  p.node_compute_ns = 2000;
+  core::TaskRegistry registry;
+  workloads::UtsBenchmark uts(registry, p);
+
+  core::PoolConfig pcfg;
+  pcfg.kind = kind;
+  pcfg.queue.slot_bytes = 48;
+  pcfg.trace.enable = true;
+  pcfg.trace.events = std::size_t{1} << 18;
+  core::TaskPool pool(rt, registry, pcfg);
+  rt.run([&](pgas::PeContext& ctx) {
+    pool.run_pe(ctx, [&](core::Worker& w) { uts.seed(w); });
+  });
+
+  std::ostringstream os;
+  pool.dump_trace_json(os);
+  std::istringstream is(os.str());
+
+  UtsRun out;
+  out.report = analyze(parse_chrome_trace(is));
+  out.pool_report = pool.report();
+  pool.publish_metrics(rt.metrics());
+  out.metrics = rt.metrics().snapshot();
+  return out;
+}
+
+TEST(TraceAnalysisLive, SwsStealIsOneFetchAddOneGet) {
+  const UtsRun run = run_uts_traced(core::QueueKind::kSws);
+  const AnalyzeReport& r = run.report;
+  ASSERT_FALSE(r.truncated) << "grow the trace ring";
+  ASSERT_GT(r.steals_ok, 0u);
+  EXPECT_EQ(r.steals_ok, run.pool_report.total.steals_ok);
+  EXPECT_TRUE(r.violations.empty()) << r.violations.front();
+  // The paper's SWS claim, verified op by op: every successful steal is
+  // one remote fetch-add (fused discovery+claim) + one task-copy get +
+  // one non-blocking completion add. 3 ops, 2 blocking.
+  ASSERT_EQ(r.signatures.size(), 1u);
+  EXPECT_EQ(r.signatures.begin()->first, "amo_fetch_add:1 get:1 nbi_amo_add:1");
+  EXPECT_DOUBLE_EQ(r.ops_per_success, 3.0);
+  EXPECT_DOUBLE_EQ(r.blocking_per_success, 2.0);
+}
+
+TEST(TraceAnalysisLive, SdcStealIsSixOpSequence) {
+  const UtsRun run = run_uts_traced(core::QueueKind::kSdc);
+  const AnalyzeReport& r = run.report;
+  ASSERT_FALSE(r.truncated);
+  ASSERT_GT(r.steals_ok, 0u);
+  EXPECT_TRUE(r.violations.empty()) << r.violations.front();
+  // The SDC baseline: lock cswap + metadata get + tail-claim put +
+  // unlock set + task-copy get + nbi completion set. 6 ops, 5 blocking.
+  ASSERT_EQ(r.signatures.size(), 1u);
+  EXPECT_EQ(r.signatures.begin()->first,
+            "amo_cswap:1 amo_set:1 get:2 nbi_amo_set:1 put:1");
+  EXPECT_DOUBLE_EQ(r.ops_per_success, 6.0);
+  EXPECT_DOUBLE_EQ(r.blocking_per_success, 5.0);
+}
+
+TEST(TraceAnalysisLive, MetricsCoverEveryLayer) {
+  const UtsRun run = run_uts_traced(core::QueueKind::kSws);
+  const MetricsSnapshot& m = run.metrics;
+  // Fabric layer (published by Runtime::run via config().metrics).
+  const auto* fetch_adds = m.find("fabric.ops.amo_fetch_add");
+  ASSERT_NE(fetch_adds, nullptr);
+  EXPECT_GE(fetch_adds->total(), run.pool_report.total.steals_ok);
+  // Runtime layer.
+  ASSERT_NE(m.find("runtime.last_run_duration_ns"), nullptr);
+  EXPECT_GT(m.find("runtime.last_run_duration_ns")->total(), 0u);
+  EXPECT_EQ(m.find("runtime.runs")->total(), 1u);
+  // Pool + queue layers (published by TaskPool::publish_metrics).
+  ASSERT_NE(m.find("pool.tasks_executed"), nullptr);
+  EXPECT_EQ(m.find("pool.tasks_executed")->total(),
+            run.pool_report.total.tasks_executed);
+  EXPECT_EQ(m.find("pool.steals_ok")->total(),
+            run.pool_report.total.steals_ok);
+  ASSERT_NE(m.find("pool.steal_latency_ns"), nullptr);
+  EXPECT_EQ(m.find("pool.steal_latency_ns")->hist.count(),
+            run.pool_report.total.steals_ok);
+  ASSERT_NE(m.find("queue.releases"), nullptr);
+  EXPECT_GT(m.find("queue.releases")->total(), 0u);
+}
+
+}  // namespace
+}  // namespace sws::obs

@@ -99,6 +99,40 @@ TEST(LogHistogram, QuantileApproximatesOrder) {
   EXPECT_EQ(h.quantile(0.99), 4096u);
 }
 
+TEST(LogHistogram, QuantileInteriorReportsBucketLowerBound) {
+  LogHistogram h;
+  for (int i = 0; i < 4; ++i) h.add(9);  // bucket 3 = [8, 16)
+  EXPECT_EQ(h.quantile(0.0), 8u);
+  EXPECT_EQ(h.quantile(0.5), 8u);
+  EXPECT_EQ(h.quantile(0.999), 8u);
+}
+
+TEST(LogHistogram, QuantileOneReportsInclusiveUpperBound) {
+  LogHistogram h;
+  for (int i = 0; i < 4; ++i) h.add(9);  // bucket 3 = [8, 16)
+  // Every recorded sample is <= quantile(1.0); the lower bound (8) would
+  // understate the max.
+  EXPECT_EQ(h.quantile(1.0), 15u);
+
+  LogHistogram zero;
+  zero.add(0);  // bucket 0 = [0, 2)
+  EXPECT_EQ(zero.quantile(0.5), 0u);
+  EXPECT_EQ(zero.quantile(1.0), 1u);
+}
+
+TEST(LogHistogram, QuantileOneSaturatesInTopBucket) {
+  LogHistogram h;
+  h.add(~std::uint64_t{0});  // bucket 63
+  EXPECT_EQ(h.quantile(0.5), std::uint64_t{1} << 63);
+  EXPECT_EQ(h.quantile(1.0), ~std::uint64_t{0});
+}
+
+TEST(LogHistogram, QuantileOnEmptyIsZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(1.0), 0u);
+}
+
 TEST(LogHistogram, MergeAddsCounts) {
   LogHistogram a, b;
   a.add(5);

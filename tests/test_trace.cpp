@@ -44,6 +44,45 @@ TEST(Tracer, MergedIsTimeOrdered) {
   EXPECT_EQ(all[3].time, 300u);
 }
 
+TEST(Tracer, MergedTieBreaksByPeThenSequence) {
+  // Regression: events sharing a timestamp must merge in (pe, ring
+  // sequence) order regardless of cross-PE insertion interleaving, or
+  // dumps of identical runs differ byte-wise.
+  Tracer t(2, 8);
+  t.record(1, 100, TraceKind::kTaskExec, 10);
+  t.record(0, 100, TraceKind::kTaskExec, 1);
+  t.record(1, 100, TraceKind::kRelease, 11);
+  t.record(0, 100, TraceKind::kRelease, 2);
+  const auto all = t.merged();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].pe, 0);
+  EXPECT_EQ(all[0].a, 1u);
+  EXPECT_EQ(all[1].pe, 0);
+  EXPECT_EQ(all[1].a, 2u);
+  EXPECT_EQ(all[2].pe, 1);
+  EXPECT_EQ(all[2].a, 10u);
+  EXPECT_EQ(all[3].pe, 1);
+  EXPECT_EQ(all[3].a, 11u);
+}
+
+TEST(Tracer, MergedEqualTimeOrderSurvivesRingWrap) {
+  // Same-time events after the ring wraps: the per-PE sequence keeps
+  // counting across overwrites, so the retained suffix still merges in
+  // recording order.
+  Tracer t(1, 4);
+  for (std::uint64_t i = 0; i < 11; ++i)
+    t.record(0, 500, TraceKind::kTaskExec, i);
+  const auto all = t.merged();
+  ASSERT_EQ(all.size(), 4u);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].a, 7 + i);
+    if (i > 0) {
+      EXPECT_LT(all[i - 1].seq, all[i].seq);
+    }
+  }
+  EXPECT_TRUE(t.truncated());
+}
+
 TEST(Tracer, RingOverwritesOldest) {
   Tracer t(1, 4);
   for (std::uint64_t i = 0; i < 10; ++i)
@@ -100,6 +139,49 @@ TEST(Tracer, ChromeJsonEmptyTracerIsEmptyArray) {
   std::ostringstream os;
   t.dump_chrome_json(os);
   EXPECT_EQ(os.str(), "[\n]\n");
+}
+
+TEST(Tracer, SpanPhasesAreCountable) {
+  Tracer t(1, 16);
+  t.begin(0, 100, TraceKind::kStealSpan, 42, 1);
+  t.complete(0, 110, 20, TraceKind::kFabricOp, 42,
+             static_cast<std::uint64_t>(net::OpKind::kGet), 0);
+  t.end(0, 200, TraceKind::kStealSpan, 42, 1, 2 << 8);
+  t.counter(0, 250, TraceKind::kQueueDepth, 5);
+  EXPECT_EQ(t.count(TraceKind::kStealSpan), 2u);
+  EXPECT_EQ(t.count(TraceKind::kStealSpan, TracePhase::kBegin), 1u);
+  EXPECT_EQ(t.count(TraceKind::kStealSpan, TracePhase::kEnd), 1u);
+  EXPECT_EQ(t.count(TraceKind::kFabricOp, TracePhase::kComplete), 1u);
+  EXPECT_EQ(t.count(TraceKind::kQueueDepth, TracePhase::kCounter), 1u);
+  EXPECT_FALSE(t.truncated());
+}
+
+TEST(Tracer, ChromeJsonEmitsSpanPhasesAndMeta) {
+  Tracer t(1, 16);
+  t.begin(0, 1000, TraceKind::kStealSpan, 7, 1);
+  t.complete(0, 1100, 500, TraceKind::kFabricOp, 7,
+             static_cast<std::uint64_t>(net::OpKind::kAmoFetchAdd),
+             1 | (8u << 16));
+  t.counter(0, 1200, TraceKind::kQueueDepth, 5);
+  t.end(0, 2000, TraceKind::kStealSpan, 7, 1, 3 << 8);
+  std::ostringstream os;
+  TraceMeta meta;
+  meta.protocol = "sws";
+  meta.npes = 1;
+  meta.slot_bytes = 64;
+  t.dump_chrome_json(os, meta);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("sws_run_meta"), std::string::npos);
+  EXPECT_NE(json.find("\"protocol\":\"sws\""), std::string::npos);
+  EXPECT_NE(json.find("\"truncated\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"op\":\"amo_fetch_add\""), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":8"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
 }
 
 TEST(TracerPool, SchedulerEmitsCoherentTrace) {

@@ -1,0 +1,95 @@
+// sws-analyze: offline analyzer for Tracer::dump_chrome_json traces.
+//
+//   sws-analyze <trace.json>                  full report
+//   sws-analyze --diff <a.json> <b.json>      A/B comparison
+//   sws-analyze --self-check <trace.json>     protocol op-shape check;
+//                                             exit 1 on any violation
+//
+// Options: --window-ns=N  pathology-scan window (default duration/64)
+//
+// The self-check is what CI runs on every push: each successful SWS steal
+// must be exactly one remote fetch-add + one task-copy get (+ one nbi
+// completion add); each successful SDC steal must show the six-op
+// lock/fetch/claim/unlock/copy/notify sequence (paper Fig 2).
+
+#include <cstdint>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_analysis.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: sws-analyze [--self-check] <trace.json>\n"
+            << "       sws-analyze --diff <a.json> <b.json>\n"
+            << "       options: --window-ns=N\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    // Hand-rolled parsing: every flag here is positional-file adjacent,
+    // which the generic Options "--key value" rule would misread.
+    sws::obs::WindowConfig wc;
+    bool diff = false;
+    bool self_check = false;
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--diff") {
+        diff = true;
+      } else if (arg == "--self-check") {
+        self_check = true;
+      } else if (arg.rfind("--window-ns=", 0) == 0) {
+        wc.window_ns = std::stoull(arg.substr(12));
+      } else if (arg.rfind("--", 0) == 0) {
+        std::cerr << "sws-analyze: unknown option " << arg << "\n";
+        return usage();
+      } else {
+        files.push_back(arg);
+      }
+    }
+
+    if (diff) {
+      if (files.size() != 2) return usage();
+      const auto a = sws::obs::analyze(
+          sws::obs::parse_chrome_trace_file(files[0]), wc);
+      const auto b = sws::obs::analyze(
+          sws::obs::parse_chrome_trace_file(files[1]), wc);
+      sws::obs::write_diff(std::cout, a, b);
+      return 0;
+    }
+
+    if (files.size() != 1) return usage();
+    const auto report = sws::obs::analyze(
+        sws::obs::parse_chrome_trace_file(files[0]), wc);
+    sws::obs::write_report(std::cout, report);
+
+    if (self_check) {
+      if (report.protocol.empty()) {
+        std::cerr << "self-check: trace carries no sws_run_meta protocol\n";
+        return 1;
+      }
+      if (report.steals_ok == 0) {
+        std::cerr << "self-check: no successful steals to validate\n";
+        return 1;
+      }
+      if (!report.violations.empty()) {
+        std::cerr << "self-check: " << report.violations.size()
+                  << " violation(s)\n";
+        return 1;
+      }
+      std::cout << "self-check: OK (" << report.steals_ok << " successful "
+                << report.protocol << " steals validated)\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "sws-analyze: " << e.what() << "\n";
+    return 2;
+  }
+}
