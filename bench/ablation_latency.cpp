@@ -42,7 +42,9 @@ int main(int argc, char** argv) {
     const auto sws = bench::run_config(core::QueueKind::kSws, npes, settings,
                                        tweaks, factory);
     t.add_row({Table::num(scale, 2),
-               Table::num(static_cast<double>(tweaks.net.amo_latency) / 1e3, 2),
+               Table::num(
+                   static_cast<double>(tweaks.net.link(1).amo_latency) / 1e3,
+                   2),
                Table::num(sdc.runtime_ms.mean(), 3),
                Table::num(sws.runtime_ms.mean(), 3),
                Table::num(100.0 * (sdc.runtime_ms.mean() /

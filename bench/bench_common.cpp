@@ -49,6 +49,14 @@ const char* kind_name(core::QueueKind k) {
   return k == core::QueueKind::kSdc ? "SDC" : "SWS";
 }
 
+net::NetworkParams net_from_options(const Options& opt) {
+  const std::string spec = opt.get("topo", std::string(""));
+  if (!spec.empty())
+    return net::NetworkParams::tiered(net::TopologySpec::parse(spec));
+  return net::NetworkParams::two_level(
+      static_cast<int>(opt.get("node-size", std::int64_t{0})));
+}
+
 void emit(const Table& t, const BenchSettings& settings) {
   if (settings.csv)
     t.print_csv(std::cout);
@@ -88,6 +96,7 @@ ConfigResult run_config(core::QueueKind kind, int npes,
     pcfg.sws = tweaks.sws;
     pcfg.sdc = tweaks.sdc;
     pcfg.steal = tweaks.steal;
+    pcfg.victim = tweaks.victim;
     if (want_trace) {
       pcfg.trace.enable = true;
       // Large rings: a truncated trace still loads in Perfetto but makes

@@ -74,9 +74,17 @@ struct PoolTweaks {
   core::SwsConfig sws{};
   core::SdcConfig sdc{};
   core::StealTuning steal{};
+  core::VictimConfig victim{};
   net::NetworkParams net{};
   std::size_t heap_bytes = 0;  ///< 0 = derive from queue geometry
 };
+
+/// Topology options shared by every bench binary:
+///   --topo SPEC        N-tier shape, outermost-first (e.g. "2x4x48");
+///                      links derived geometrically (NetworkParams::tiered)
+///   --node-size N      classic two-level shape, nodes of N PEs
+/// Both absent (or node-size 0) = the flat single-tier fabric.
+net::NetworkParams net_from_options(const Options& opt);
 
 /// Run `reps` independent executions of a workload on `npes` PEs with the
 /// given queue kind; aggregate the figures-of-merit.

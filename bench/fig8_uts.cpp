@@ -31,9 +31,9 @@ int main(int argc, char** argv) {
   bench::PoolTweaks tweaks;
   tweaks.queue.slot_bytes = 48;
   tweaks.queue.capacity = 16384;
-  // --node-size 48 reproduces the paper's 48-core-node cluster shape.
-  tweaks.net.pes_per_node =
-      static_cast<int>(opt.get("node-size", std::int64_t{0}));
+  // --node-size 48 reproduces the paper's 48-core-node cluster shape;
+  // --topo "44x48" additionally bounds the node count.
+  tweaks.net = bench::net_from_options(opt);
 
   bench::run_six_panels(
       "Fig 8", "UTS", settings, tweaks,

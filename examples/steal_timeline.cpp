@@ -3,7 +3,12 @@
 // plus an optional Chrome trace-event JSON for chrome://tracing.
 //
 //   ./steal_timeline [--npes 8] [--queue sws|sdc] [--depth 9]
+//                    [--topo SPEC|--node-size N] [--victim POLICY]
 //                    [--chrome-json trace.json]
+//
+// --topo "2x4" models 2 nodes x 4 PEs (outermost-first; see
+// docs/topology.md); --victim picks the selection policy (random,
+// round_robin, tiered, distance_weighted).
 //
 // Legend: each column is a slice of virtual time; per PE the glyph shows
 // what dominated the slice: '#' executing, 's' stole work, '.' searching,
@@ -21,6 +26,12 @@ int main(int argc, char** argv) {
 
   pgas::RuntimeConfig rcfg;
   rcfg.npes = static_cast<int>(opt.get("npes", std::int64_t{8}));
+  const std::string topo = opt.get("topo", std::string(""));
+  if (!topo.empty())
+    rcfg.net = net::NetworkParams::tiered(net::TopologySpec::parse(topo));
+  else
+    rcfg.net = net::NetworkParams::two_level(
+        static_cast<int>(opt.get("node-size", std::int64_t{0})));
   pgas::Runtime rt(rcfg);
 
   workloads::UtsParams p;
@@ -36,6 +47,8 @@ int main(int argc, char** argv) {
                   ? core::QueueKind::kSdc
                   : core::QueueKind::kSws;
   pcfg.queue.slot_bytes = 48;
+  pcfg.victim.policy = core::parse_victim_policy(
+      opt.get("victim", std::string("random")));
   pcfg.trace.enable = true;
   pcfg.trace.events = 1 << 18;
   core::TaskPool pool(rt, registry, pcfg);

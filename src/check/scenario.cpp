@@ -21,18 +21,17 @@ pgas::RuntimeConfig exploration_runtime_config(int npes,
   // one instant and the arbiter decides the order of *memory effects*.
   // Only explicit waits (barrier polls, backoff, compute) advance clocks,
   // which is what keeps the schedule tree finite.
-  auto& p = rc.net;
-  p.amo_latency = 0;
-  p.get_latency = 0;
-  p.put_latency = 0;
-  p.bandwidth = 1e18;
-  p.intra_bandwidth = 1e18;
+  auto& p = rc.net;  // flat topology: a single zero-cost link tier
+  auto& l = p.link(1);
+  l.amo_latency = 0;
+  l.get_latency = 0;
+  l.put_latency = 0;
+  l.bandwidth = 1e18;
+  l.nbi_delay = 0;
+  l.target_occupancy = 0;
   p.local_bandwidth = 1e18;
-  p.pes_per_node = 0;
   p.local_overhead = 0;
-  p.nbi_delay = 0;
   p.nbi_issue_overhead = 0;
-  p.target_occupancy = 0;
   return rc;
 }
 

@@ -3,6 +3,7 @@
 // attempts while hunting for work), task counts, and load-balance data.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -18,6 +19,10 @@ struct WorkerStats {
   std::uint64_t tasks_stolen = 0;    ///< tasks this PE pulled from victims
   std::uint64_t steals_ok = 0;
   std::uint64_t steal_attempts = 0;  ///< successful + failed
+  /// Steal traffic by victim tier distance (index t-1 = tier t): the
+  /// per-tier op mix the locality ablation compares across policies.
+  std::array<std::uint64_t, net::kMaxTiers> steal_attempts_by_tier{};
+  std::array<std::uint64_t, net::kMaxTiers> steals_ok_by_tier{};
   net::Nanos steal_time_ns = 0;      ///< time in successful steal operations
   net::Nanos search_time_ns = 0;     ///< failed attempts + inter-attempt backoff
   net::Nanos term_check_ns = 0;      ///< time in termination detection
@@ -33,6 +38,10 @@ struct WorkerStats {
     tasks_stolen += o.tasks_stolen;
     steals_ok += o.steals_ok;
     steal_attempts += o.steal_attempts;
+    for (std::size_t i = 0; i < steal_attempts_by_tier.size(); ++i) {
+      steal_attempts_by_tier[i] += o.steal_attempts_by_tier[i];
+      steals_ok_by_tier[i] += o.steals_ok_by_tier[i];
+    }
     steal_time_ns += o.steal_time_ns;
     search_time_ns += o.search_time_ns;
     term_check_ns += o.term_check_ns;

@@ -1,6 +1,7 @@
 #include "core/scheduler.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
@@ -136,9 +137,11 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
   ctx.barrier();
 
   const net::Nanos t_start = ctx.now();
-  const VictimConfig vcfg{cfg_.victim, rt_.config().net.pes_per_node,
-                          cfg_.victim_local_bias};
-  VictimSelector victims(vcfg, ctx.pe(), ctx.npes(), rt_.config().seed);
+  const net::NetworkModel& netm = rt_.fabric().model();
+  std::unique_ptr<VictimSelector> victims;
+  if (ctx.npes() > 1)
+    victims = make_victim_selector(cfg_.victim, netm.topology(), ctx.pe(),
+                                   rt_.config().seed);
   const StealTuning& st = cfg_.steal;
   // Dedicated stream for backoff jitter: draws must not perturb the
   // workload's ctx.rng() sequence, or enabling jitter would change
@@ -223,7 +226,8 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
       if (ctx.npes() > 1) {
         const net::Nanos t0 = ctx.now();
         loot.clear();
-        const int victim = victims.next();
+        const int victim = victims->next();
+        const net::Tier vtier = netm.tier(ctx.pe(), victim);
         std::uint64_t span = 0;
         if (tracer_.enabled()) {
           span = next_span();
@@ -241,9 +245,15 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
         }
         const net::Nanos dt = ctx.now() - t0;
         ++w.stats_.steal_attempts;
+        if (vtier >= 1)
+          ++w.stats_.steal_attempts_by_tier[static_cast<std::size_t>(vtier -
+                                                                     1)];
+        victims->report(victim, res.outcome == StealOutcome::kSuccess);
         if (res.outcome == StealOutcome::kSuccess) {
           w.stats_.steal_time_ns += dt;
           ++w.stats_.steals_ok;
+          if (vtier >= 1)
+            ++w.stats_.steals_ok_by_tier[static_cast<std::size_t>(vtier - 1)];
           w.stats_.tasks_stolen += res.ntasks;
           w.stats_.steal_latency.add(dt);
           if (tracer_.enabled())
@@ -325,6 +335,7 @@ void TaskPool::dump_trace_json(std::ostream& os) const {
   meta.protocol = cfg_.kind == QueueKind::kSws ? "sws" : "sdc";
   meta.npes = rt_.npes();
   meta.slot_bytes = cfg_.queue.slot_bytes;
+  meta.topo = rt_.fabric().model().topology().spec().to_string();
   tracer_.dump_chrome_json(os, meta);
 }
 
@@ -345,6 +356,20 @@ void TaskPool::publish_metrics(obs::MetricsRegistry& reg) const {
              [](const WorkerStats& s) { return s.steals_ok; });
   set_worker("pool.steal_attempts", "successful + failed steals",
              [](const WorkerStats& s) { return s.steal_attempts; });
+  for (net::Tier t = 1; t <= rt_.fabric().model().ntiers(); ++t) {
+    const std::string suffix = ".t" + std::to_string(t);
+    const auto attempts =
+        reg.counter("pool.steal_attempts_by_tier" + suffix,
+                    "steal attempts against victims at this tier distance");
+    const auto ok = reg.counter("pool.steals_ok_by_tier" + suffix,
+                                "successful steals at this tier distance");
+    for (int pe = 0; pe < npes; ++pe) {
+      const WorkerStats& s = last_stats_[static_cast<std::size_t>(pe)];
+      reg.set(attempts, pe,
+              s.steal_attempts_by_tier[static_cast<std::size_t>(t - 1)]);
+      reg.set(ok, pe, s.steals_ok_by_tier[static_cast<std::size_t>(t - 1)]);
+    }
+  }
   set_worker("pool.steal_time_ns", "time in successful steals",
              [](const WorkerStats& s) { return s.steal_time_ns; });
   set_worker("pool.search_time_ns", "failed attempts + backoff",

@@ -60,10 +60,10 @@ struct PoolConfig {
   SwsConfig sws{};                  ///< SWS protocol knobs
   SdcConfig sdc{};                  ///< SDC protocol knobs
   TerminationKind termination = TerminationKind::kCounter;
-  VictimPolicy victim = VictimPolicy::kRandom;
-  /// kHierarchical: probability of trying an intra-node victim first.
-  /// The node size comes from the runtime's NetworkParams::pes_per_node.
-  double victim_local_bias = 0.75;
+  /// Victim-selection policy. Locality-aware policies read the machine
+  /// shape from the runtime's NetworkParams::topology — the single
+  /// source of truth; there is no separate node-size field to agree with.
+  VictimConfig victim{};
   StealTuning steal{};
   /// Minimum local tasks before release considers exposing work.
   std::uint32_t release_threshold = 2;

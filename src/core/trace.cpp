@@ -238,6 +238,7 @@ void Tracer::dump_chrome_json(std::ostream& os, const TraceMeta& meta) const {
        << "\"pid\":0,\"tid\":0,\"args\":{\"protocol\":\"" << meta.protocol
        << "\",\"npes\":" << meta.npes
        << ",\"slot_bytes\":" << meta.slot_bytes
+       << ",\"topo\":\"" << (meta.topo.empty() ? "flat" : meta.topo) << "\""
        << ",\"truncated\":" << (truncated() ? 1 : 0) << "}}";
   }
   for (const TraceEvent& e : merged()) {

@@ -76,6 +76,7 @@ struct TraceMeta {
   std::string protocol;  ///< "sws" | "sdc" | ""
   int npes = 0;
   std::uint32_t slot_bytes = 0;
+  std::string topo;  ///< TopologySpec::to_string ("flat", "2x4", …)
 };
 
 class Tracer {

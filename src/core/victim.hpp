@@ -1,55 +1,79 @@
 // Victim-selection policies for steal attempts.
 //
-// The paper (and Cilk's theory) uses uniform random selection. Round-robin
-// is a deterministic alternative for tests/ablations, and kHierarchical is
-// the locality-aware strategy of the SLAW/HotSLAW line the paper cites
-// (§2.2): on a two-level fabric, prefer victims on the initiator's own
-// node with probability `local_bias` and fall back to a uniform global
-// pick otherwise.
+// The paper (and Cilk's theory) uses uniform random selection; the other
+// policies exist for ablations against it. All locality-aware policies
+// consume the runtime's shared net::Topology — there is no separate
+// node-size knob to keep in sync with the network model.
+//
+//  * kRandom      — uniform over all other PEs (the paper's default).
+//  * kRoundRobin  — deterministic cycle, for tests and worst-case scans.
+//  * kTiered      — near-first with escalation, after distbdd-spin17's
+//                   wstealer (VERYNEAR → ... → VERYFAR): steal from the
+//                   closest tier that has peers; after `escalate_after`
+//                   consecutive failures widen to the next tier; any
+//                   success snaps back to the closest tier.
+//  * kDistanceWeighted — every steal samples a tier with probability
+//                   proportional to tier_bias[t] * peers(t), then a
+//                   uniform peer within it; a soft version of kTiered
+//                   that never fixates on a starved near tier.
+//
+// Policy catalog and guidance: docs/topology.md.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "net/topology.hpp"
 
 namespace sws::core {
 
-enum class VictimPolicy { kRandom, kRoundRobin, kHierarchical };
+enum class VictimPolicy { kRandom, kRoundRobin, kTiered, kDistanceWeighted };
+
+const char* victim_policy_name(VictimPolicy p) noexcept;
+/// Inverse of victim_policy_name ("random" | "round_robin" | "tiered" |
+/// "distance_weighted"); throws std::invalid_argument on unknown names.
+VictimPolicy parse_victim_policy(const std::string& name);
 
 struct VictimConfig {
   VictimPolicy policy = VictimPolicy::kRandom;
-  /// Node size for kHierarchical (0 = flat; the policy degrades to
-  /// kRandom). Should match NetworkParams::pes_per_node.
-  int pes_per_node = 0;
-  /// Probability of trying an intra-node victim first (kHierarchical).
-  double local_bias = 0.75;
+  /// kDistanceWeighted: relative per-tier weight, tier_bias[t-1] for tier
+  /// t. Empty = geometric default (each tier outward is 4x less likely
+  /// per peer than the one inside it).
+  std::vector<double> tier_bias;
+  /// kTiered: consecutive failed steals at the current tier before
+  /// escalating to the next one.
+  int escalate_after = 2;
 };
 
+/// Pluggable selection policy. The scheduler asks next() for a victim
+/// before every steal and reports the outcome back; stateless policies
+/// ignore report().
 class VictimSelector {
  public:
-  VictimSelector(VictimPolicy policy, int self, int npes,
-                 std::uint64_t seed) noexcept
-      : VictimSelector(VictimConfig{policy, 0, 0.75}, self, npes, seed) {}
+  virtual ~VictimSelector() = default;
 
-  VictimSelector(const VictimConfig& cfg, int self, int npes,
-                 std::uint64_t seed) noexcept;
+  /// Next victim to try; never returns the selector's own PE. Requires
+  /// at least one other PE in the topology.
+  virtual int next() = 0;
 
-  /// Next victim to try; never returns `self`. npes must be >= 2.
-  int next() noexcept;
+  /// Outcome feedback for the victim most recently returned by next()
+  /// (kTiered escalation consumes this; default ignores it).
+  virtual void report(int victim, bool success) {
+    (void)victim;
+    (void)success;
+  }
 
-  VictimPolicy policy() const noexcept { return cfg_.policy; }
-
- private:
-  int random_other() noexcept;
-  int random_on_node() noexcept;  ///< -1 when alone on the node
-
-  VictimConfig cfg_;
-  int self_;
-  int npes_;
-  int node_begin_ = 0;  ///< [node_begin_, node_end_) = my node's PEs
-  int node_end_ = 0;
-  int cursor_;
-  Xoshiro256 rng_;
+  virtual VictimPolicy policy() const noexcept = 0;
 };
+
+/// Build a selector for PE `self`. kRandom draws from the stream
+/// Xoshiro256(seed, self | 1<<32) — pinned, because flat-topology
+/// determinism A/B compares schedules byte-for-byte across versions.
+std::unique_ptr<VictimSelector> make_victim_selector(
+    const VictimConfig& cfg, const net::Topology& topo, int self,
+    std::uint64_t seed);
 
 }  // namespace sws::core

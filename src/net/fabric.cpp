@@ -128,6 +128,7 @@ void Fabric::reset(int npes) {
       slab_free_ = i;
     }
   }
+  model_.resize(npes);
   arenas_.assign(static_cast<std::size_t>(npes), Arena{});
   busy_until_.assign(static_cast<std::size_t>(npes), Nanos{0});
   stats_.assign(static_cast<std::size_t>(npes), PaddedStats{});
@@ -204,17 +205,18 @@ std::uint64_t Fabric::current_span(int pe) const noexcept {
 void Fabric::charge(int initiator, int target, OpKind kind,
                     std::size_t bytes) {
   SWS_ASSERT(initiator >= 0 && initiator < npes());
-  const Locality loc = model_.locality(initiator, target);
-  const bool remote = loc != Locality::kSelf;
-  Nanos c = model_.cost(kind, bytes, loc);
+  const Tier tier = model_.tier(initiator, target);
+  const bool remote = tier > 0;
+  Nanos c = model_.cost(kind, bytes, tier);
   FabricStats& s = stats_[static_cast<std::size_t>(initiator)].s;
   ++s.ops[static_cast<int>(kind)];
   (remote ? s.remote_ops : s.local_ops) += 1;
+  if (remote) ++s.tier_ops[static_cast<std::size_t>(tier - 1)];
 
   // Target-NIC occupancy: concurrent remote ops against one PE queue
   // behind each other. Only meaningful (and only safe without locking —
   // the baton serializes us) under the virtual-time backend.
-  const Nanos occ = model_.params().target_occupancy;
+  const Nanos occ = remote ? model_.params().link(tier).target_occupancy : 0;
   if (remote && occ > 0 && time_.is_virtual()) {
     const Nanos now = time_.now(initiator);
     Nanos& busy = busy_until_[static_cast<std::size_t>(target)];
@@ -347,13 +349,13 @@ void Fabric::enqueue_nbi(int initiator, int target, OpKind kind,
                          std::size_t bytes, PendingEffect effect,
                          const void* slab_src) {
   const Nanos base_delay =
-      model_.delivery_delay(bytes, model_.locality(initiator, target));
+      model_.delivery_delay(bytes, model_.tier(initiator, target));
   Nanos deadline = time_.now(initiator) + base_delay;
   bool duplicate = false;
   Nanos dup_deadline = 0;
   if (faults_) {
-    const FaultInjector::Delivery v =
-        faults_->delivery_verdict(initiator, kind, base_delay);
+    const FaultInjector::Delivery v = faults_->delivery_verdict(
+        initiator, target, kind, time_.now(initiator), base_delay);
     deadline += v.extra_delay;  // jitter + retransmits after loss
     if (v.duplicate) {
       duplicate = true;
@@ -460,10 +462,11 @@ int Fabric::pending_to(int pe) const {
 void Fabric::quiet(int pe) {
   if (time_.is_virtual()) {
     // Advance until all of our in-flight ops are delivered. Deliveries
-    // fire from the sequencer hook as time passes; the step is the nbi
-    // delay so we overshoot by at most one delivery window.
-    const Nanos step =
-        model_.params().nbi_delay > 0 ? model_.params().nbi_delay : Nanos{100};
+    // fire from the sequencer hook as time passes; the step is the
+    // outermost tier's nbi delay so we overshoot by at most one delivery
+    // window.
+    const Nanos outer_delay = model_.params().link(model_.ntiers()).nbi_delay;
+    const Nanos step = outer_delay > 0 ? outer_delay : Nanos{100};
     while (pending(pe) > 0) time_.advance(pe, step);
     return;
   }
@@ -507,6 +510,14 @@ void Fabric::publish_metrics(obs::MetricsRegistry& reg) const {
              [](const FabricStats& s) { return s.remote_ops; });
   set_per_pe(reg.counter("fabric.local_ops", "ops whose target == initiator"),
              [](const FabricStats& s) { return s.local_ops; });
+  for (Tier t = 1; t <= model_.ntiers(); ++t) {
+    const auto id =
+        reg.counter("fabric.tier_ops.t" + std::to_string(t),
+                    "remote ops whose target sits at this tier distance");
+    set_per_pe(id, [t](const FabricStats& s) {
+      return s.tier_ops[static_cast<std::size_t>(t - 1)];
+    });
+  }
   set_per_pe(reg.counter("fabric.bytes_put", "payload bytes written"),
              [](const FabricStats& s) { return s.bytes_put; });
   set_per_pe(reg.counter("fabric.bytes_got", "payload bytes read"),
@@ -543,6 +554,10 @@ void Fabric::publish_metrics(obs::MetricsRegistry& reg) const {
               [](const FaultStats& s) { return s.retransmit_extra_ns; });
     set_fault("spike_extra_ns", "delay paid to spikes",
               [](const FaultStats& s) { return s.spike_extra_ns; });
+    set_fault("partition_hits", "ops that crossed an active partition",
+              [](const FaultStats& s) { return s.partition_hits; });
+    set_fault("partition_extra_ns", "delay paid to partition crossings",
+              [](const FaultStats& s) { return s.partition_extra_ns; });
   }
 }
 

@@ -48,6 +48,23 @@ struct SlowWindow {
   double factor = 4.0;
 };
 
+/// One interval during which a group of PEs is partitioned from the rest
+/// of the machine: every op *crossing* the boundary (initiator inside,
+/// target outside, or vice versa) pays `charge_factor` times its base
+/// blocking cost, and crossing non-blocking ops deliver
+/// `delivery_extra_ns` late (transport routing around the cut). Ops
+/// entirely inside or entirely outside the group are untouched — a
+/// partitioned node keeps computing, it just can't reach the rest
+/// cheaply. Build `pes` from Topology::group_members (see
+/// partition_group_plan / partitioned_node_plan).
+struct PartitionWindow {
+  std::vector<int> pes;  ///< one side of the cut, ascending
+  Nanos from_ns = 0;
+  Nanos until_ns = 0;
+  double charge_factor = 8.0;
+  Nanos delivery_extra_ns = 40'000;
+};
+
 /// A complete, seeded description of what can go wrong on the fabric.
 /// Default-constructed plans inject nothing and cost nothing.
 struct FaultPlan {
@@ -72,16 +89,20 @@ struct FaultPlan {
   // --- OS-noise windows -------------------------------------------------
   std::vector<SlowWindow> slow_windows;
 
+  // --- topology-cut windows ---------------------------------------------
+  std::vector<PartitionWindow> partitions;
+
   bool spikes_enabled() const noexcept { return spike_rate > 0.0; }
   bool delivery_faults_enabled() const noexcept {
-    return jitter > 0.0 || drop_rate > 0.0 || dup_rate > 0.0;
+    return jitter > 0.0 || drop_rate > 0.0 || dup_rate > 0.0 ||
+           !partitions.empty();
   }
   bool duplicates_possible() const noexcept { return dup_rate > 0.0; }
   /// Anything at all to inject? The fabric only instantiates an injector
   /// (and only pays any per-op cost) when this is true.
   bool enabled() const noexcept {
     return spikes_enabled() || delivery_faults_enabled() ||
-           !slow_windows.empty();
+           !slow_windows.empty() || !partitions.empty();
   }
 };
 
@@ -95,6 +116,8 @@ struct FaultStats {
   std::uint64_t drops = 0;  ///< lost transmissions (an op may lose several)
   std::uint64_t retransmit_extra_ns = 0;
   std::uint64_t dups = 0;
+  std::uint64_t partition_hits = 0;  ///< ops that crossed an active cut
+  std::uint64_t partition_extra_ns = 0;
 
   void merge(const FaultStats& o) noexcept {
     spikes += o.spikes;
@@ -105,6 +128,8 @@ struct FaultStats {
     drops += o.drops;
     retransmit_extra_ns += o.retransmit_extra_ns;
     dups += o.dups;
+    partition_hits += o.partition_hits;
+    partition_extra_ns += o.partition_extra_ns;
   }
 };
 
@@ -134,8 +159,10 @@ class FaultInjector {
     Nanos dup_extra_delay = 0;  ///< duplicate lands this much later again
   };
   /// Delivery-time verdict for a non-blocking op with base delivery delay
-  /// `base_delay`. Called at issue time, on the initiating PE.
-  Delivery delivery_verdict(int initiator, OpKind kind, Nanos base_delay);
+  /// `base_delay`, issued at `now`. Called at issue time, on the
+  /// initiating PE.
+  Delivery delivery_verdict(int initiator, int target, OpKind kind, Nanos now,
+                            Nanos base_delay);
 
   const FaultStats& stats(int pe) const;
   FaultStats total_stats() const;
@@ -146,8 +173,35 @@ class FaultInjector {
     FaultStats stats{};
   };
 
+  /// Is `pe` inside window `w`'s partitioned group?
+  static bool in_partition(const PartitionWindow& w, int pe) noexcept;
+
   FaultPlan plan_;
   std::vector<PerPe> pes_;
 };
+
+class Topology;
+
+/// Chaos presets over a topology group (docs/topology.md "Fault
+/// presets"). Each returns a plan with only that fault class set; merge
+/// fields by hand for combined scenarios.
+///
+/// Every PE of tier-`tier` group `group` runs `factor`x slow during
+/// [from_ns, until_ns) — OS-noise across a whole node/rack at once.
+FaultPlan slow_group_plan(const Topology& topo, Tier tier, int group,
+                          Nanos from_ns, Nanos until_ns, double factor = 4.0);
+/// Tier-`tier` group `group` is cut off during [from_ns, until_ns): ops
+/// crossing the boundary pay charge_factor x and nbi deliveries crossing
+/// it land delivery_extra_ns late.
+FaultPlan partition_group_plan(const Topology& topo, Tier tier, int group,
+                               Nanos from_ns, Nanos until_ns,
+                               double charge_factor = 8.0,
+                               Nanos delivery_extra_ns = 40'000);
+/// Named shapes the chaos suite exercises: a slow outermost-tier group
+/// (rack) and a partitioned innermost-tier group (node).
+FaultPlan slow_rack_plan(const Topology& topo, int rack, Nanos from_ns,
+                         Nanos until_ns, double factor = 4.0);
+FaultPlan partitioned_node_plan(const Topology& topo, int node, Nanos from_ns,
+                                Nanos until_ns);
 
 }  // namespace sws::net

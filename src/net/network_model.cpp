@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/assert.hpp"
+
 namespace sws::net {
 
 const char* op_kind_name(OpKind k) noexcept {
@@ -21,50 +23,106 @@ const char* op_kind_name(OpKind k) noexcept {
   return "?";
 }
 
-NetworkParams NetworkParams::scaled(double factor) const noexcept {
-  NetworkParams s = *this;
-  auto scale = [factor](Nanos v) {
-    return static_cast<Nanos>(std::llround(static_cast<double>(v) * factor));
-  };
-  s.amo_latency = scale(amo_latency);
-  s.get_latency = scale(get_latency);
-  s.put_latency = scale(put_latency);
-  s.nbi_delay = scale(nbi_delay);
+namespace {
+
+Nanos scale_ns(Nanos v, double factor) noexcept {
+  return static_cast<Nanos>(std::llround(static_cast<double>(v) * factor));
+}
+
+}  // namespace
+
+LinkParams LinkParams::scaled(double factor) const noexcept {
+  LinkParams s = *this;
+  s.amo_latency = scale_ns(amo_latency, factor);
+  s.get_latency = scale_ns(get_latency, factor);
+  s.put_latency = scale_ns(put_latency, factor);
+  s.nbi_delay = scale_ns(nbi_delay, factor);
   return s;
 }
 
-Locality NetworkModel::locality(int initiator, int target) const noexcept {
-  if (initiator == target) return Locality::kSelf;
-  if (p_.pes_per_node > 0 &&
-      initiator / p_.pes_per_node == target / p_.pes_per_node)
-    return Locality::kIntraNode;
-  return Locality::kInterNode;
+NetworkParams NetworkParams::two_level(int pes_per_node, double intra_scale,
+                                       double intra_bandwidth) {
+  NetworkParams p;
+  if (pes_per_node <= 0) return p;
+  p.topology = TopologySpec::two_level(pes_per_node);
+  const LinkParams inter{};
+  LinkParams intra = inter.scaled(intra_scale);
+  intra.bandwidth = intra_bandwidth;
+  p.links = {intra, inter};
+  return p;
 }
 
+NetworkParams NetworkParams::tiered(TopologySpec spec, double step_scale,
+                                    double step_bandwidth) {
+  NetworkParams p;
+  p.topology = std::move(spec);
+  const int nt = p.topology.ntiers();
+  p.links.assign(static_cast<std::size_t>(nt), LinkParams{});
+  // Outermost keeps the defaults; each step inward gets faster.
+  for (int t = nt - 1; t >= 1; --t) {
+    const LinkParams& outer = p.links[static_cast<std::size_t>(t)];
+    LinkParams inner = outer.scaled(step_scale);
+    inner.bandwidth = outer.bandwidth * step_bandwidth;
+    p.links[static_cast<std::size_t>(t - 1)] = inner;
+  }
+  return p;
+}
+
+NetworkParams NetworkParams::scaled(double factor) const {
+  NetworkParams s = *this;
+  for (LinkParams& l : s.links) l = l.scaled(factor);
+  return s;
+}
+
+const LinkParams& NetworkParams::link(Tier t) const noexcept {
+  SWS_ASSERT(t >= 1 && !links.empty());
+  const std::size_t idx = static_cast<std::size_t>(t - 1);
+  return links[idx < links.size() ? idx : links.size() - 1];
+}
+
+LinkParams& NetworkParams::link(Tier t) noexcept {
+  SWS_ASSERT(t >= 1 && !links.empty());
+  const std::size_t idx = static_cast<std::size_t>(t - 1);
+  return links[idx < links.size() ? idx : links.size() - 1];
+}
+
+void NetworkParams::validate(int npes) const {
+  SWS_CHECK(links.size() == static_cast<std::size_t>(topology.ntiers()),
+            "NetworkParams: link table size must equal the topology's tier "
+            "count (conflicting topology/link specs)");
+  for (const LinkParams& l : links)
+    SWS_CHECK(l.bandwidth > 0.0, "link bandwidth must be positive");
+  SWS_CHECK(local_bandwidth > 0.0, "local bandwidth must be positive");
+  // Binding the topology validates the spec shape and PE capacity
+  // (throws std::invalid_argument on conflict).
+  Topology probe(topology, npes);
+  (void)probe;
+}
+
+NetworkModel::NetworkModel(NetworkParams p, int npes)
+    : p_(std::move(p)), topo_(p_.topology, npes) {}
+
+void NetworkModel::resize(int npes) { topo_ = Topology(p_.topology, npes); }
+
 Nanos NetworkModel::cost(OpKind kind, std::size_t bytes,
-                         Locality loc) const noexcept {
-  if (loc == Locality::kSelf) {
+                         Tier t) const noexcept {
+  if (t <= 0) {
     // Local op: NIC loopback / plain memory; payload at memcpy speed.
     return p_.local_overhead +
            static_cast<Nanos>(static_cast<double>(bytes) / p_.local_bandwidth);
   }
-  const bool intra = loc == Locality::kIntraNode;
-  const double bw = intra ? p_.intra_bandwidth : p_.bandwidth;
-  const auto payload = static_cast<Nanos>(static_cast<double>(bytes) / bw);
-  const auto lat = [&](Nanos inter) {
-    return intra ? static_cast<Nanos>(
-                       std::llround(static_cast<double>(inter) * p_.intra_scale))
-                 : inter;
-  };
+  const LinkParams& l = p_.link(t);
+  const auto payload =
+      static_cast<Nanos>(static_cast<double>(bytes) / l.bandwidth);
   switch (kind) {
-    case OpKind::kPut: return lat(p_.put_latency) + payload;
-    case OpKind::kGet: return lat(p_.get_latency) + payload;
+    case OpKind::kPut: return l.put_latency + payload;
+    case OpKind::kGet: return l.get_latency + payload;
     case OpKind::kAmoFetchAdd:
     case OpKind::kAmoCompareSwap:
     case OpKind::kAmoSwap:
     case OpKind::kAmoFetch:
     case OpKind::kAmoSet:
-      return lat(p_.amo_latency);
+      return l.amo_latency;
     case OpKind::kNbiPut:
     case OpKind::kNbiAmoAdd:
     case OpKind::kNbiAmoSet:
@@ -76,15 +134,13 @@ Nanos NetworkModel::cost(OpKind kind, std::size_t bytes,
   return 0;
 }
 
-Nanos NetworkModel::delivery_delay(std::size_t bytes,
-                                   Locality loc) const noexcept {
-  const bool intra = loc == Locality::kIntraNode;
-  const Nanos base =
-      intra ? static_cast<Nanos>(std::llround(
-                  static_cast<double>(p_.nbi_delay) * p_.intra_scale))
-            : p_.nbi_delay;
-  const double bw = intra ? p_.intra_bandwidth : p_.bandwidth;
-  return base + static_cast<Nanos>(static_cast<double>(bytes) / bw);
+Nanos NetworkModel::delivery_delay(std::size_t bytes, Tier t) const noexcept {
+  // Self-targeted nbi ops still traverse the NIC round trip, so they pay
+  // the outermost link's delay (matches the pre-tier model).
+  const LinkParams& l =
+      p_.link(t >= 1 ? t : static_cast<Tier>(p_.links.size()));
+  return l.nbi_delay +
+         static_cast<Nanos>(static_cast<double>(bytes) / l.bandwidth);
 }
 
 }  // namespace sws::net

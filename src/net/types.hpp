@@ -10,6 +10,16 @@ namespace sws::net {
 /// Simulated (or real) time in nanoseconds.
 using Nanos = std::uint64_t;
 
+/// Topology tier distance between two PEs: 0 = self, 1 = innermost shared
+/// group (same node on a two-level fabric), up to Topology::ntiers() for
+/// the whole machine (see net/topology.hpp).
+using Tier = int;
+
+/// Upper bound on link tiers a topology spec may describe. Six covers
+/// core/socket/node/chassis/rack/machine with room to spare and keeps
+/// per-tier counter arrays inline.
+inline constexpr int kMaxTiers = 6;
+
 /// One-sided operation kinds, mirroring the OpenSHMEM surface the paper's
 /// runtime uses (put/get, fetching AMOs, and their non-blocking variants).
 enum class OpKind : int {
@@ -38,6 +48,9 @@ struct FabricStats {
   std::array<std::uint64_t, kNumOpKinds> ops{};
   std::uint64_t remote_ops = 0;   ///< ops whose target != initiator
   std::uint64_t local_ops = 0;    ///< ops whose target == initiator
+  /// Remote ops by topology tier distance: tier_ops[t-1] counts ops whose
+  /// target sits at distance t. Sums to remote_ops.
+  std::array<std::uint64_t, kMaxTiers> tier_ops{};
   std::uint64_t bytes_put = 0;
   std::uint64_t bytes_got = 0;
   std::uint64_t blocking_ns = 0;  ///< total initiator-blocking time
@@ -58,6 +71,8 @@ struct FabricStats {
     for (std::size_t i = 0; i < kNumOpKinds; ++i) ops[i] += o.ops[i];
     remote_ops += o.remote_ops;
     local_ops += o.local_ops;
+    for (std::size_t i = 0; i < tier_ops.size(); ++i)
+      tier_ops[i] += o.tier_ops[i];
     bytes_put += o.bytes_put;
     bytes_got += o.bytes_got;
     blocking_ns += o.blocking_ns;

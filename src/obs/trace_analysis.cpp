@@ -10,6 +10,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "net/topology.hpp"
+
 namespace sws::obs {
 
 namespace {
@@ -225,6 +227,7 @@ RunTrace parse_chrome_trace(std::istream& is) {
       rt.npes = static_cast<int>(args->num_or("npes", 0.0));
       rt.slot_bytes =
           static_cast<std::uint32_t>(args->num_or("slot_bytes", 0.0));
+      rt.topo = args->str_or("topo", "");
       rt.truncated = args->num_or("truncated", 0.0) != 0.0;
       continue;
     }
@@ -380,6 +383,20 @@ AnalyzeReport analyze(const RunTrace& rt, const WindowConfig& wc) {
   std::uint64_t total_ops = 0;
   std::uint64_t total_blocking = 0;
 
+  // Victim-distance attribution: rebuild the run's Topology from the
+  // trace metadata so each steal span lands in its tier bucket.
+  r.topo = rt.topo;
+  net::Topology topo(rt.npes > 0 ? rt.npes : 1);
+  if (!rt.topo.empty() && rt.npes > 0) {
+    try {
+      topo = net::Topology(net::TopologySpec::parse(rt.topo), rt.npes);
+    } catch (const std::exception& e) {
+      r.violations.push_back(std::string("unusable topo metadata \"") +
+                             rt.topo + "\": " + e.what());
+    }
+  }
+  r.ntiers = topo.ntiers();
+
   r.window_ns = wc.window_ns != 0
                     ? wc.window_ns
                     : std::max<std::uint64_t>(rt.duration_ns / 64, 1000);
@@ -400,11 +417,18 @@ AnalyzeReport analyze(const RunTrace& rt, const WindowConfig& wc) {
     }
     if (s.kind != "steal") continue;
     ++r.steal_spans;
+    net::Tier tier = 1;
+    if (s.pe >= 0 && s.pe < topo.npes() && s.victim() >= 0 &&
+        s.victim() < topo.npes())
+      tier = topo.distance(s.pe, s.victim());
+    if (tier >= 1) ++r.attempts_by_tier[static_cast<std::size_t>(tier - 1)];
     Win& w = windows[s.begin_ns / r.window_ns];
     switch (s.outcome()) {
       case 0:
         ++r.steals_ok;
         ++w.oks;
+        if (tier >= 1)
+          ++r.steals_ok_by_tier[static_cast<std::size_t>(tier - 1)];
         r.tasks_stolen += s.ntasks();
         r.lat_ok_ns.add(s.duration_ns());
         ++r.signatures[op_signature(s)];
@@ -488,6 +512,15 @@ void write_report(std::ostream& os, const AnalyzeReport& r) {
   metric_line(os, "tasks_stolen", r.tasks_stolen);
   metric_line(os, "releases", r.release_spans);
   metric_line(os, "acquires", r.acquire_spans);
+  if (r.ntiers > 1) {
+    os << "steal mix by victim tier (topo=" << r.topo << "):\n";
+    for (int t = 1; t <= r.ntiers; ++t) {
+      const auto i = static_cast<std::size_t>(t - 1);
+      os << "  tier " << t << std::left << std::setw(20) << "" << std::right
+         << "attempts=" << r.attempts_by_tier[i]
+         << " ok=" << r.steals_ok_by_tier[i] << "\n";
+    }
+  }
   os << "comm per successful steal (Fig 2):\n";
   os << "  " << std::left << std::setw(26) << "ops" << std::right
      << std::fixed << std::setprecision(2) << r.ops_per_success << "\n";

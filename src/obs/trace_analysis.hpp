@@ -15,6 +15,7 @@
 // probe fetch, SDC one extra cswap + probe get per failed lock attempt.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "net/types.hpp"
 
 namespace sws::obs {
 
@@ -63,6 +65,7 @@ struct RunTrace {
   std::string protocol;  ///< from sws_run_meta; "" when absent
   int npes = 0;
   std::uint32_t slot_bytes = 0;
+  std::string topo;  ///< topology spec string ("flat", "*x4", "2x4x48", …)
   bool truncated = false;  ///< ring wrapped: orphans at the front are benign
   std::vector<Span> spans;  ///< closed spans in begin-time order
   std::uint64_t orphan_begins = 0;  ///< begin with no matching end
@@ -99,6 +102,13 @@ struct AnalyzeReport {
   std::uint64_t steals_empty = 0;
   std::uint64_t steals_retry = 0;
   std::uint64_t tasks_stolen = 0;
+  /// Steal mix by victim distance, derived from the trace's topology
+  /// metadata: index t-1 holds attempts/successes against tier-t victims.
+  /// ntiers == 1 on flat traces (everything lands in index 0).
+  std::string topo;
+  int ntiers = 1;
+  std::array<std::uint64_t, net::kMaxTiers> attempts_by_tier{};
+  std::array<std::uint64_t, net::kMaxTiers> steals_ok_by_tier{};
   std::uint64_t release_spans = 0;
   std::uint64_t acquire_spans = 0;
   std::uint64_t orphan_begins = 0;

@@ -52,12 +52,13 @@ void expect_identical(const RunTrace& a, const RunTrace& b,
 }
 
 RunTrace run_uts(core::QueueKind kind, int npes, bool reference,
-                 bool trace = false) {
+                 bool trace = false, net::NetworkParams net = {}) {
   pgas::RuntimeConfig rc;
   rc.npes = npes;
   rc.heap_bytes = 4 << 20;
   rc.seed = 42;
   rc.sequencer_reference = reference;
+  rc.net = net;
   pgas::Runtime rt(rc);
 
   workloads::UtsParams p;
@@ -130,6 +131,51 @@ TEST_P(DeterminismAb, TracedRunsDumpByteIdenticalJson) {
   // The dump includes every event in merged (time, pe, seq) order, so
   // any nondeterminism in spans/ops/ordering shows up as a byte diff.
   EXPECT_EQ(a.trace_json, b.trace_json);
+}
+
+// Cross-version pins: fingerprints captured from the pre-topology build
+// (commit 536af5a lineage). The topology redesign promised that flat and
+// legacy two-level runs stay byte-identical — any drift in these numbers
+// means the schedule changed, not just an accounting detail.
+struct GoldenRun {
+  const char* what;
+  core::QueueKind kind;
+  int pes_per_node;  ///< 0 = flat
+  net::Nanos duration;
+  std::uint64_t blocking, ops, clocks, tasks, steals_ok;
+};
+
+constexpr GoldenRun kGolden[] = {
+    {"flat SWS", core::QueueKind::kSws, 0,  //
+     293318, 514212, 741, 2344534, 4186, 44},
+    {"flat SDC", core::QueueKind::kSdc, 0,  //
+     359066, 932266, 995, 2870438, 4186, 32},
+    {"two-level SWS", core::QueueKind::kSws, 4,  //
+     277523, 329251, 736, 2214367, 4186, 42},
+    {"two-level SDC", core::QueueKind::kSdc, 4,  //
+     344488, 668318, 1185, 2748683, 4186, 47},
+};
+
+TEST(DeterminismGolden, SchedulesMatchPreTopologyFingerprints) {
+  for (const GoldenRun& g : kGolden) {
+    const net::NetworkParams net =
+        g.pes_per_node > 0 ? net::NetworkParams::two_level(g.pes_per_node)
+                           : net::NetworkParams{};
+    const RunTrace t = run_uts(g.kind, 8, /*reference=*/false,
+                               /*trace=*/false, net);
+    std::uint64_t blocking = 0, ops = 0, clocks = 0;
+    for (const PeSnapshot& s : t.per_pe) {
+      blocking += s.fabric.blocking_ns;
+      ops += s.fabric.total_ops();
+      clocks += static_cast<std::uint64_t>(s.clock);
+    }
+    EXPECT_EQ(t.duration, g.duration) << g.what;
+    EXPECT_EQ(blocking, g.blocking) << g.what;
+    EXPECT_EQ(ops, g.ops) << g.what;
+    EXPECT_EQ(clocks, g.clocks) << g.what;
+    EXPECT_EQ(t.tasks, g.tasks) << g.what;
+    EXPECT_EQ(t.steals_ok, g.steals_ok) << g.what;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(BothQueues, DeterminismAb,

@@ -1,5 +1,5 @@
 // "Everything on" integration: the full feature surface engaged at once —
-// two-level fabric, NIC occupancy, hierarchical victims, remote spawning,
+// two-level fabric, NIC occupancy, distance-weighted victims, remote spawning,
 // tracing, token termination, completion epochs, damping — on both queue
 // protocols and both time backends. If feature interactions break
 // anything, this is where it shows.
@@ -32,9 +32,11 @@ TEST_P(EverythingOn, FullFeatureRunIsCorrect) {
   rcfg.npes = 12;
   rcfg.mode = mode;
   rcfg.heap_bytes = 4 << 20;
-  rcfg.net.pes_per_node = 4;      // two-level fabric, 3 nodes
-  rcfg.net.target_occupancy = 250;
-  rcfg.net.nbi_delay = 20'000;    // lazy completions stress the epochs
+  rcfg.net = net::NetworkParams::two_level(4);  // two-level fabric, 3 nodes
+  for (net::Tier t = 1; t <= 2; ++t) {
+    rcfg.net.link(t).target_occupancy = 250;
+    rcfg.net.link(t).nbi_delay = 20'000;  // lazy completions stress the epochs
+  }
   pgas::Runtime rt(rcfg);
 
   core::TaskRegistry reg;
@@ -54,8 +56,7 @@ TEST_P(EverythingOn, FullFeatureRunIsCorrect) {
   pc.kind = kind;
   pc.queue.capacity = 8192;
   pc.queue.slot_bytes = 48;
-  pc.victim = core::VictimPolicy::kHierarchical;
-  pc.victim_local_bias = 0.6;
+  pc.victim.policy = core::VictimPolicy::kDistanceWeighted;
   pc.termination = core::TerminationKind::kToken;
   pc.trace.enable = true;
   pc.trace.events = 1 << 15;
@@ -74,6 +75,9 @@ TEST_P(EverythingOn, FullFeatureRunIsCorrect) {
   EXPECT_EQ(r.total.tasks_executed, truth.nodes + 25)
       << "UTS nodes + 25 hop tasks, each exactly once";
   EXPECT_GT(r.total.steals_ok, 0u);
+  // Per-tier steal accounting covers every successful steal.
+  EXPECT_EQ(r.total.steals_ok_by_tier[0] + r.total.steals_ok_by_tier[1],
+            r.total.steals_ok);
   // The trace agrees with the stats even with every feature engaged.
   EXPECT_EQ(pool.tracer().count(core::TraceKind::kTaskExec),
             r.total.tasks_executed);

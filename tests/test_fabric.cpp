@@ -159,7 +159,7 @@ TEST_F(FabricTest, NbiDeliveryIsDelayedUntilTimePasses) {
     EXPECT_EQ(fabric_.pending(0), 1);
     EXPECT_EQ(word_at(1, 40), 0u);
     // Pass the delivery deadline: the hook applies the effect.
-    time_.advance(0, NetworkModel{}.delivery_delay(8) + 1);
+    time_.advance(0, NetworkModel{}.delivery_delay(8, 1) + 1);
     EXPECT_EQ(fabric_.pending(0), 0);
     EXPECT_EQ(word_at(1, 40), 9u);
   });
@@ -291,7 +291,7 @@ TEST(FabricFaults, RetransmitDelayExtendsDeliveryNotHorizon) {
     arenas.emplace_back(256, std::byte{0});
     fab.register_arena(pe, arenas.back().data(), 256);
   }
-  const Nanos base = NetworkModel(params).delivery_delay(8);
+  const Nanos base = NetworkModel(params).delivery_delay(8, 1);
   tm.reset(2);
   std::vector<std::thread> ts;
   for (int pe = 0; pe < 2; ++pe)
@@ -353,7 +353,7 @@ TEST(FabricRealTime, QuietUnderNbiStormDeliversEverything) {
   // Same storm with the delivery thread and true concurrency.
   RealTimeModel tm(2);
   NetworkParams params;
-  params.nbi_delay = 50'000;  // 50 us: a real in-flight window
+  params.link(1).nbi_delay = 50'000;  // 50 us: a real in-flight window
   Fabric fab(tm, NetworkModel(params), 2);
   std::vector<std::vector<std::byte>> arenas;
   for (int pe = 0; pe < 2; ++pe) {
@@ -382,7 +382,7 @@ TEST(FabricRealTime, QuietUnderNbiStormDeliversEverything) {
 TEST(FabricRealTime, NbiDeliveredLateByProgressThread) {
   RealTimeModel tm(2);
   NetworkParams params;
-  params.nbi_delay = 2'000'000;  // 2 ms: long enough to observe in flight
+  params.link(1).nbi_delay = 2'000'000;  // 2 ms: long enough to observe
   Fabric fab(tm, NetworkModel(params), 2);
   std::vector<std::vector<std::byte>> arenas;
   for (int pe = 0; pe < 2; ++pe) {
@@ -459,7 +459,7 @@ TEST(FabricOccupancy, SameTargetOpsQueue) {
   // (k-1) * occupancy behind the earlier ones.
   VirtualTimeModel tm(4);
   NetworkParams params;
-  params.target_occupancy = 300;
+  params.link(1).target_occupancy = 300;
   Fabric fab(tm, NetworkModel(params), 4);
   std::vector<std::vector<std::byte>> arenas;
   for (int pe = 0; pe < 4; ++pe) {
@@ -484,7 +484,7 @@ TEST(FabricOccupancy, SameTargetOpsQueue) {
 TEST(FabricOccupancy, ZeroOccupancyDisablesQueueing) {
   VirtualTimeModel tm(3);
   NetworkParams params;
-  params.target_occupancy = 0;
+  params.link(1).target_occupancy = 0;
   Fabric fab(tm, NetworkModel(params), 3);
   std::vector<std::vector<std::byte>> arenas;
   for (int pe = 0; pe < 3; ++pe) {
@@ -506,54 +506,50 @@ TEST(FabricOccupancy, ZeroOccupancyDisablesQueueing) {
 
 TEST(NetworkModelTest, CostsScaleWithPayload) {
   NetworkModel m;
-  EXPECT_GT(m.cost(OpKind::kGet, 1 << 20, true),
-            m.cost(OpKind::kGet, 8, true));
-  EXPECT_EQ(m.cost(OpKind::kAmoFetchAdd, 8, true), m.params().amo_latency);
+  EXPECT_GT(m.cost(OpKind::kGet, 1 << 20, 1), m.cost(OpKind::kGet, 8, 1));
+  EXPECT_EQ(m.cost(OpKind::kAmoFetchAdd, 8, 1),
+            m.params().link(1).amo_latency);
   // nbi ops only charge the issue overhead.
-  EXPECT_LT(m.cost(OpKind::kNbiAmoAdd, 8, true),
-            m.cost(OpKind::kAmoFetchAdd, 8, true));
+  EXPECT_LT(m.cost(OpKind::kNbiAmoAdd, 8, 1),
+            m.cost(OpKind::kAmoFetchAdd, 8, 1));
 }
 
-TEST(NetworkModelTest, TwoLevelFabricLocality) {
-  NetworkParams p;
-  p.pes_per_node = 4;
-  NetworkModel m(p);
-  EXPECT_EQ(m.locality(0, 0), Locality::kSelf);
-  EXPECT_EQ(m.locality(0, 3), Locality::kIntraNode);
-  EXPECT_EQ(m.locality(0, 4), Locality::kInterNode);
-  EXPECT_EQ(m.locality(5, 7), Locality::kIntraNode);
-  EXPECT_EQ(m.locality(7, 8), Locality::kInterNode);
+TEST(NetworkModelTest, TwoLevelFabricTiers) {
+  NetworkModel m(NetworkParams::two_level(4), 12);
+  EXPECT_EQ(m.tier(0, 0), 0);
+  EXPECT_EQ(m.tier(0, 3), 1);
+  EXPECT_EQ(m.tier(0, 4), 2);
+  EXPECT_EQ(m.tier(5, 7), 1);
+  EXPECT_EQ(m.tier(7, 8), 2);
 }
 
 TEST(NetworkModelTest, FlatFabricHasNoIntraNode) {
-  NetworkModel m{};  // pes_per_node = 0
-  EXPECT_EQ(m.locality(0, 1), Locality::kInterNode);
-  EXPECT_EQ(m.locality(0, 0), Locality::kSelf);
+  NetworkModel m{};  // flat topology
+  EXPECT_EQ(m.ntiers(), 1);
+  EXPECT_EQ(m.tier(0, 1), 1);
+  EXPECT_EQ(m.tier(0, 0), 0);
 }
 
 TEST(NetworkModelTest, IntraNodeOpsAreCheaper) {
-  NetworkParams p;
-  p.pes_per_node = 8;
-  NetworkModel m(p);
-  const Nanos inter = m.cost(OpKind::kAmoFetchAdd, 8, Locality::kInterNode);
-  const Nanos intra = m.cost(OpKind::kAmoFetchAdd, 8, Locality::kIntraNode);
-  const Nanos self = m.cost(OpKind::kAmoFetchAdd, 8, Locality::kSelf);
+  NetworkModel m(NetworkParams::two_level(8), 16);
+  const Nanos inter = m.cost(OpKind::kAmoFetchAdd, 8, 2);
+  const Nanos intra = m.cost(OpKind::kAmoFetchAdd, 8, 1);
+  const Nanos self = m.cost(OpKind::kAmoFetchAdd, 8, 0);
   EXPECT_LT(intra, inter / 3);
   EXPECT_LT(self, intra);
   // Bulk transfers see the better intra-node bandwidth too.
-  EXPECT_LT(m.cost(OpKind::kGet, 1 << 16, Locality::kIntraNode),
-            m.cost(OpKind::kGet, 1 << 16, Locality::kInterNode));
+  EXPECT_LT(m.cost(OpKind::kGet, 1 << 16, 1), m.cost(OpKind::kGet, 1 << 16, 2));
   // And nbi delivery arrives sooner within a node.
-  EXPECT_LT(m.delivery_delay(8, Locality::kIntraNode),
-            m.delivery_delay(8, Locality::kInterNode));
+  EXPECT_LT(m.delivery_delay(8, 1), m.delivery_delay(8, 2));
 }
 
 TEST(FabricLocality, ChargesByNodeDistance) {
   VirtualTimeModel tm(3);
-  NetworkParams params;
-  params.pes_per_node = 2;  // PEs {0,1} on one node, {2} on another
-  params.target_occupancy = 0;
-  Fabric fab(tm, NetworkModel(params), 3);
+  NetworkParams params = NetworkParams::two_level(2);
+  // PEs {0,1} on one node, {2} on another.
+  params.link(1).target_occupancy = 0;
+  params.link(2).target_occupancy = 0;
+  Fabric fab(tm, NetworkModel(params, 3), 3);
   std::vector<std::vector<std::byte>> arenas;
   for (int pe = 0; pe < 3; ++pe) {
     arenas.emplace_back(256, std::byte{0});
@@ -577,14 +573,17 @@ TEST(FabricLocality, ChargesByNodeDistance) {
     });
   for (auto& t : ts) t.join();
   EXPECT_LT(intra_cost, inter_cost / 3);
+  // Per-tier op counters split the two AMOs by distance.
+  EXPECT_EQ(fab.stats(0).tier_ops[0], 1u);
+  EXPECT_EQ(fab.stats(0).tier_ops[1], 1u);
 }
 
 TEST(NetworkModelTest, ScaledParamsScaleLatencies) {
   NetworkParams p;
   const NetworkParams d = p.scaled(2.0);
-  EXPECT_EQ(d.amo_latency, p.amo_latency * 2);
-  EXPECT_EQ(d.get_latency, p.get_latency * 2);
-  EXPECT_EQ(d.nbi_delay, p.nbi_delay * 2);
+  EXPECT_EQ(d.link(1).amo_latency, p.link(1).amo_latency * 2);
+  EXPECT_EQ(d.link(1).get_latency, p.link(1).get_latency * 2);
+  EXPECT_EQ(d.link(1).nbi_delay, p.link(1).nbi_delay * 2);
   EXPECT_EQ(d.local_overhead, p.local_overhead) << "local costs unscaled";
 }
 

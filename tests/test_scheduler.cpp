@@ -170,7 +170,7 @@ TEST_P(SchedulerBoth, RoundRobinVictimsAlsoWork) {
   TaskRegistry reg;
   FanOut fan(reg, 4, 2000);
   PoolConfig pc = pcfg(GetParam());
-  pc.victim = VictimPolicy::kRoundRobin;
+  pc.victim.policy = VictimPolicy::kRoundRobin;
   TaskPool pool(rt, reg, pc);
   rt.run([&](pgas::PeContext& ctx) {
     pool.run_pe(ctx, [&](Worker& w) {

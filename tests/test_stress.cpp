@@ -43,13 +43,14 @@ TEST_P(HostileFabric, ZeroLatencyFabric) {
   pgas::RuntimeConfig rcfg;
   rcfg.npes = 4;
   rcfg.heap_bytes = 4 << 20;
-  rcfg.net.amo_latency = 0;
-  rcfg.net.get_latency = 0;
-  rcfg.net.put_latency = 0;
-  rcfg.net.nbi_delay = 0;
+  auto& link = rcfg.net.link(1);
+  link.amo_latency = 0;
+  link.get_latency = 0;
+  link.put_latency = 0;
+  link.nbi_delay = 0;
+  link.target_occupancy = 0;
   rcfg.net.local_overhead = 0;
   rcfg.net.nbi_issue_overhead = 0;
-  rcfg.net.target_occupancy = 0;
   const auto truth = workloads::uts_sequential_count(small_tree());
   EXPECT_EQ(run_uts(rcfg, pcfg(GetParam()), small_tree()), truth.nodes);
 }
@@ -70,7 +71,7 @@ TEST_P(HostileFabric, VeryLateCompletionNotifications) {
   pgas::RuntimeConfig rcfg;
   rcfg.npes = 8;
   rcfg.heap_bytes = 4 << 20;
-  rcfg.net.nbi_delay = 500'000;
+  rcfg.net.link(1).nbi_delay = 500'000;
   const auto truth = workloads::uts_sequential_count(small_tree());
   EXPECT_EQ(run_uts(rcfg, pcfg(GetParam()), small_tree()), truth.nodes);
 }
@@ -79,20 +80,31 @@ TEST_P(HostileFabric, LateCompletionsWithEpochsOff) {
   pgas::RuntimeConfig rcfg;
   rcfg.npes = 8;
   rcfg.heap_bytes = 4 << 20;
-  rcfg.net.nbi_delay = 200'000;
+  rcfg.net.link(1).nbi_delay = 200'000;
   core::PoolConfig pc = pcfg(GetParam());
   pc.sws.epochs = false;  // ignored by SDC
   const auto truth = workloads::uts_sequential_count(small_tree());
   EXPECT_EQ(run_uts(rcfg, pc, small_tree()), truth.nodes);
 }
 
-TEST_P(HostileFabric, TwoLevelFabricWithHierarchicalVictims) {
+TEST_P(HostileFabric, TwoLevelFabricWithTieredVictims) {
   pgas::RuntimeConfig rcfg;
   rcfg.npes = 16;
   rcfg.heap_bytes = 4 << 20;
-  rcfg.net.pes_per_node = 4;
+  rcfg.net = net::NetworkParams::two_level(4);
   core::PoolConfig pc = pcfg(GetParam());
-  pc.victim = core::VictimPolicy::kHierarchical;
+  pc.victim.policy = core::VictimPolicy::kTiered;
+  const auto truth = workloads::uts_sequential_count(small_tree());
+  EXPECT_EQ(run_uts(rcfg, pc, small_tree()), truth.nodes);
+}
+
+TEST_P(HostileFabric, ThreeTierFabricWithDistanceWeightedVictims) {
+  pgas::RuntimeConfig rcfg;
+  rcfg.npes = 16;
+  rcfg.heap_bytes = 4 << 20;
+  rcfg.net = net::NetworkParams::tiered(net::TopologySpec::parse("2x2x4"));
+  core::PoolConfig pc = pcfg(GetParam());
+  pc.victim.policy = core::VictimPolicy::kDistanceWeighted;
   const auto truth = workloads::uts_sequential_count(small_tree());
   EXPECT_EQ(run_uts(rcfg, pc, small_tree()), truth.nodes);
 }
