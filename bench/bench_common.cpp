@@ -130,6 +130,9 @@ ConfigResult run_config(core::QueueKind kind, int npes,
     out.tasks = r.total.tasks_executed;
     out.steals += r.total.steals_ok;
     out.steal_attempts += r.total.steal_attempts;
+    out.reexec_tasks += r.total.tasks_reexecuted;
+    out.rerouted_tasks += r.total.tasks_rerouted;
+    out.deaths += static_cast<std::uint64_t>(rt.fabric().num_dead());
     out.total_compute_ns = r.total.compute_time_ns;
     out.steal_latency.merge(r.total.steal_latency);
   }

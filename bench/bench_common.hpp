@@ -58,6 +58,10 @@ struct ConfigResult {
   std::uint64_t tasks = 0;
   std::uint64_t steals = 0;
   std::uint64_t steal_attempts = 0;
+  // Crash-recovery accounting, summed over reps (zero without a crash plan).
+  std::uint64_t reexec_tasks = 0;    ///< fenced from dead claims and re-run
+  std::uint64_t rerouted_tasks = 0;  ///< inbox pushes re-homed off dead PEs
+  std::uint64_t deaths = 0;          ///< planned crashes that fired
   net::Nanos total_compute_ns = 0;  ///< charged compute (for efficiency)
   LogHistogram steal_latency;       ///< per-steal latency across all reps
 

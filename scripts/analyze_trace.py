@@ -30,12 +30,17 @@ def parse_trace(path):
     run = {
         "protocol": "",
         "npes": 0,
+        "topo": "",
+        "crash_mode": False,
         "truncated": False,
         "spans": [],
         "orphan_begins": 0,
         "orphan_ends": 0,
         "orphan_ops": 0,
         "duration_ns": 0,
+        "deaths_detected": 0,
+        "reroutes": 0,
+        "rerouted_tasks": 0,
     }
     open_spans = {}
 
@@ -48,6 +53,8 @@ def parse_trace(path):
         if name == "sws_run_meta":
             run["protocol"] = args.get("protocol", "")
             run["npes"] = args.get("npes", 0)
+            run["topo"] = args.get("topo", "")
+            run["crash_mode"] = bool(args.get("crashes", 0))
             run["truncated"] = bool(args.get("truncated", 0))
             continue
         run["duration_ns"] = max(run["duration_ns"], ns(ev))
@@ -70,6 +77,7 @@ def parse_trace(path):
                 continue
             span["end_ns"] = ns(ev)
             b = int(args.get("b", 0))
+            span["b_end"] = b
             span["outcome"], span["ntasks"] = b & 0xFF, b >> 8
             run["spans"].append(span)
         elif ph == "X":
@@ -79,18 +87,26 @@ def parse_trace(path):
                 run["orphan_ops"] += 1
                 continue
             span["ops"].append(args.get("op", ""))
+        elif ph == "i":
+            # Crash-recovery instants (docs/resilience.md).
+            if name == "death_detected":
+                run["deaths_detected"] += 1
+            elif name == "rerouted":
+                run["reroutes"] += 1
+                run["rerouted_tasks"] += int(args.get("b", 0))
 
     run["orphan_begins"] += len(open_spans)
     run["spans"].sort(key=lambda s: (s["begin_ns"], s["pe"]))
     return run
 
 
-def check_success(protocol, span):
+def check_success(protocol, span, crash_mode=False):
     """Return a list of Fig 2 shape violations for one successful steal.
 
     Legitimate contention ops are admitted: SWS may lead with one
     empty-mode probe fetch; SDC pays one extra cswap + one probe get per
-    failed lock attempt.
+    failed lock attempt, plus one claim-intent put when the run has a
+    crash-stop FaultPlan armed (docs/resilience.md).
     """
     ops = Counter(span["ops"])
     gets = ops["get"]
@@ -108,17 +124,22 @@ def check_success(protocol, span):
         if sum(ops.values()) != 2 + gets + probes:
             bad.append("unexpected extra ops in SWS steal")
     elif protocol == "sdc":
+        want_puts = 2 if crash_mode else 1
         cswaps = ops["amo_cswap"]
         if cswaps < 1:
             bad.append("expected at least 1 lock cswap")
-        for op, what in (("put", "tail-claim put"), ("amo_set", "unlock set"),
+        if ops["put"] != want_puts:
+            bad.append("expected claim-intent put + tail-claim put (crash "
+                       "mode)" if crash_mode else "expected exactly 1 "
+                       "tail-claim put")
+        for op, what in (("amo_set", "unlock set"),
                          ("nbi_amo_set", "nbi completion set")):
             if ops[op] != 1:
                 bad.append(f"expected exactly 1 {what}")
         if not cswaps + 1 <= gets <= cswaps + 2:
             bad.append("expected 1 probe get per failed lock attempt "
                        "+ metadata get + task-copy get (1 more if wrapped)")
-        if sum(ops.values()) != 3 + cswaps + gets:
+        if sum(ops.values()) != 2 + want_puts + cswaps + gets:
             bad.append("unexpected extra ops in SDC steal")
     return [
         f"{protocol} steal (pe {span['pe']} -> victim {span['victim']}, "
@@ -138,10 +159,21 @@ def analyze(run, window_ns=0):
         "latency": defaultdict(list),
         "releases": 0,
         "acquires": 0,
+        "recovery_spans": 0,
+        "tasks_recovered": 0,
+        "deaths_detected": run["deaths_detected"],
+        "reroutes": run["reroutes"],
+        "rerouted_tasks": run["rerouted_tasks"],
         "violations": [],
         "ops_per_success": 0.0,
         "blocking_per_success": 0.0,
     }
+    # A trace that names its protocol but not its topology is an
+    # incomplete dump; refuse loudly rather than mis-attribute tiers.
+    if run["protocol"] and not run["topo"]:
+        r["violations"].append(
+            "trace meta lacks topo: re-dump with a current writer "
+            "(victim-tier attribution would be silently wrong)")
     window_ns = window_ns or max(run["duration_ns"] // 64, 1000)
     r["window_ns"] = window_ns
     windows = defaultdict(lambda: Counter())
@@ -153,6 +185,10 @@ def analyze(run, window_ns=0):
             continue
         if s["kind"] == "acquire_span":
             r["acquires"] += 1
+            continue
+        if s["kind"] == "recovery":
+            r["recovery_spans"] += 1
+            r["tasks_recovered"] += s.get("b_end", 0)
             continue
         if s["kind"] != "steal":
             continue
@@ -168,7 +204,8 @@ def analyze(run, window_ns=0):
             total_ops += len(s["ops"])
             total_blocking += sum(1 for op in s["ops"] if not op.startswith("nbi_"))
             if run["protocol"] and not run["truncated"]:
-                r["violations"] += check_success(run["protocol"], s)
+                r["violations"] += check_success(run["protocol"], s,
+                                                run["crash_mode"])
         else:
             w["fails"] += 1
             if outcome == "retry":
@@ -183,7 +220,9 @@ def analyze(run, window_ns=0):
     r["churn_windows"] = sum(
         1 for w in windows.values()
         if w["retries"] >= 8 and 2 * w["retries"] >= sum(w.values()) - w["retries"])
-    if not run["truncated"] and (run["orphan_begins"] or run["orphan_ends"]):
+    # Orphaned spans are expected when a PE crashed mid-steal (crash mode).
+    if (not run["truncated"] and not run["crash_mode"]
+            and (run["orphan_begins"] or run["orphan_ends"])):
         r["violations"].append(
             f"orphaned span begin/end in an untruncated trace "
             f"({run['orphan_begins']} begins, {run['orphan_ends']} ends)")
@@ -216,6 +255,13 @@ def report(r):
         print(f"  latency {outcome:6s} {quantiles(r['latency'][outcome])}")
     print(f"pathologies (window={r['window_ns']}ns): "
           f"storms={r['storm_windows']} churn={r['churn_windows']}")
+    if r["deaths_detected"] or r["recovery_spans"] or r["reroutes"]:
+        print(f"recovery summary (crash-stop): "
+              f"deaths_detected={r['deaths_detected']} "
+              f"sweeps={r['recovery_spans']} "
+              f"tasks_reexecuted={r['tasks_recovered']} "
+              f"reroutes={r['reroutes']} "
+              f"tasks_rerouted={r['rerouted_tasks']}")
     for v in r["violations"]:
         print(f"  ! {v}")
 

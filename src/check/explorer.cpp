@@ -21,8 +21,10 @@ std::uint64_t mix_key(std::uint64_t d, std::uint64_t depth) {
 Explorer::Explorer(const Scenario& scenario, ExploreOptions opts)
     : scen_(scenario), opts_(opts), env_(scenario.npes) {
   SWS_CHECK(scen_.make != nullptr, "scenario has no factory");
-  rt_ = std::make_unique<pgas::Runtime>(
-      exploration_runtime_config(scen_.npes, scen_.heap_bytes));
+  pgas::RuntimeConfig rc =
+      exploration_runtime_config(scen_.npes, scen_.heap_bytes);
+  if (scen_.tweak) scen_.tweak(rc);
+  rt_ = std::make_unique<pgas::Runtime>(rc);
   inst_ = scen_.make(*rt_);
   SWS_CHECK(inst_ != nullptr, "scenario factory returned null");
   vt_ = dynamic_cast<net::VirtualTimeModel*>(&rt_->time());

@@ -7,7 +7,13 @@ namespace sws::check {
 void TaskLedger::reset(std::uint64_t nids) {
   pushes_.assign(static_cast<std::size_t>(nids), 0);
   extracts_.assign(static_cast<std::size_t>(nids), 0);
+  loss_ok_.assign(static_cast<std::size_t>(nids), 0);
+  max_mult_ = 1;
   first_violation_.clear();
+}
+
+void TaskLedger::allow_loss(std::uint64_t id) {
+  if (id < loss_ok_.size()) loss_ok_[static_cast<std::size_t>(id)] = 1;
 }
 
 void TaskLedger::flag(std::string msg) {
@@ -19,8 +25,10 @@ void TaskLedger::pushed(std::uint64_t id) {
     flag("ledger: pushed id " + std::to_string(id) + " out of range");
     return;
   }
-  if (pushes_[static_cast<std::size_t>(id)]++ != 0)
-    flag("ledger: id " + std::to_string(id) + " pushed twice");
+  if (pushes_[static_cast<std::size_t>(id)]++ >= max_mult_)
+    flag("ledger: id " + std::to_string(id) + " pushed " +
+         std::to_string(pushes_[static_cast<std::size_t>(id)]) +
+         " times (multiplicity bound " + std::to_string(max_mult_) + ")");
 }
 
 void TaskLedger::extracted(std::uint64_t id) {
@@ -33,15 +41,17 @@ void TaskLedger::extracted(std::uint64_t id) {
          " extracted but never pushed");
     return;
   }
-  if (extracts_[static_cast<std::size_t>(id)]++ != 0)
+  if (extracts_[static_cast<std::size_t>(id)]++ >= max_mult_)
     flag("ledger: task duplicated — id " + std::to_string(id) +
-         " extracted twice");
+         " extracted " +
+         std::to_string(extracts_[static_cast<std::size_t>(id)]) +
+         " times (multiplicity bound " + std::to_string(max_mult_) + ")");
 }
 
 std::string TaskLedger::check_no_loss() const {
   if (!first_violation_.empty()) return first_violation_;
   for (std::size_t id = 0; id < pushes_.size(); ++id) {
-    if (pushes_[id] != 0 && extracts_[id] == 0)
+    if (pushes_[id] != 0 && extracts_[id] == 0 && loss_ok_[id] == 0)
       return "ledger: task lost — id " + std::to_string(id) +
              " pushed but never extracted";
   }

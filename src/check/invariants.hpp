@@ -30,7 +30,17 @@ namespace sws::check {
 class TaskLedger {
  public:
   /// Forget everything and size the ledger for ids [0, nids).
+  /// Multiplicity resets to the crash-free default of 1.
   void reset(std::uint64_t nids);
+
+  /// Crash scenarios: permit each id to be pushed/extracted up to `m`
+  /// times. Crash recovery re-publishes tasks fenced from dead claims, so
+  /// the sound bound is exactly 2 (original + one re-execution); anything
+  /// beyond still flags as duplication.
+  void set_max_multiplicity(std::uint8_t m) { max_mult_ = m; }
+  /// Crash scenarios: id was last in a dead PE's custody — loss is the
+  /// *expected* outcome and check_no_loss() must not flag it.
+  void allow_loss(std::uint64_t id);
 
   /// Record task `id` entering a queue.
   void pushed(std::uint64_t id);
@@ -40,8 +50,9 @@ class TaskLedger {
   /// First eager violation seen so far ("" = none).
   std::string first_violation() const { return first_violation_; }
 
-  /// End-of-run check: every pushed id extracted exactly once.
-  /// Returns "" when the multiset of extractions equals the pushes.
+  /// End-of-run check: every pushed id extracted at least once (exactly
+  /// once under the default multiplicity) unless its loss was allowed.
+  /// Returns "" when the multiset of extractions matches the pushes.
   std::string check_no_loss() const;
 
  private:
@@ -49,6 +60,8 @@ class TaskLedger {
 
   std::vector<std::uint8_t> pushes_;
   std::vector<std::uint8_t> extracts_;
+  std::vector<std::uint8_t> loss_ok_;
+  std::uint8_t max_mult_ = 1;
   std::string first_violation_;
 };
 
@@ -72,6 +85,7 @@ class CheckedTermination final : public core::TerminationDetector {
   void count_completed(pgas::PeContext& ctx, std::uint64_t n) override;
   void task_boundary(pgas::PeContext& ctx) override;
   bool check(pgas::PeContext& ctx) override;
+  void on_exit(pgas::PeContext& ctx) override { inner_->on_exit(ctx); }
 
   /// Violation recorded by the last run ("" = termination was sound).
   std::string violation() const { return violation_; }

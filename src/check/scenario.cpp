@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "core/recovery.hpp"
+#include "net/fabric.hpp"
 #include "core/scheduler.hpp"
 #include "core/sdc_queue.hpp"
 #include "core/sws_queue.hpp"
@@ -57,6 +59,15 @@ void ScenarioEnv::end_explored(pgas::PeContext& ctx) {
   ctx.quiet();
   if (on_end_) on_end_(ctx.pe());
   ctx.barrier();
+}
+
+void ScenarioEnv::end_explored_nobarrier(pgas::PeContext& ctx) {
+  ctx.quiet();
+  if (on_end_) on_end_(ctx.pe());
+}
+
+void ScenarioEnv::pe_died(int pe) {
+  if (on_end_) on_end_(pe);
 }
 
 void ScenarioEnv::step(pgas::PeContext& ctx) {
@@ -271,6 +282,124 @@ class LostUpdate final : public ScenarioInstance {
   pgas::SymPtr word_;
 };
 
+// ------------------------------------------------------ crash scenarios
+
+/// See crash_steal_scenario() in the header for the full protocol sketch.
+/// All synchronization after the crash is crash-safe: no barriers, the
+/// owner paces on its own clock, and the dying PE reports its exit to the
+/// arbiter from the PeKilled handler.
+class CrashSteal final : public ScenarioInstance {
+ public:
+  static constexpr std::uint64_t kTasks = 8;
+  static constexpr int kOwner = 0;
+  static constexpr int kDying = 1;
+
+  CrashSteal(std::unique_ptr<core::TaskQueue> q, pgas::Runtime& rt, int npes)
+      : q_(std::move(q)), npes_(npes) {
+    // Shortened lease so the owner's fence completes well inside the
+    // scenario's bounded wait (production default is 2 ms).
+    core::RecoveryConfig rc;
+    rc.lease_ns = 50'000;
+    rc.probe_backoff_ns = 1'000;
+    registry_.init(rt, rc);
+    q_->attach_recovery(&registry_);
+  }
+
+  std::uint64_t num_ids() const override { return kTasks; }
+  core::TaskQueue* audited_queue() override { return q_.get(); }
+
+  void body(ScenarioEnv& env, pgas::PeContext& ctx) override {
+    q_->reset_pe(ctx);
+    registry_.reset_pe(ctx);
+    ctx.barrier();
+
+    core::Task t;
+    if (ctx.pe() == kOwner) {
+      // At-least-once under recovery: a task fenced off a dead claim is
+      // re-published and surfaces a second time. Anything beyond 2 is a
+      // real duplication bug. Loss stays legal for every id — a claim
+      // whose completion record landed right before the thief died is
+      // dead custody, truncated by design.
+      env.ledger().set_max_multiplicity(2);
+      for (std::uint64_t id = 0; id < kTasks; ++id) {
+        env.require(q_->push_local(ctx, core::Task::of(0, id)),
+                    "setup push failed");
+        env.ledger().pushed(id);
+        env.ledger().allow_loss(id);
+      }
+      env.require(q_->try_release(ctx), "setup release failed");
+    }
+
+    env.begin_explored(ctx);
+    if (ctx.pe() == kDying) {
+      // Steal until the planned crash lands (mid-handshake for most
+      // offsets — fabric ops cost 100 ns here). The guard only bounds a
+      // misconfigured plan; the crash is what normally ends the loop.
+      try {
+        std::vector<core::Task> loot;
+        for (int i = 0; i < 4096; ++i) {
+          loot.clear();
+          q_->steal(ctx, kOwner, loot);
+          for (const auto& s : loot) env.ledger().extracted(id_of(s));
+          env.step(ctx);
+          ctx.compute(200);
+        }
+        env.fail("crash scenario: planned crash never fired on the thief");
+        env.end_explored_nobarrier(ctx);
+      } catch (const net::PeKilled&) {
+        env.pe_died(kDying);
+      }
+      return;
+    }
+
+    if (ctx.pe() == kOwner) {
+      // Work the local end while the thieves race, then wait out the
+      // crash plus one lease and fence the dead thief's open claims.
+      for (int i = 0; i < 120; ++i) {
+        q_->progress(ctx);
+        if (q_->pop_local(ctx, t)) env.ledger().extracted(id_of(t));
+        env.step(ctx);
+        ctx.compute(1'000);
+      }
+      registry_.probe_all(ctx);
+      env.require(registry_.known_dead(kOwner, kDying),
+                  "owner probe missed the planned death");
+      q_->fence_dead(ctx);
+      std::vector<core::Task> rec;
+      q_->take_recovered(ctx, rec);
+      for (const auto& r : rec) env.ledger().extracted(id_of(r));
+      env.step(ctx);
+      // Deterministic drain of everything still queued or shared.
+      for (int guard = 0; guard < 64; ++guard) {
+        q_->progress(ctx);
+        while (q_->pop_local(ctx, t)) env.ledger().extracted(id_of(t));
+        if (!q_->shared_available(ctx)) break;
+        q_->try_acquire(ctx);
+      }
+      env.step(ctx);
+      env.end_explored_nobarrier(ctx);
+      return;
+    }
+
+    // Surviving thief: a bounded burst of steals against the same owner,
+    // interleaving with the dying PE's handshake and the owner's fence.
+    std::vector<core::Task> loot;
+    for (int i = 0; i < 10; ++i) {
+      loot.clear();
+      q_->steal(ctx, kOwner, loot);
+      for (const auto& s : loot) env.ledger().extracted(id_of(s));
+      env.step(ctx);
+      ctx.compute(200);
+    }
+    env.end_explored_nobarrier(ctx);
+  }
+
+ private:
+  std::unique_ptr<core::TaskQueue> q_;
+  core::DeathRegistry registry_;
+  int npes_;
+};
+
 }  // namespace
 
 // --------------------------------------------------------------- factory
@@ -323,6 +452,36 @@ Scenario lost_update_scenario(int npes) {
   s.npes = npes;
   s.make = [](pgas::Runtime& rt) -> std::unique_ptr<ScenarioInstance> {
     return std::make_unique<LostUpdate>(rt);
+  };
+  return s;
+}
+
+Scenario crash_steal_scenario(core::QueueKind kind,
+                              net::Nanos crash_offset_ns, int npes) {
+  Scenario s;
+  s.name = std::string(kind == core::QueueKind::kSws ? "sws" : "sdc") +
+           "-crash-steal+" + std::to_string(crash_offset_ns);
+  s.npes = npes;
+  s.make = [kind, npes](pgas::Runtime& rt)
+      -> std::unique_ptr<ScenarioInstance> {
+    std::unique_ptr<core::TaskQueue> q;
+    if (kind == core::QueueKind::kSws)
+      q = std::make_unique<core::SwsQueue>(rt, core::QueueConfig{64, 32});
+    else
+      q = std::make_unique<core::SdcQueue>(rt, core::QueueConfig{64, 32});
+    return std::make_unique<CrashSteal>(std::move(q), rt, npes);
+  };
+  s.tweak = [crash_offset_ns](pgas::RuntimeConfig& rc) {
+    // Nonzero op costs so the crash instant can fall between the ops of
+    // one steal handshake — sweeping the offset in ~100 ns steps lands
+    // the death at each protocol stage. Ties still abound (the thieves
+    // run identical op sequences), so the arbiter keeps real choices.
+    auto& l = rc.net.link(1);
+    l.amo_latency = 100;
+    l.get_latency = 100;
+    l.put_latency = 100;
+    rc.net.faults.crashes.push_back(
+        {CrashSteal::kDying, kExploreEpochNs + crash_offset_ns});
   };
   return s;
 }

@@ -71,6 +71,11 @@ struct Scenario {
   int npes = 2;
   std::size_t heap_bytes = std::size_t{2} << 20;
   std::function<std::unique_ptr<ScenarioInstance>(pgas::Runtime&)> make;
+  /// Optional adjustment of the exploration runtime config before the
+  /// Runtime is built — crash scenarios arm a FaultPlan and give fabric
+  /// ops a small nonzero cost so a planned crash can land *inside* a
+  /// multi-op handshake rather than only between handshakes.
+  std::function<void(pgas::RuntimeConfig&)> tweak;
 };
 
 /// Per-run services handed to scenario scripts: the exploration window
@@ -90,6 +95,12 @@ class ScenarioEnv {
   /// Collective: complete outstanding nbi ops, tell the arbiter this PE's
   /// script is done (all done => stop branching), then barrier.
   void end_explored(pgas::PeContext& ctx);
+  /// Crash scenarios: as end_explored but without the barrier — survivors
+  /// of a planned crash cannot rendezvous with the dead.
+  void end_explored_nobarrier(pgas::PeContext& ctx);
+  /// Crash scenarios: the planned crash killed `pe`. Counts the PE as
+  /// ended for the arbiter; issues no fabric ops (the dead cannot).
+  void pe_died(int pe);
 
   /// Audit point between protocol ops: runs the instance queue's audit for
   /// the calling PE and folds in eager ledger violations.
@@ -133,5 +144,16 @@ Scenario token_termination_scenario(int npes = 2);
 /// protocol the explorer must be able to catch. Self-test for the
 /// find → replay → shrink machinery.
 Scenario lost_update_scenario(int npes = 2);
+
+/// Crash-recovery exercise: PE 0 owns a released allotment, PE 1 and PE 2
+/// steal from it, and a planned crash kills PE 1 at explore-epoch +
+/// `crash_offset_ns` — with 100 ns fabric ops, sweeping the offset lands
+/// the death at every stage of the steal handshake. The owner waits out a
+/// (shortened) lease, fences the dead thief's claims, and re-publishes
+/// them; the ledger asserts the at-least-once multiplicity bound (<= 2)
+/// and the queue audit runs at every step. Loss is allowed — a task whose
+/// claim completed just before the thief died is dead custody by design.
+Scenario crash_steal_scenario(core::QueueKind kind,
+                              net::Nanos crash_offset_ns, int npes = 3);
 
 }  // namespace sws::check

@@ -53,6 +53,13 @@ class CompletionSpace {
   /// Owner side: zero an epoch's slots before reuse (acquire re-init).
   void clear_epoch(pgas::PeContext& owner, std::uint32_t epoch) const;
 
+  /// Owner side, crash recovery only: locally mark a block finished in
+  /// place of a thief that died before its notify_finished could land.
+  /// The owner re-publishes the block's tasks itself (SwsQueue fence), so
+  /// the reclaim prefix must be allowed to complete.
+  void force_finished(pgas::PeContext& owner, std::uint32_t epoch,
+                      std::uint32_t idx, std::uint32_t ntasks) const;
+
  private:
   pgas::SymPtr base_;
 };

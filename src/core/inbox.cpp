@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "core/recovery.hpp"
 
 namespace sws::core {
 
@@ -13,7 +14,8 @@ TaskInbox::TaskInbox(pgas::Runtime& rt, std::uint32_t capacity,
           kSlotsOff + static_cast<std::size_t>(capacity) * (8 + slot_bytes),
           64)),
       capacity_(capacity),
-      slot_bytes_(slot_bytes) {
+      slot_bytes_(slot_bytes),
+      ledgers_(static_cast<std::size_t>(rt.npes())) {
   SWS_CHECK(capacity > 0, "inbox capacity must be positive");
   SWS_CHECK(slot_bytes >= kTaskHeaderBytes, "inbox slot too small");
   SWS_CHECK(slot_bytes % 8 == 0, "inbox slot size must be 8-byte aligned");
@@ -23,6 +25,8 @@ void TaskInbox::reset_pe(pgas::PeContext& ctx) {
   std::memset(ctx.local(base_), 0,
               kSlotsOff +
                   static_cast<std::size_t>(capacity_) * (8 + slot_bytes_));
+  auto& ledger = ledgers_[static_cast<std::size_t>(ctx.pe())];
+  ledger.per_target.assign(static_cast<std::size_t>(ctx.npes()), {});
 }
 
 bool TaskInbox::remote_push(pgas::PeContext& sender, int target,
@@ -31,12 +35,20 @@ bool TaskInbox::remote_push(pgas::PeContext& sender, int target,
   // Bounded reservation: CAS the reserve cursor only while the ring has
   // room. The drained cursor read may be stale, which can only make us
   // refuse — never overrun.
+  const bool crash_mode = fab.crashes_planned() && recovery_ != nullptr;
   std::uint64_t seq;
+  std::uint64_t drained;
   for (;;) {
     const std::uint64_t reserve =
         fab.amo_fetch(sender.pe(), target, base_.off + kReserveOff);
-    const std::uint64_t drained =
-        fab.amo_fetch(sender.pe(), target, base_.off + kDrainedOff);
+    drained = fab.amo_fetch(sender.pe(), target, base_.off + kDrainedOff);
+    if (crash_mode && (reserve == net::kDeadFetchValue ||
+                       drained == net::kDeadFetchValue)) {
+      // Poisoned cursor: the target died. Record the death and let the
+      // caller run the task locally.
+      recovery_->note_dead(sender.pe(), target);
+      return false;
+    }
     if (reserve - drained >= capacity_) return false;  // full
     if (fab.amo_compare_swap(sender.pe(), target, base_.off + kReserveOff,
                              reserve, reserve + 1) == reserve) {
@@ -52,7 +64,31 @@ bool TaskInbox::remote_push(pgas::PeContext& sender, int target,
   t.serialize(staged.data(), slot_bytes_);
   sender.put(target, base_, slot_off(seq) + 8, staged.data(), slot_bytes_);
   fab.amo_set(sender.pe(), target, base_.off + slot_off(seq), seq + 1);
+
+  if (crash_mode) {
+    // Ledger the push and prune everything the drained cursor we just read
+    // proves consumed. The cursor predates our own push, so our entry can
+    // never be pruned by its own read.
+    auto& row = ledgers_[static_cast<std::size_t>(sender.pe())]
+                    .per_target[static_cast<std::size_t>(target)];
+    while (!row.empty() && row.front().first < drained) row.pop_front();
+    row.emplace_back(seq, t);
+  }
   return true;
+}
+
+std::uint32_t TaskInbox::reroute_dead(pgas::PeContext& sender, int target,
+                                      std::vector<Task>& out) {
+  auto& row = ledgers_[static_cast<std::size_t>(sender.pe())]
+                  .per_target[static_cast<std::size_t>(target)];
+  std::uint32_t n = 0;
+  for (auto& [seq, task] : row) {
+    (void)seq;
+    out.push_back(task);
+    ++n;
+  }
+  row.clear();
+  return n;
 }
 
 std::uint32_t TaskInbox::drain(pgas::PeContext& owner,

@@ -14,15 +14,29 @@
 //   +16  slots     per slot: [u64 tag][slot_bytes task payload]
 // A slot with tag == seq+1 holds the task for sequence `seq`; tag 0 is
 // empty. Tags are full sequence numbers, so ring reuse can't ABA.
+//
+// Crash mode (a FaultPlan with crashes armed): each sender additionally
+// keeps a host-side ledger of tasks it pushed, per target, pruned by the
+// drained cursor it reads during every push anyway. If the target dies,
+// the unpruned suffix is exactly the set of pushed tasks the target may
+// never have drained; reroute_dead() hands them back for local
+// re-execution. A task the target drained *and ran* just before dying can
+// be rerouted too — execution is at-least-once with multiplicity <= 2,
+// bounded to this reroute window (docs/resilience.md).
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "core/task.hpp"
 #include "pgas/runtime.hpp"
 
 namespace sws::core {
+
+class DeathRegistry;
 
 class TaskInbox {
  public:
@@ -47,6 +61,17 @@ class TaskInbox {
   /// senders may be mid-publish).
   bool looks_empty(pgas::PeContext& owner) const;
 
+  /// Install the pool's death registry; enables the sender-side ledger
+  /// (only consulted when the fabric has crashes armed). Null detaches.
+  void attach_recovery(DeathRegistry* registry) { recovery_ = registry; }
+
+  /// Crash mode: move every ledgered task sent to (now known-dead)
+  /// `target` and not observed drained into `out`; returns the count.
+  /// These were already counted created by this sender — re-spawn them
+  /// without recounting.
+  std::uint32_t reroute_dead(pgas::PeContext& sender, int target,
+                             std::vector<Task>& out);
+
  private:
   static constexpr std::uint64_t kReserveOff = 0;
   static constexpr std::uint64_t kDrainedOff = 8;
@@ -56,9 +81,17 @@ class TaskInbox {
     return kSlotsOff + (seq % capacity_) * (8 + slot_bytes_);
   }
 
+  /// Host-side send ledger, one row per sender PE (crash mode only):
+  /// per-target queues of {seq, task} pushed and not yet seen drained.
+  struct alignas(64) SenderLedger {
+    std::vector<std::deque<std::pair<std::uint64_t, Task>>> per_target;
+  };
+
   pgas::SymPtr base_;
   std::uint32_t capacity_;
   std::uint32_t slot_bytes_;
+  std::vector<SenderLedger> ledgers_;
+  DeathRegistry* recovery_ = nullptr;
 };
 
 }  // namespace sws::core

@@ -28,6 +28,10 @@ struct WorkerStats {
   net::Nanos term_check_ns = 0;      ///< time in termination detection
   net::Nanos compute_time_ns = 0;    ///< task bodies (charged compute)
   net::Nanos run_time_ns = 0;        ///< this PE's whole-run time
+  // Crash-recovery accounting (zero in crash-free runs).
+  std::uint64_t tasks_reexecuted = 0;  ///< fenced from dead claims, re-run
+  std::uint64_t tasks_rerouted = 0;    ///< inbox pushes redirected from dead
+  std::uint64_t deaths_witnessed = 0;  ///< kDeathDetected events on this PE
   /// Per-successful-steal latency distribution (ns, log2 buckets) — the
   /// tail view behind the Fig 6/7e/8e means.
   LogHistogram steal_latency;
@@ -47,6 +51,9 @@ struct WorkerStats {
     term_check_ns += o.term_check_ns;
     compute_time_ns += o.compute_time_ns;
     run_time_ns = run_time_ns > o.run_time_ns ? run_time_ns : o.run_time_ns;
+    tasks_reexecuted += o.tasks_reexecuted;
+    tasks_rerouted += o.tasks_rerouted;
+    deaths_witnessed += o.deaths_witnessed;
     steal_latency.merge(o.steal_latency);
   }
 };

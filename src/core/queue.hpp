@@ -18,6 +18,8 @@
 
 namespace sws::core {
 
+class DeathRegistry;
+
 enum class QueueKind { kSdc, kSws };
 
 /// Ring geometry shared by every queue implementation. One definition —
@@ -32,6 +34,7 @@ enum class StealOutcome {
   kSuccess,   ///< tasks claimed and copied
   kEmpty,     ///< victim had no stealable work
   kRetry,     ///< victim busy/locked; worth trying again later
+  kPeerDead,  ///< victim crashed: remove it from the victim set for good
 };
 
 struct StealResult {
@@ -56,6 +59,9 @@ struct QueueOpStats {
   std::uint64_t damping_probes = 0;   ///< SWS empty-mode read-only probes
   std::uint64_t renews = 0;           ///< SWS owner-forced allotment renewals
                                       ///< (asteals wraparound protection)
+  std::uint64_t steals_dead = 0;      ///< steal attempts against crashed PEs
+  std::uint64_t leases_broken = 0;    ///< dead peers' claims/locks fenced off
+  std::uint64_t tasks_recovered = 0;  ///< tasks re-published after a death
 
   void merge(const QueueOpStats& o) noexcept {
     releases += o.releases;
@@ -67,6 +73,9 @@ struct QueueOpStats {
     tasks_stolen += o.tasks_stolen;
     damping_probes += o.damping_probes;
     renews += o.renews;
+    steals_dead += o.steals_dead;
+    leases_broken += o.leases_broken;
+    tasks_recovered += o.tasks_recovered;
   }
 };
 
@@ -109,6 +118,32 @@ class TaskQueue {
   /// Attempt to steal from `victim`; stolen tasks are appended to `out`.
   virtual StealResult steal(pgas::PeContext& thief, int victim,
                             std::vector<Task>& out) = 0;
+
+  // --- crash recovery ----------------------------------------------------
+  /// Attach the pool's death registry (crash-mode runs only; see
+  /// core/recovery.hpp). Queues record deaths they discover through
+  /// poison verdicts and consult the registry before breaking a dead
+  /// peer's leases. Null detaches. Install before the PEs run.
+  virtual void attach_recovery(DeathRegistry* registry) { (void)registry; }
+
+  /// Drain tasks the owner fenced off from a dead thief's unfinished
+  /// claims into `out` (appended); returns the count. The scheduler
+  /// re-publishes them for re-execution — at-least-once semantics.
+  virtual std::uint32_t take_recovered(pgas::PeContext& ctx,
+                                       std::vector<Task>& out) {
+    (void)ctx;
+    (void)out;
+    return 0;
+  }
+
+  /// Owner-side recovery sweep, called by the scheduler (at lease cadence,
+  /// from an otherwise-idle PE) once it has witnessed at least one death:
+  /// break any lock or claim a dead peer still holds on *this* PE's queue
+  /// and move the fenced tasks to the recovered set. The blocking wait
+  /// loops inside the queues fence on their own; this hook covers stalls
+  /// those loops never reach (a dead claim on a live SWS allotment, a dead
+  /// SDC lock holder the owner never contends with).
+  virtual void fence_dead(pgas::PeContext& ctx) { (void)ctx; }
 
   // --- introspection -----------------------------------------------------
   virtual const QueueOpStats& op_stats(int pe) const = 0;

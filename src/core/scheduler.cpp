@@ -26,7 +26,10 @@ void Worker::spawn(const Task& t) {
 }
 
 void Worker::spawn_on(int target, const Task& t) {
-  if (target == pe() || !pool_.inbox_) {
+  if (target == pe() || !pool_.inbox_ ||
+      (pool_.recovery_ && pool_.recovery_->known_dead(pe(), target))) {
+    // No inbox, self-target, or a target we know is dead: spawn here.
+    // Tasks are location-independent, so local execution is always legal.
     spawn(t);
     return;
   }
@@ -49,6 +52,12 @@ void Worker::spawn_on(int target, const Task& t) {
   // Scioto model (tasks are location-independent).
   for (int attempt = 0; attempt < 8; ++attempt) {
     if (pool_.inbox_->remote_push(ctx_, target, t)) return;
+    if (pool_.recovery_ && pool_.recovery_->known_dead(pe(), target)) {
+      // The push failed because the target died (poisoned inbox cursor,
+      // noted by remote_push). Run the task here instead.
+      execute(t);
+      return;
+    }
     ctx_.compute(pool_.cfg_.steal.backoff_min_ns);
   }
   SWS_WARN("PE " << pe() << ": inbox of PE " << target
@@ -91,6 +100,18 @@ TaskPool::TaskPool(pgas::Runtime& rt, TaskRegistry& registry, PoolConfig cfg)
   if (cfg_.remote_spawn)
     inbox_ = std::make_unique<TaskInbox>(rt, cfg_.inbox_capacity,
                                          cfg_.queue.slot_bytes);
+  if (rt.fabric().crashes_planned()) {
+    // Crash mode: wire every layer to the shared death registry and swap
+    // the termination protocol for the crash-tolerant idle-wave consensus
+    // (both base detectors hang once a PE dies). None of this exists in a
+    // crash-free pool — those runs stay byte-identical to older builds.
+    recovery_ = std::make_unique<DeathRegistry>();
+    recovery_->init(rt, RecoveryConfig{});
+    queue_->attach_recovery(recovery_.get());
+    if (inbox_) inbox_->attach_recovery(recovery_.get());
+    term_ = std::make_unique<ResilientTermination>(rt, std::move(term_),
+                                                   recovery_.get());
+  }
   if (cfg_.trace.enable) {
     tracer_ = Tracer(rt.npes(), cfg_.trace.events);
     // Every fabric op issued under a nonzero span becomes a child event
@@ -122,6 +143,21 @@ std::uint32_t TaskPool::drain_inbox(Worker& w) {
   return n;
 }
 
+std::uint32_t TaskPool::drain_recovered(Worker& w) {
+  std::vector<Task> rec;
+  const std::uint32_t n = queue_->take_recovered(w.ctx(), rec);
+  if (n == 0) return 0;
+  // These were fenced from a dead thief's open claim: counted created when
+  // first spawned, never completed. Re-publish without recounting;
+  // execution is at-least-once with bounded multiplicity
+  // (docs/resilience.md).
+  w.stats_.tasks_reexecuted += n;
+  for (const Task& t : rec) {
+    if (!queue_->push_local(w.ctx(), t)) w.execute(t);
+  }
+  return n;
+}
+
 WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
                              const std::function<void(Worker&)>& seed) {
   Worker w(*this, ctx);
@@ -129,6 +165,7 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
   queue_->reset_pe(ctx);
   term_->reset_pe(ctx);
   if (inbox_) inbox_->reset_pe(ctx);
+  if (recovery_) recovery_->reset_pe(ctx);
   if (ctx.pe() == 0) tracer_.clear();
   ctx.barrier();
 
@@ -151,6 +188,28 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
   std::vector<Task> loot;
   Task t;
 
+  // Crash-mode state. A plan with no crashes never constructs any of the
+  // machinery, so crash-free runs take none of these branches.
+  const bool crash_mode = recovery_ != nullptr;
+  net::Nanos last_fence = 0;
+  std::vector<char> death_traced;   ///< kDeathDetected emitted for PE i
+  std::vector<char> inbox_rerouted; ///< ledger drained for dead PE i
+  if (crash_mode) {
+    death_traced.assign(static_cast<std::size_t>(ctx.npes()), 0);
+    inbox_rerouted.assign(static_cast<std::size_t>(ctx.npes()), 0);
+  }
+  const auto trace_new_deaths = [&]() {
+    if (!crash_mode || !tracer_.enabled()) return;
+    for (int p = 0; p < ctx.npes(); ++p) {
+      if (death_traced[static_cast<std::size_t>(p)] ||
+          !recovery_->known_dead(ctx.pe(), p))
+        continue;
+      death_traced[static_cast<std::size_t>(p)] = 1;
+      tracer_.record(ctx.pe(), ctx.now(), TraceKind::kDeathDetected,
+                     static_cast<std::uint64_t>(p));
+    }
+  };
+
   // Span ids are unique per (PE, run): high bits name the PE, low bits
   // count this PE's spans. Restarting per run is fine — the tracer is
   // cleared above.
@@ -163,6 +222,9 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
   while (!done) {
     queue_->progress(ctx);
     drain_inbox(w);
+    // Owner-side fencing inside queue wait loops can surface recovered
+    // tasks at any progress point; fold them back in before working.
+    if (crash_mode) drain_recovered(w);
 
     // Release: shared portion exhausted but local work remains (paper §3).
     if (!queue_->shared_available(ctx) &&
@@ -221,12 +283,72 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
       // Remotely-spawned tasks may land while we search.
       if (drain_inbox(w) > 0) break;
 
+      if (crash_mode && recovery_->known_count(ctx.pe()) > 0) {
+        trace_new_deaths();
+        // Lease-paced recovery sweep: break orphaned locks / fence dead
+        // claims in the queue, and re-route ledgered inbox pushes whose
+        // target died. Paced so a pack of idle searchers doesn't hammer
+        // the same dead peer's state every attempt.
+        if (ctx.now() - last_fence >= recovery_->config().lease_ns) {
+          last_fence = ctx.now();
+          std::uint64_t span = 0;
+          if (tracer_.enabled()) {
+            span = next_span();
+            tracer_.begin(ctx.pe(), ctx.now(), TraceKind::kRecoverySpan,
+                          span);
+            ctx.fabric().set_span(ctx.pe(), span);
+          }
+          queue_->fence_dead(ctx);
+          std::uint32_t recovered = drain_recovered(w);
+          if (inbox_) {
+            for (int p = 0; p < ctx.npes(); ++p) {
+              if (inbox_rerouted[static_cast<std::size_t>(p)] ||
+                  !recovery_->known_dead(ctx.pe(), p))
+                continue;
+              inbox_rerouted[static_cast<std::size_t>(p)] = 1;
+              loot.clear();
+              const std::uint32_t n = inbox_->reroute_dead(ctx, p, loot);
+              if (n == 0) continue;
+              w.stats_.tasks_rerouted += n;
+              recovered += n;
+              if (tracer_.enabled())
+                tracer_.record(ctx.pe(), ctx.now(), TraceKind::kRerouted,
+                               static_cast<std::uint64_t>(p), n);
+              // Already counted created at the original spawn_on.
+              for (const Task& rr : loot) {
+                if (!queue_->push_local(ctx, rr)) w.execute(rr);
+              }
+            }
+          }
+          if (tracer_.enabled()) {
+            ctx.fabric().set_span(ctx.pe(), 0);
+            tracer_.end(ctx.pe(), ctx.now(), TraceKind::kRecoverySpan, span,
+                        recovered);
+          }
+          if (recovered > 0 || queue_->local_count(ctx) > 0)
+            break;  // recovered work to process
+        }
+      }
+
       bool fast = false;
       net::Nanos hint = 0;
+      int victim = -1;
       if (ctx.npes() > 1) {
+        victim = victims->next();
+        if (crash_mode && recovery_->known_count(ctx.pe()) > 0) {
+          // Dead victims stay inside the selector — its draw sequence must
+          // not depend on when deaths were learned — so resample around
+          // them, bounded by npes draws.
+          int tries = 0;
+          while (recovery_->known_dead(ctx.pe(), victim) &&
+                 ++tries <= ctx.npes())
+            victim = victims->next();
+          if (recovery_->known_dead(ctx.pe(), victim)) victim = -1;
+        }
+      }
+      if (victim >= 0) {
         const net::Nanos t0 = ctx.now();
         loot.clear();
-        const int victim = victims->next();
         const net::Tier vtier = netm.tier(ctx.pe(), victim);
         std::uint64_t span = 0;
         if (tracer_.enabled()) {
@@ -319,10 +441,27 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
     tracer_.record(ctx.pe(), ctx.now(), TraceKind::kTerminated);
 
   w.stats_.run_time_ns = ctx.now() - t_start;
-  ctx.quiet();  // complete our in-flight completion notifications
-  ctx.barrier();
-  // After everyone's quiet + the barrier, no nbi op of ours may remain —
-  // a leak here would carry a stale completion into the next run.
+  if (crash_mode) {
+    // Survivor teardown. A crash scheduled for after termination must not
+    // fire during it, and the dead cannot join a barrier — so disarm our
+    // own crash, gossip the done flag (a coordinator that died
+    // mid-broadcast cannot strand anyone), settle our nbi ops, and drain
+    // every effect still inbound to us instead of rendezvousing.
+    ctx.fabric().disarm_crash(ctx.pe());
+    trace_new_deaths();
+    w.stats_.deaths_witnessed =
+        static_cast<std::uint64_t>(recovery_->known_count(ctx.pe()));
+    term_->on_exit(ctx);
+    ctx.quiet();
+    while (ctx.fabric().pending_to(ctx.pe()) > 0)
+      ctx.compute(recovery_->config().probe_backoff_ns);
+  } else {
+    ctx.quiet();  // complete our in-flight completion notifications
+    ctx.barrier();
+  }
+  // After everyone's quiet (+ the barrier, crash-free), no nbi op of ours
+  // may remain — a leak here would carry a stale completion into the next
+  // run.
   SWS_ASSERT_MSG(ctx.fabric().pending(ctx.pe()) == 0,
                  "nbi ops still pending after pool teardown quiet");
 
@@ -336,6 +475,7 @@ void TaskPool::dump_trace_json(std::ostream& os) const {
   meta.npes = rt_.npes();
   meta.slot_bytes = cfg_.queue.slot_bytes;
   meta.topo = rt_.fabric().model().topology().spec().to_string();
+  meta.crashes = rt_.fabric().crashes_planned();
   tracer_.dump_chrome_json(os, meta);
 }
 
@@ -407,6 +547,23 @@ void TaskPool::publish_metrics(obs::MetricsRegistry& reg) const {
             [](const QueueOpStats& s) { return s.damping_probes; });
   set_queue("queue.renews", "SWS owner-forced allotment renewals",
             [](const QueueOpStats& s) { return s.renews; });
+
+  // Crash-recovery series exist only for crash-mode pools, keeping
+  // crash-free metric dumps identical to older builds.
+  if (recovery_) {
+    set_worker("pool.reexec_tasks", "tasks fenced from dead claims, re-run",
+               [](const WorkerStats& s) { return s.tasks_reexecuted; });
+    set_worker("pool.rerouted_tasks", "inbox pushes re-routed from dead PEs",
+               [](const WorkerStats& s) { return s.tasks_rerouted; });
+    set_worker("runtime.recoveries", "deaths this PE witnessed and recovered around",
+               [](const WorkerStats& s) { return s.deaths_witnessed; });
+    set_queue("queue.steals_dead", "steal attempts answered by a dead PE",
+              [](const QueueOpStats& s) { return s.steals_dead; });
+    set_queue("queue.leases_broken", "dead peers' leases/locks broken",
+              [](const QueueOpStats& s) { return s.leases_broken; });
+    set_queue("queue.tasks_recovered", "tasks fenced off dead thieves' claims",
+              [](const QueueOpStats& s) { return s.tasks_recovered; });
+  }
 }
 
 PoolRunReport TaskPool::report() const { return aggregate_reports(last_stats_); }

@@ -22,6 +22,7 @@
 #include "core/inbox.hpp"
 #include "core/pool_stats.hpp"
 #include "core/queue.hpp"
+#include "core/recovery.hpp"
 #include "core/sdc_queue.hpp"
 #include "core/sws_queue.hpp"
 #include "core/task_registry.hpp"
@@ -151,12 +152,19 @@ class TaskPool {
   void publish_metrics(obs::MetricsRegistry& reg) const;
   /// Null when remote_spawn is disabled.
   TaskInbox* inbox() noexcept { return inbox_.get(); }
+  /// Null unless the runtime's fault plan schedules crashes. When present,
+  /// the pool runs in crash mode: queue/inbox recovery hooks are attached
+  /// and the termination detector is wrapped in ResilientTermination.
+  DeathRegistry* recovery() noexcept { return recovery_.get(); }
 
  private:
   friend class Worker;
 
   /// Drain the inbox into the local queue; returns tasks moved.
   std::uint32_t drain_inbox(Worker& w);
+  /// Crash mode: pull tasks the queue fenced off dead thieves' claims and
+  /// re-publish them locally (already counted created — no recount).
+  std::uint32_t drain_recovered(Worker& w);
 
   pgas::Runtime& rt_;
   TaskRegistry& registry_;
@@ -164,6 +172,7 @@ class TaskPool {
   std::unique_ptr<TaskQueue> queue_;
   std::unique_ptr<TerminationDetector> term_;
   std::unique_ptr<TaskInbox> inbox_;
+  std::unique_ptr<DeathRegistry> recovery_;  ///< crash-mode runs only
   Tracer tracer_;
   std::vector<WorkerStats> last_stats_;
 };

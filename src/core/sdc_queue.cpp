@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "core/recovery.hpp"
 
 namespace sws::core {
 
@@ -12,19 +13,22 @@ SdcQueue::SdcQueue(pgas::Runtime& rt, const QueueConfig& queue, SdcConfig cfg)
     : qcfg_(queue),
       cfg_(cfg),
       meta_(rt.heap().alloc(
-          kRingOff + sizeof(std::uint64_t) * cfg.completion_ring, 64)),
+          kRingOff + sizeof(std::uint64_t) * cfg.completion_ring * 2, 64)),
       buffer_(rt.heap(), queue.capacity, queue.slot_bytes),
       owners_(static_cast<std::size_t>(rt.npes())) {
   SWS_CHECK(cfg.completion_ring > 0, "completion ring must be non-empty");
   SWS_CHECK(queue.capacity <= kCountMask,
             "capacity exceeds the completion-record count field");
+  if (rt.config().net.faults.crashes_enabled())
+    SWS_CHECK(rt.npes() <= 256,
+              "crash recovery packs the thief PE into 8 intent-record bits");
 }
 
 void SdcQueue::reset_pe(pgas::PeContext& ctx) {
   auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
   o = OwnerState{};
   std::memset(ctx.local(meta_), 0,
-              kRingOff + sizeof(std::uint64_t) * cfg_.completion_ring);
+              kRingOff + sizeof(std::uint64_t) * cfg_.completion_ring * 2);
 }
 
 std::uint64_t SdcQueue::owner_tail(pgas::PeContext& ctx) const {
@@ -83,8 +87,20 @@ bool SdcQueue::try_release(pgas::PeContext& ctx) {
 void SdcQueue::lock_own(pgas::PeContext& ctx) {
   // Owner competes for its own spinlock against thieves.
   const auto want = static_cast<std::uint64_t>(ctx.pe()) + 1;
+  const bool crash_mode =
+      ctx.fabric().crashes_planned() && recovery_ != nullptr;
+  net::Nanos lease_start = crash_mode ? ctx.now() : 0;
   while (ctx.fabric().amo_compare_swap(ctx.pe(), ctx.pe(),
                                        meta_.off + kLockOff, 0, want) != 0) {
+    if (crash_mode &&
+        ctx.now() - lease_start >= recovery_->config().lease_ns) {
+      // A live thief holds the lock for microseconds; spinning a whole
+      // lease means the holder is suspect. Probe it and break the lock if
+      // it is dead, otherwise keep waiting.
+      break_dead_lock(ctx);
+      lease_start = ctx.now();
+      continue;
+    }
     ctx.compute(cfg_.lock_backoff_ns);
   }
 }
@@ -118,6 +134,47 @@ bool SdcQueue::try_acquire(pgas::PeContext& ctx) {
 
 void SdcQueue::progress(pgas::PeContext& ctx) {
   auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
+  drain_completions(ctx);
+  if (!ctx.fabric().crashes_planned() || recovery_ == nullptr) return;
+
+  // Crash mode: watch for the two stalls only a death can cause.
+  const net::Nanos now = ctx.now();
+  const net::Nanos lease = recovery_->config().lease_ns;
+
+  // (a) Reclaim wedged on an open claim. A live claimant completes in
+  // microseconds, so a head claim open for a lease — or a claim backlog
+  // deep enough to threaten completion-ring wraparound — triggers
+  // reconciliation, which probes the claimant and fences it iff dead.
+  const std::uint64_t cur_seq = ctx.local_load(meta_.plus(kSeqOff));
+  if (o.reclaim_seq < cur_seq) {
+    if (o.stall_seq != o.reclaim_seq) {
+      o.stall_seq = o.reclaim_seq;
+      o.stall_since = now;
+    } else if (now - o.stall_since >= lease ||
+               cur_seq - o.reclaim_seq > cfg_.completion_ring / 2) {
+      if (reconcile_dead_claims(ctx) > 0) drain_completions(ctx);
+      o.stall_seq = o.reclaim_seq;
+      o.stall_since = ctx.now();
+    }
+  }
+
+  // (b) Our lock held by the same peer for a whole lease (a dead holder
+  // would otherwise freeze stealing from this queue forever — the owner
+  // itself only contends in try_acquire).
+  const std::uint64_t holder = ctx.local_load(meta_.plus(kLockOff));
+  if (holder == 0 || holder == static_cast<std::uint64_t>(ctx.pe()) + 1) {
+    o.lock_holder = 0;
+  } else if (holder != o.lock_holder) {
+    o.lock_holder = holder;
+    o.lock_since = now;
+  } else if (now - o.lock_since >= lease) {
+    break_dead_lock(ctx);
+    o.lock_holder = 0;
+  }
+}
+
+void SdcQueue::drain_completions(pgas::PeContext& ctx) {
+  auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
   // Drain the deferred-copy ring in claim order; each finished slot frees
   // its block of ring space. Records are sequence-tagged, so reclaim is
   // monotone even when the fabric duplicates or delays completion AMOs.
@@ -144,6 +201,87 @@ void SdcQueue::progress(pgas::PeContext& ctx) {
   }
 }
 
+bool SdcQueue::break_dead_lock(pgas::PeContext& ctx) {
+  auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
+  const std::uint64_t holder = ctx.local_load(meta_.plus(kLockOff));
+  if (holder == 0 || holder == static_cast<std::uint64_t>(ctx.pe()) + 1)
+    return false;
+  const int pe = static_cast<int>(holder - 1);
+  if (!recovery_->known_dead(ctx.pe(), pe) && !recovery_->probe(ctx, pe))
+    return false;
+  // Only the holder could release the word and it is dead, and thieves
+  // only CAS 0 -> want, so this CAS races nothing: it either frees the
+  // lock or the word already changed (impossible once the holder died,
+  // but a failed CAS is still just "nothing broken").
+  if (ctx.fabric().amo_compare_swap(ctx.pe(), ctx.pe(), meta_.off + kLockOff,
+                                    holder, 0) != holder)
+    return false;
+  ++o.stats.leases_broken;
+  return true;
+}
+
+std::uint32_t SdcQueue::reconcile_dead_claims(pgas::PeContext& ctx) {
+  auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
+  // Freeze the metadata (no new claims), then let every effect already in
+  // flight toward us land: a live claimant's completion may be the very
+  // record we are about to misread as missing. Claims from peers that
+  // died are not in flight — the fabric dropped them at crash time.
+  lock_own(ctx);
+  while (ctx.fabric().pending_to(ctx.pe()) > 0)
+    ctx.compute(cfg_.lock_backoff_ns);
+  drain_completions(ctx);
+
+  std::uint32_t fenced = 0;
+  const std::uint64_t cur_seq = ctx.local_load(meta_.plus(kSeqOff));
+  while (o.reclaim_seq < cur_seq) {
+    const std::uint64_t s = o.reclaim_seq;
+    // drain_completions stopped here, so claim s is open. Intent precedes
+    // the claim inside the critical section, so a consumed sequence always
+    // has its record.
+    const std::uint64_t iv = ctx.local_load(meta_.plus(intent_off(s)));
+    SWS_ASSERT_MSG((iv >> 32) == s + 1,
+                   "sdc recovery: claimed sequence without an intent record");
+    const int thief = static_cast<int>((iv >> kCountBits) & 0xFF);
+    const auto take = iv & kCountMask;
+    if (!recovery_->known_dead(ctx.pe(), thief) &&
+        !recovery_->probe(ctx, thief))
+      break;  // live claimant mid-copy: its completion will arrive
+    // Claim s covers [reclaim_abs, reclaim_abs + take): claims advance the
+    // tail contiguously in sequence order and everything before s is
+    // reclaimed. The dead thief never finished its copy, so the owner
+    // still holds the authoritative bytes — take custody and re-publish.
+    for (std::uint64_t i = 0; i < take; ++i)
+      o.recovered.push_back(buffer_.read_local(ctx, o.reclaim_abs + i));
+    o.reclaim_abs += take;
+    ++o.reclaim_seq;
+    ++fenced;
+    ++o.stats.leases_broken;
+    o.stats.tasks_recovered += take;
+    drain_completions(ctx);  // live completions behind the wedge
+  }
+  unlock(ctx, ctx.pe());
+  return fenced;
+}
+
+void SdcQueue::fence_dead(pgas::PeContext& ctx) {
+  if (recovery_ == nullptr || !ctx.fabric().crashes_planned()) return;
+  auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
+  break_dead_lock(ctx);
+  drain_completions(ctx);
+  if (o.reclaim_seq < ctx.local_load(meta_.plus(kSeqOff)))
+    reconcile_dead_claims(ctx);
+}
+
+std::uint32_t SdcQueue::take_recovered(pgas::PeContext& ctx,
+                                       std::vector<Task>& out) {
+  auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
+  if (o.recovered.empty()) return 0;
+  const auto n = static_cast<std::uint32_t>(o.recovered.size());
+  out.insert(out.end(), o.recovered.begin(), o.recovered.end());
+  o.recovered.clear();
+  return n;
+}
+
 // ------------------------------------------------------------ thief side
 
 StealResult SdcQueue::steal(pgas::PeContext& thief, int victim,
@@ -153,13 +291,26 @@ StealResult SdcQueue::steal(pgas::PeContext& thief, int victim,
   auto& fab = thief.fabric();
   const auto want = static_cast<std::uint64_t>(thief.pe()) + 1;
 
+  // The poison word is nonzero, so a CAS against a dead victim's lock
+  // reads as "held forever"; without the raw-word checks the thief would
+  // bounce between kRetry and kEmpty for the rest of the run.
+  auto dead_victim = [&]() -> StealResult {
+    if (recovery_ != nullptr) recovery_->note_dead(thief.pe(), victim);
+    ++st.steals_dead;
+    return {StealOutcome::kPeerDead, 0};
+  };
+
   // (1) acquire the remote queue lock, aborting early if the queue drains
   // while we wait (the "aborting steals" in SDC).
   std::uint32_t attempts = 0;
-  while (fab.amo_compare_swap(thief.pe(), victim, meta_.off + kLockOff, 0,
-                              want) != 0) {
+  for (;;) {
+    const std::uint64_t lockword = fab.amo_compare_swap(
+        thief.pe(), victim, meta_.off + kLockOff, 0, want);
+    if (lockword == 0) break;
+    if (lockword == net::kDeadFetchValue) return dead_victim();
     std::uint64_t meta[3];  // split, tail, seq
     fab.get_words(thief.pe(), victim, meta_.off + kSplitOff, meta, 3);
+    if (meta[0] == net::kDeadFetchValue) return dead_victim();
     if (meta[1] >= meta[0]) {
       ++st.steals_empty;
       return {StealOutcome::kEmpty, 0};
@@ -175,6 +326,7 @@ StealResult SdcQueue::steal(pgas::PeContext& thief, int victim,
   // (2) fetch the metadata to size the steal.
   std::uint64_t meta[3];  // split, tail, seq
   fab.get_words(thief.pe(), victim, meta_.off + kSplitOff, meta, 3);
+  if (meta[0] == net::kDeadFetchValue) return dead_victim();
   const std::uint64_t split = meta[0];
   const std::uint64_t tail = meta[1];
   const std::uint64_t seq = meta[2];
@@ -189,6 +341,14 @@ StealResult SdcQueue::steal(pgas::PeContext& thief, int victim,
   const auto take =
       static_cast<std::uint32_t>(avail > 1 ? avail / 2 : 1);
 
+  // Crash mode only: record claim intent *before* the claim is visible,
+  // so if we die with the claim published the owner can reconstruct what
+  // we held (see encode_intent). Blocking put inside the critical section.
+  if (fab.crashes_planned()) {
+    const std::uint64_t iv = encode_intent(seq, thief.pe(), take);
+    fab.put_words(thief.pe(), victim, meta_.off + intent_off(seq), &iv, 1);
+  }
+
   // (3) claim: advance the tail and the steal sequence in one put.
   const std::uint64_t claim[2] = {tail + take, seq + 1};
   fab.put_words(thief.pe(), victim, meta_.off + kTailOff, claim, 2);
@@ -197,7 +357,15 @@ StealResult SdcQueue::steal(pgas::PeContext& thief, int victim,
   unlock(thief, victim);
 
   // (5) copy the stolen block (deferred copy).
+  const std::size_t out_base = out.size();
   buffer_.get_remote(thief, victim, buffer_.wrap(tail), take, out);
+  if (fab.crashes_planned() && !fab.alive(victim)) {
+    // The victim died under the copy: the get returned filler (the
+    // blocking op's local NIC error status, not an oracle). Drop it; the
+    // claim dies with the victim's queue.
+    out.resize(out_base);
+    return dead_victim();
+  }
 
   // (6) passive completion notification; the owner reclaims ring space on
   // its next progress() pass. The record carries its claim sequence and is

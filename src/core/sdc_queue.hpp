@@ -7,6 +7,8 @@
 //   +16  tail_abs   oldest unclaimed shared task (thieves advance, under lock)
 //   +24  steal_seq  number of claims so far (indexes the completion ring)
 //   +32  ring[R]    deferred-copy completion ring: slot = stolen task count
+//   +32+8R intent[R] claim-intent ring, written only when a crash plan is
+//                    armed (crash recovery; see encode_intent below)
 //
 // A steal is the paper's six communications:
 //   (1) lock CAS  (2) metadata get  (3) tail+seq put  (4) unlock
@@ -54,6 +56,13 @@ class SdcQueue final : public TaskQueue {
   StealResult steal(pgas::PeContext& thief, int victim,
                     std::vector<Task>& out) override;
 
+  void attach_recovery(DeathRegistry* registry) override {
+    recovery_ = registry;
+  }
+  std::uint32_t take_recovered(pgas::PeContext& ctx,
+                               std::vector<Task>& out) override;
+  void fence_dead(pgas::PeContext& ctx) override;
+
   const QueueOpStats& op_stats(int pe) const override;
   std::string audit(pgas::PeContext& ctx) const override;
   const SdcConfig& config() const noexcept { return cfg_; }
@@ -70,6 +79,16 @@ class SdcQueue final : public TaskQueue {
     std::uint64_t split_cache = 0;   ///< owner-authoritative copy of split
     std::uint64_t reclaim_abs = 0;   ///< ring space below this is free
     std::uint64_t reclaim_seq = 0;   ///< next completion-ring slot to drain
+    /// Tasks fenced off from dead thieves' open claims, awaiting
+    /// re-publication by the scheduler (crash-mode runs only).
+    std::vector<Task> recovered;
+    // Crash-mode stall tracking (see progress()): which reclaim_seq we
+    // have been stuck on and since when, and who has held the lock since
+    // when. All local, only read when a crash plan is armed.
+    std::uint64_t stall_seq = 0;
+    net::Nanos stall_since = 0;
+    std::uint64_t lock_holder = 0;
+    net::Nanos lock_since = 0;
     QueueOpStats stats;
   };
 
@@ -93,15 +112,43 @@ class SdcQueue final : public TaskQueue {
     return ((seq + 1) << kCountBits) | take;
   }
 
+  // Claim-intent ring (crash-mode only): before a thief's tail/seq claim
+  // becomes visible it records {seq, thief, take} in intent[seq % R] with a
+  // blocking put inside the critical section. Intent-before-claim means
+  // every *consumed* sequence number provably has an intent record, so the
+  // owner can reconstruct exactly which surviving range of the ring a dead
+  // thief claimed and re-publish it. Crash-free runs never write the ring.
+  //   value = (seq + 1) << 32 | thief_pe << kCountBits | take
+  static constexpr std::uint64_t encode_intent(std::uint64_t seq, int thief,
+                                               std::uint64_t take) {
+    return ((seq + 1) << 32) |
+           (static_cast<std::uint64_t>(thief) << kCountBits) | take;
+  }
+  std::uint64_t intent_off(std::uint64_t seq) const noexcept {
+    return kRingOff + sizeof(std::uint64_t) * cfg_.completion_ring +
+           (seq % cfg_.completion_ring) * 8;
+  }
+
   std::uint64_t owner_tail(pgas::PeContext& ctx) const;
   void lock_own(pgas::PeContext& ctx);
   void unlock(pgas::PeContext& ctx, int target);
+  /// Consume in-order completion records (the body of progress()).
+  void drain_completions(pgas::PeContext& ctx);
+  /// Crash mode, owner side: if a confirmed-dead peer holds our lock,
+  /// CAS it free. Returns true when a lock was broken.
+  bool break_dead_lock(pgas::PeContext& ctx);
+  /// Crash mode, owner side: under our own lock, walk open claims in
+  /// sequence order, probe each claimant, and fence confirmed-dead ones —
+  /// their ring span moves to OwnerState::recovered and reclaim advances.
+  /// Stops at the first live claimant (reclaim is in-order).
+  std::uint32_t reconcile_dead_claims(pgas::PeContext& ctx);
 
   QueueConfig qcfg_;
   SdcConfig cfg_;
   pgas::SymPtr meta_;
   QueueBuffer buffer_;
   std::vector<OwnerState> owners_;
+  DeathRegistry* recovery_ = nullptr;  ///< crash-mode runs only
 };
 
 }  // namespace sws::core

@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "core/recovery.hpp"
 
 namespace sws::core {
 
@@ -115,9 +116,32 @@ std::uint32_t SwsQueue::retire_allotment(pgas::PeContext& ctx) {
     }
     return false;
   };
+  const bool crash_mode =
+      ctx.fabric().crashes_planned() && recovery_ != nullptr;
+  net::Nanos lease_start = crash_mode ? ctx.now() : 0;
   while (true) {
     progress(ctx);
     if (!must_wait()) break;
+    if (crash_mode &&
+        ctx.now() - lease_start >= recovery_->config().lease_ns) {
+      // A healthy thief turns a claim into a completion in microseconds
+      // even through the fault layer's full retransmit budget; a claim
+      // still open after a whole lease means its thief is suspect. Probe,
+      // and if a death is confirmed, drain every effect still in flight
+      // toward us (a live thief's notify may be the thing we're missing)
+      // before fencing what remains.
+      recovery_->probe_all(ctx);
+      if (recovery_->known_count(ctx.pe()) > 0) {
+        while (ctx.fabric().pending_to(ctx.pe()) > 0) {
+          ctx.compute(cfg_.epoch_poll_ns);
+          o.stats.acquire_poll_ns += cfg_.epoch_poll_ns;
+        }
+        progress(ctx);  // absorb completions that just landed
+        if (must_wait()) fence_dead_claims(ctx);
+      }
+      lease_start = ctx.now();
+      continue;
+    }
     ctx.compute(cfg_.epoch_poll_ns);
     o.stats.acquire_poll_ns += cfg_.epoch_poll_ns;
   }
@@ -237,6 +261,81 @@ void SwsQueue::progress(pgas::PeContext& ctx) {
   }
 }
 
+std::uint32_t SwsQueue::fence_dead_claims(pgas::PeContext& ctx) {
+  auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
+  std::uint32_t fenced = 0;
+  // Every record here was retired before this wait began, so each of its
+  // claims is at least one full lease old; with pending-to-us drained, an
+  // unfinished slot can only belong to a thief that died between its
+  // fetch-add claim and its completion notify. The ring data under the
+  // claim is intact — reclaim never advanced past it (that is exactly the
+  // stall being broken) — so the owner takes custody of the tasks and
+  // finishes the slot itself. The dead thief may have copied the block
+  // before dying without ever running it; re-publication makes execution
+  // at-least-once, deduplicated at completion accounting (docs/resilience.md).
+  for (const auto& rec : o.outstanding) {
+    for (std::uint32_t b = 0; b < rec.claimed_blocks; ++b) {
+      if (completion_.read(ctx, rec.epoch, b) != 0) continue;
+      const StealBlock blk = steal_block(rec.itasks, b);
+      for (std::uint32_t i = 0; i < blk.size; ++i)
+        o.recovered.push_back(
+            buffer_.read_local(ctx, rec.base_abs + blk.offset + i));
+      completion_.force_finished(ctx, rec.epoch, b, blk.size);
+      ++fenced;
+      ++o.stats.leases_broken;
+      o.stats.tasks_recovered += blk.size;
+    }
+  }
+  return fenced;
+}
+
+void SwsQueue::fence_dead(pgas::PeContext& ctx) {
+  if (recovery_ == nullptr || !ctx.fabric().crashes_planned()) return;
+  auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
+  progress(ctx);
+  const StealVal sv = owner_stealval(ctx);
+  const bool live_claims = sv.itasks > 0 && sv.asteals > 0;
+  if (o.outstanding.empty() && !live_claims) return;
+
+  // Claims on the live allotment only become fenceable records once the
+  // allotment is retired; republish the unclaimed remainder (renew-style)
+  // so thieves keep their access to it.
+  if (live_claims) {
+    const std::uint32_t claimed = retire_allotment(ctx);
+    const std::uint64_t claim_end =
+        o.alloc_base_abs + steal_block_offset(o.itasks, claimed);
+    o.alloc_base_abs = claim_end;
+    publish(ctx, static_cast<std::uint32_t>(o.split_abs - claim_end));
+  }
+  if (o.outstanding.empty()) return;
+
+  // Age every remaining claim past the lease before fencing: a live thief
+  // that claimed just before the retire above turns its claim into a
+  // completion in far less than one lease, so whatever is still open
+  // afterwards — with all in-flight effects toward us drained — belongs
+  // to a dead thief.
+  const net::Nanos until = ctx.now() + recovery_->config().lease_ns;
+  while (ctx.now() < until) {
+    ctx.compute(cfg_.epoch_poll_ns);
+    o.stats.acquire_poll_ns += cfg_.epoch_poll_ns;
+  }
+  while (ctx.fabric().pending_to(ctx.pe()) > 0)
+    ctx.compute(cfg_.epoch_poll_ns);
+  progress(ctx);
+  if (!o.outstanding.empty()) fence_dead_claims(ctx);
+  progress(ctx);
+}
+
+std::uint32_t SwsQueue::take_recovered(pgas::PeContext& ctx,
+                                       std::vector<Task>& out) {
+  auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
+  if (o.recovered.empty()) return 0;
+  const auto n = static_cast<std::uint32_t>(o.recovered.size());
+  out.insert(out.end(), o.recovered.begin(), o.recovered.end());
+  o.recovered.clear();
+  return n;
+}
+
 // ------------------------------------------------------------ thief side
 
 bool SwsQueue::has_work(const StealVal& sv) noexcept {
@@ -255,14 +354,26 @@ StealResult SwsQueue::steal(pgas::PeContext& thief, int victim,
   auto& mode =
       thieves_[static_cast<std::size_t>(thief.pe())].empty_mode[static_cast<std::size_t>(victim)];
 
+  // The poison word decodes to a *locked* stealval (the 2-bit epoch field
+  // reads as the sentinel), so without the raw-word checks below a dead
+  // victim would look permanently busy and the thief would retry forever.
+  // kPeerDead instead evicts the victim from the steal set for good.
+  auto dead_victim = [&]() -> StealResult {
+    if (recovery_ != nullptr) recovery_->note_dead(thief.pe(), victim);
+    ++st.steals_dead;
+    return {StealOutcome::kPeerDead, 0};
+  };
+
   if (mode != 0) {
     // Empty-mode (§4.3): read-only probe so exhausted targets don't have
     // their asteals counter inflated toward overflow. With damping off,
     // mode is only ever set by the saturation guard below — the probe is
     // then mandatory wraparound protection, not an optimization.
     ++st.damping_probes;
-    const StealVal probe =
-        StealVal::decode(fab.amo_fetch(thief.pe(), victim, stealval_.off));
+    const std::uint64_t probe_word =
+        fab.amo_fetch(thief.pe(), victim, stealval_.off);
+    if (probe_word == net::kDeadFetchValue) return dead_victim();
+    const StealVal probe = StealVal::decode(probe_word);
     if (!has_work(probe)) {
       ++st.steals_empty;
       return {StealOutcome::kEmpty, 0};
@@ -275,6 +386,7 @@ StealResult SwsQueue::steal(pgas::PeContext& thief, int victim,
   const std::uint64_t word =
       fab.amo_fetch_add(thief.pe(), victim, stealval_.off,
                         AStealsField::unit());
+  if (word == net::kDeadFetchValue) return dead_victim();
   const StealVal sv = StealVal::decode(word);
 
   if (sv.locked()) {
@@ -307,7 +419,16 @@ StealResult SwsQueue::steal(pgas::PeContext& thief, int victim,
       (sv.tail + blk.offset) % buffer_.capacity();
 
   // (2) copy the claimed block (blocking, wrap-aware).
+  const std::size_t out_base = out.size();
   buffer_.get_remote(thief, victim, start_mod, blk.size, out);
+  if (fab.crashes_planned() && !fab.alive(victim)) {
+    // The victim died between our claim and the copy: the get returned
+    // filler, not tasks (the blocking op's local NIC error status, not an
+    // oracle). Drop the garbage. The claim itself dies with the victim —
+    // no completion is owed to anyone.
+    out.resize(out_base);
+    return dead_victim();
+  }
 
   // (3) passive completion notification.
   completion_.notify_finished(thief, victim, sv.epoch, sv.asteals, blk.size);

@@ -61,6 +61,13 @@ class SwsQueue final : public TaskQueue {
   StealResult steal(pgas::PeContext& thief, int victim,
                     std::vector<Task>& out) override;
 
+  void attach_recovery(DeathRegistry* registry) override {
+    recovery_ = registry;
+  }
+  std::uint32_t take_recovered(pgas::PeContext& ctx,
+                               std::vector<Task>& out) override;
+  void fence_dead(pgas::PeContext& ctx) override;
+
   const QueueOpStats& op_stats(int pe) const override;
   std::string audit(pgas::PeContext& ctx) const override;
   const SwsConfig& config() const noexcept { return cfg_; }
@@ -81,6 +88,9 @@ class SwsQueue final : public TaskQueue {
     std::uint32_t epoch = 0;
     std::uint64_t reclaim_abs = 0;
     std::deque<AllotmentRecord> outstanding;
+    /// Tasks fenced off from dead thieves' unfinished claims, awaiting
+    /// re-publication by the scheduler (crash-mode runs only).
+    std::vector<Task> recovered;
     QueueOpStats stats;
   };
   /// Thief-side damping state, one row per thief (padded against false
@@ -99,6 +109,14 @@ class SwsQueue final : public TaskQueue {
   /// Publish a fresh allotment (must follow retire_allotment).
   void publish(pgas::PeContext& ctx, std::uint32_t itasks);
 
+  /// Crash recovery, owner side: for every unfinished claim in the retired
+  /// records, copy the block's tasks into OwnerState::recovered and
+  /// force-finish its completion slot so reclaim can proceed. Only valid
+  /// once the owner has witnessed a death, drained pending traffic to
+  /// itself, and waited out the detection lease (see retire_allotment).
+  /// Returns the number of claims fenced.
+  std::uint32_t fence_dead_claims(pgas::PeContext& ctx);
+
   QueueConfig qcfg_;
   SwsConfig cfg_;
   pgas::SymPtr stealval_;
@@ -106,6 +124,7 @@ class SwsQueue final : public TaskQueue {
   QueueBuffer buffer_;
   std::vector<OwnerState> owners_;
   std::vector<ThiefState> thieves_;
+  DeathRegistry* recovery_ = nullptr;  ///< crash-mode runs only
 };
 
 }  // namespace sws::core

@@ -17,14 +17,23 @@
 //    consecutive waves observing the same quiescent sums prove
 //    termination. Message-free between waves; kept as the conservative
 //    alternative and as a cross-check in tests.
+// A third, crash-tolerant detector wraps either of the above when a crash
+// plan is armed: ResilientTermination (bottom of this file) replaces the
+// counter/token protocol with an idle-wave consensus over the surviving
+// set, because both base detectors hang once a PE dies (a dead PE's
+// unflushed deltas keep the global counter nonzero forever; a token
+// forwarded to a dead PE vanishes). See docs/resilience.md.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "pgas/runtime.hpp"
 
 namespace sws::core {
+
+class DeathRegistry;
 
 enum class TerminationKind { kCounter, kToken };
 
@@ -47,6 +56,11 @@ class TerminationDetector {
 
   /// Idle-time poll: true once global termination is certain.
   virtual bool check(pgas::PeContext& ctx) = 0;
+
+  /// Called once by the scheduler as this PE leaves its processing loop.
+  /// Default: nothing. ResilientTermination gossips the done flag here so
+  /// a coordinator that dies mid-broadcast cannot strand survivors.
+  virtual void on_exit(pgas::PeContext& ctx) { (void)ctx; }
 };
 
 class CounterTermination final : public TerminationDetector {
@@ -108,6 +122,68 @@ class TokenTermination final : public TerminationDetector {
     bool initiated = false;      ///< PE0: a wave is in flight
   };
   pgas::SymPtr space_;
+  std::vector<PerPe> local_;
+};
+
+/// Crash-tolerant idle-wave consensus, installed by the pool only when the
+/// runtime's fault plan schedules crashes (never constructed otherwise —
+/// crash-free runs keep the wrapped detector's exact traffic).
+///
+/// Protocol: every idle PE publishes a report into the coordinator's slot
+/// for it — coordinator = lowest PE the reporter believes alive — packed
+/// as {activity:46 | seq:16 | idle:1 | valid:1}, where activity is the
+/// PE's created+executed total. The top bit is effectively never set, so a
+/// report can never equal the fabric's poison word; a reporter whose
+/// report *returns* poison just learned its coordinator died and retargets
+/// the successor on the next check. The coordinator declares termination
+/// after two consecutive waves in which every believed-alive survivor
+/// reported idle with an advanced seq and the activity sum did not move —
+/// no task was created or executed anywhere in between, and every queue,
+/// inbox, and recovery set was empty at both ends — then broadcasts a done
+/// flag to the survivors. Reports ride on existing idle polls; a silently
+/// dead reporter is discovered by the coordinator's lease-paced probe_all.
+class ResilientTermination final : public TerminationDetector {
+ public:
+  ResilientTermination(pgas::Runtime& rt,
+                       std::unique_ptr<TerminationDetector> inner,
+                       DeathRegistry* registry);
+  ~ResilientTermination() override;
+
+  /// Reports the wrapped detector's kind: the wrapper is a fault-model
+  /// substitution, not a separately configurable protocol.
+  TerminationKind kind() const noexcept override;
+  void reset_pe(pgas::PeContext& ctx) override;
+  void count_created(pgas::PeContext& ctx, std::uint64_t n) override;
+  void count_completed(pgas::PeContext& ctx, std::uint64_t n) override;
+  void task_boundary(pgas::PeContext& ctx) override;
+  bool check(pgas::PeContext& ctx) override;
+  void on_exit(pgas::PeContext& ctx) override;
+
+ private:
+  static constexpr std::uint64_t encode_report(std::uint64_t activity,
+                                               std::uint64_t seq) {
+    return (activity << 18) | ((seq & 0xFFFF) << 2) | 0b11;
+  }
+
+  bool coordinator_check(pgas::PeContext& ctx);
+
+  struct alignas(64) PerPe {
+    std::uint64_t created = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t seq = 0;          ///< report generation (reporter side)
+    // Coordinator wave state.
+    bool have_prev = false;
+    std::uint64_t prev_sum = 0;
+    std::vector<std::uint16_t> prev_seqs;
+    int prev_known = -1;            ///< death count behind the last wave
+    net::Nanos last_probe = 0;
+  };
+
+  int npes_;
+  pgas::SymPtr slots_;  ///< npes report words (slot r = report from PE r)
+  pgas::SymPtr done_;   ///< one word; nonzero once termination is declared
+  std::unique_ptr<TerminationDetector> inner_;
+  DeathRegistry* registry_;
   std::vector<PerPe> local_;
 };
 

@@ -27,6 +27,9 @@ const char* trace_kind_name(TraceKind k) noexcept {
     case TraceKind::kFabricOp: return "fabric_op";
     case TraceKind::kQueueDepth: return "queue_depth";
     case TraceKind::kPendingNbi: return "pending_nbi";
+    case TraceKind::kDeathDetected: return "death_detected";
+    case TraceKind::kRecoverySpan: return "recovery";
+    case TraceKind::kRerouted: return "rerouted";
   }
   return "?";
 }
@@ -239,6 +242,7 @@ void Tracer::dump_chrome_json(std::ostream& os, const TraceMeta& meta) const {
        << "\",\"npes\":" << meta.npes
        << ",\"slot_bytes\":" << meta.slot_bytes
        << ",\"topo\":\"" << (meta.topo.empty() ? "flat" : meta.topo) << "\""
+       << ",\"crashes\":" << (meta.crashes ? 1 : 0)
        << ",\"truncated\":" << (truncated() ? 1 : 0) << "}}";
   }
   for (const TraceEvent& e : merged()) {

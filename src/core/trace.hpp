@@ -46,6 +46,10 @@ enum class TraceKind : std::uint8_t {
   // Counter tracks (phase kCounter, value in a).
   kQueueDepth,   ///< local (unshared) task count
   kPendingNbi,   ///< this PE's not-yet-delivered nbi ops
+  // Crash-recovery events (crash-mode runs only; docs/resilience.md).
+  kDeathDetected,  ///< instant: a = PE this PE just learned is dead
+  kRecoverySpan,   ///< begin; end: a = tasks recovered for re-execution
+  kRerouted,       ///< instant: a = dead spawn target, b = tasks rerouted
 };
 
 enum class TracePhase : std::uint8_t {
@@ -77,6 +81,10 @@ struct TraceMeta {
   int npes = 0;
   std::uint32_t slot_bytes = 0;
   std::string topo;  ///< TopologySpec::to_string ("flat", "2x4", …)
+  /// Crash-stop FaultPlan armed: steal shapes include the recovery
+  /// machinery's extra ops (e.g. the SDC claim-intent put), and the
+  /// analyzer must widen its op-shape checks accordingly.
+  bool crashes = false;
 };
 
 class Tracer {

@@ -1,5 +1,6 @@
 #include "net/fabric.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 
@@ -12,6 +13,7 @@ Fabric::Fabric(TimeModel& time, NetworkModel model, int npes)
     : time_(time), model_(model) {
   if (model_.params().faults.enabled())
     faults_ = std::make_unique<FaultInjector>(model_.params().faults, npes);
+  crashes_armed_ = model_.params().faults.crashes_enabled();
   reset(npes);
   if (time_.is_virtual()) {
     time_.set_delivery_hook([this](Nanos now) { return deliver_until(now); });
@@ -139,6 +141,19 @@ void Fabric::reset(int npes) {
       std::vector<std::atomic<int>>(static_cast<std::size_t>(npes));
   for (auto& p : pending_per_target_) p.store(0, std::memory_order_relaxed);
   if (faults_) faults_->reset(npes);
+  crash_at_.assign(static_cast<std::size_t>(npes), kNoPendingDeadline);
+  dead_ = std::vector<std::atomic<bool>>(static_cast<std::size_t>(npes));
+  for (auto& d : dead_) d.store(false, std::memory_order_relaxed);
+  ndead_.store(0, std::memory_order_relaxed);
+  if (crashes_armed_) arm_crashes();
+}
+
+void Fabric::arm_crashes() {
+  for (const CrashEvent& e : model_.params().faults.crashes) {
+    SWS_CHECK(e.pe >= 0 && e.pe < npes(), "crash event PE out of range");
+    Nanos& at = crash_at_[static_cast<std::size_t>(e.pe)];
+    at = std::min(at, e.at_ns);
+  }
 }
 
 void Fabric::new_run() {
@@ -162,6 +177,62 @@ void Fabric::new_run() {
   std::fill(labels_.begin(), labels_.end(), PaddedLabel{});
   // Reseed the fault streams so run N+1 replays run N's decisions.
   if (faults_) faults_->new_run();
+  if (crashes_armed_) {
+    // Clocks restart at 0, so the planned crashes re-fire: every PE is
+    // alive again and the same CrashEvents replay — run N+1 reproduces
+    // run N's deaths exactly.
+    for (auto& d : dead_) d.store(false, std::memory_order_relaxed);
+    ndead_.store(0, std::memory_order_relaxed);
+    std::fill(crash_at_.begin(), crash_at_.end(), kNoPendingDeadline);
+    arm_crashes();
+  }
+}
+
+void Fabric::maybe_crash(int pe) {
+  const std::size_t i = static_cast<std::size_t>(pe);
+  if (crash_at_[i] == kNoPendingDeadline) return;
+  const Nanos now = time_.now(pe);
+  if (now < crash_at_[i]) return;
+  // Fire exactly once, at the first op boundary past the planned instant.
+  crash_at_[i] = kNoPendingDeadline;
+  mark_dead(pe);
+  throw PeKilled{pe, now};
+}
+
+void Fabric::mark_dead(int pe) {
+  SWS_ASSERT(pe >= 0 && pe < npes());
+  const std::size_t i = static_cast<std::size_t>(pe);
+  if (dead_[i].exchange(true, std::memory_order_seq_cst)) return;
+  ndead_.fetch_add(1, std::memory_order_relaxed);
+  crash_at_[i] = kNoPendingDeadline;
+
+  // Drop the dead PE's in-flight traffic: effects it issued die on the
+  // wire, and effects targeting it have no NIC to land on. Rebuilding the
+  // queue here (rather than filtering at delivery) keeps pending()/
+  // pending_to() exact, which quiet() loops and the new_run() leak asserts
+  // rely on.
+  std::lock_guard<std::mutex> lk(pend_mu_);
+  std::priority_queue<PendingOp, std::vector<PendingOp>, std::greater<>> keep;
+  while (!pending_.empty()) {
+    PendingOp op = pending_.top();
+    pending_.pop();
+    if (op.initiator != pe && op.target != pe) {
+      keep.push(std::move(op));
+      continue;
+    }
+    if (op.effect.kind == PendingEffect::Kind::kPut && op.effect.in_slab) {
+      Slab& s = slabs_[op.effect.slab];
+      if (--s.refs == 0) {
+        s.next_free = slab_free_;
+        slab_free_ = op.effect.slab;
+      }
+    }
+    pending_per_pe_[static_cast<std::size_t>(op.initiator)].fetch_sub(
+        1, std::memory_order_relaxed);
+    pending_per_target_[static_cast<std::size_t>(op.target)].fetch_sub(
+        1, std::memory_order_relaxed);
+  }
+  pending_.swap(keep);
 }
 
 void Fabric::register_arena(int pe, std::byte* base, std::size_t size) {
@@ -205,6 +276,9 @@ std::uint64_t Fabric::current_span(int pe) const noexcept {
 void Fabric::charge(int initiator, int target, OpKind kind,
                     std::size_t bytes) {
   SWS_ASSERT(initiator >= 0 && initiator < npes());
+  // Crash-stop: the initiator dies *before* this op's effect if its
+  // planned time has passed — the op is never issued.
+  if (crashes_armed_) maybe_crash(initiator);
   const Tier tier = model_.tier(initiator, target);
   const bool remote = tier > 0;
   Nanos c = model_.cost(kind, bytes, tier);
@@ -260,6 +334,7 @@ void Fabric::put(int initiator, int target, std::uint64_t offset,
                  const void* src, std::size_t n) {
   note_op(initiator, target, OpKind::kPut, offset);
   charge(initiator, target, OpKind::kPut, n);
+  if (effect_suppressed(initiator, target)) return;
   std::memcpy(translate(target, offset, n), src, n);
   stats_[static_cast<std::size_t>(initiator)].s.bytes_put += n;
 }
@@ -268,6 +343,10 @@ void Fabric::get(int initiator, int target, std::uint64_t offset, void* dst,
                  std::size_t n) {
   note_op(initiator, target, OpKind::kGet, offset);
   charge(initiator, target, OpKind::kGet, n);
+  if (effect_suppressed(initiator, target)) {
+    std::memset(dst, 0xFF, n);  // poison: all-ones, like kDeadFetchValue
+    return;
+  }
   std::memcpy(dst, translate(target, offset, n), n);
   stats_[static_cast<std::size_t>(initiator)].s.bytes_got += n;
 }
@@ -276,6 +355,7 @@ void Fabric::put_words(int initiator, int target, std::uint64_t offset,
                        const std::uint64_t* src, std::size_t nwords) {
   note_op(initiator, target, OpKind::kPut, offset);
   charge(initiator, target, OpKind::kPut, nwords * 8);
+  if (effect_suppressed(initiator, target)) return;
   SWS_ASSERT_MSG(offset % 8 == 0, "word put must be 8-byte aligned");
   auto* dst =
       reinterpret_cast<std::uint64_t*>(translate(target, offset, nwords * 8));
@@ -289,6 +369,10 @@ void Fabric::get_words(int initiator, int target, std::uint64_t offset,
                        std::uint64_t* dst, std::size_t nwords) {
   note_op(initiator, target, OpKind::kGet, offset);
   charge(initiator, target, OpKind::kGet, nwords * 8);
+  if (effect_suppressed(initiator, target)) {
+    for (std::size_t i = 0; i < nwords; ++i) dst[i] = kDeadFetchValue;
+    return;
+  }
   SWS_ASSERT_MSG(offset % 8 == 0, "word get must be 8-byte aligned");
   const auto* src = reinterpret_cast<const std::uint64_t*>(
       translate(target, offset, nwords * 8));
@@ -303,6 +387,7 @@ std::uint64_t Fabric::amo_fetch_add(int initiator, int target,
                                     std::uint64_t value) {
   note_op(initiator, target, OpKind::kAmoFetchAdd, offset);
   charge(initiator, target, OpKind::kAmoFetchAdd, 8);
+  if (effect_suppressed(initiator, target)) return kDeadFetchValue;
   return std::atomic_ref<std::uint64_t>(*translate_u64(target, offset))
       .fetch_add(value, std::memory_order_seq_cst);
 }
@@ -313,6 +398,7 @@ std::uint64_t Fabric::amo_compare_swap(int initiator, int target,
                                        std::uint64_t desired) {
   note_op(initiator, target, OpKind::kAmoCompareSwap, offset);
   charge(initiator, target, OpKind::kAmoCompareSwap, 8);
+  if (effect_suppressed(initiator, target)) return kDeadFetchValue;
   std::uint64_t e = expected;
   std::atomic_ref<std::uint64_t>(*translate_u64(target, offset))
       .compare_exchange_strong(e, desired, std::memory_order_seq_cst);
@@ -323,6 +409,7 @@ std::uint64_t Fabric::amo_swap(int initiator, int target, std::uint64_t offset,
                                std::uint64_t value) {
   note_op(initiator, target, OpKind::kAmoSwap, offset);
   charge(initiator, target, OpKind::kAmoSwap, 8);
+  if (effect_suppressed(initiator, target)) return kDeadFetchValue;
   return std::atomic_ref<std::uint64_t>(*translate_u64(target, offset))
       .exchange(value, std::memory_order_seq_cst);
 }
@@ -331,6 +418,7 @@ std::uint64_t Fabric::amo_fetch(int initiator, int target,
                                 std::uint64_t offset) {
   note_op(initiator, target, OpKind::kAmoFetch, offset);
   charge(initiator, target, OpKind::kAmoFetch, 8);
+  if (effect_suppressed(initiator, target)) return kDeadFetchValue;
   return std::atomic_ref<std::uint64_t>(*translate_u64(target, offset))
       .load(std::memory_order_seq_cst);
 }
@@ -339,6 +427,7 @@ void Fabric::amo_set(int initiator, int target, std::uint64_t offset,
                      std::uint64_t value) {
   note_op(initiator, target, OpKind::kAmoSet, offset);
   charge(initiator, target, OpKind::kAmoSet, 8);
+  if (effect_suppressed(initiator, target)) return;
   std::atomic_ref<std::uint64_t>(*translate_u64(target, offset))
       .store(value, std::memory_order_seq_cst);
 }
@@ -397,6 +486,7 @@ void Fabric::nbi_put(int initiator, int target, std::uint64_t offset,
                      const void* src, std::size_t n) {
   note_op(initiator, target, OpKind::kNbiPut, offset);
   charge(initiator, target, OpKind::kNbiPut, n);
+  if (effect_suppressed(initiator, target)) return;
   stats_[static_cast<std::size_t>(initiator)].s.bytes_put += n;
   PendingEffect e;
   e.kind = PendingEffect::Kind::kPut;
@@ -416,6 +506,7 @@ void Fabric::nbi_amo_add(int initiator, int target, std::uint64_t offset,
                          std::uint64_t value) {
   note_op(initiator, target, OpKind::kNbiAmoAdd, offset);
   charge(initiator, target, OpKind::kNbiAmoAdd, 8);
+  if (effect_suppressed(initiator, target)) return;
   PendingEffect e;
   e.kind = PendingEffect::Kind::kAmoAdd;
   e.dst = translate_u64(target, offset);
@@ -427,6 +518,7 @@ void Fabric::nbi_amo_set(int initiator, int target, std::uint64_t offset,
                          std::uint64_t value) {
   note_op(initiator, target, OpKind::kNbiAmoSet, offset);
   charge(initiator, target, OpKind::kNbiAmoSet, 8);
+  if (effect_suppressed(initiator, target)) return;
   PendingEffect e;
   e.kind = PendingEffect::Kind::kAmoSet;
   e.dst = translate_u64(target, offset);
@@ -467,7 +559,10 @@ void Fabric::quiet(int pe) {
     // window.
     const Nanos outer_delay = model_.params().link(model_.ntiers()).nbi_delay;
     const Nanos step = outer_delay > 0 ? outer_delay : Nanos{100};
-    while (pending(pe) > 0) time_.advance(pe, step);
+    while (pending(pe) > 0) {
+      if (crashes_armed_) maybe_crash(pe);  // a dying PE dies here too
+      time_.advance(pe, step);
+    }
     return;
   }
   // Real backend: block until the progress thread drains our ops.
@@ -527,6 +622,10 @@ void Fabric::publish_metrics(obs::MetricsRegistry& reg) const {
   set_per_pe(
       reg.counter("fabric.occupancy_wait_ns", "queueing behind busy NICs"),
       [](const FabricStats& s) { return s.occupancy_wait_ns; });
+  if (crashes_armed_)
+    set_per_pe(reg.counter("fabric.dead_target_ops",
+                           "ops issued against crashed PEs"),
+               [](const FabricStats& s) { return s.dead_target_ops; });
 
   // Effect-pool counters are fabric-global (guarded by pend_mu_); they
   // land on PE 0's slot.

@@ -46,6 +46,24 @@ class MetricsRegistry;
 
 namespace sws::net {
 
+/// Thrown on the crashing PE's own thread at the first operation boundary
+/// at/after its planned crash time (FaultPlan::crashes). Deliberately not
+/// a std::exception: nothing may "handle" a crash — the runtime treats it
+/// as the planned end of that PE's execution, and the scheduler only
+/// intercepts it to finalize host-side statistics before re-throwing.
+struct PeKilled {
+  int pe = -1;
+  Nanos at_ns = 0;  ///< virtual time at which the PE observed its death
+};
+
+/// Value every fetch-class operation returns when its target PE is dead.
+/// All-ones is "poison" in both protocols: an SWS stealval decodes to an
+/// over-soft-cap asteals count (thief refuses), an SDC lock word reads as
+/// held-by-nobody-valid, and metadata reads fail range checks — so a
+/// survivor that races a death fails safe and can use the value itself as
+/// the death signal (core::DeathRegistry::probe).
+inline constexpr std::uint64_t kDeadFetchValue = ~std::uint64_t{0};
+
 /// Label of the operation a PE most recently issued — written before the
 /// op's time charge, so while a PE is parked inside the sequencer its
 /// label names the op whose memory effect it will apply on resume. The
@@ -178,6 +196,41 @@ class Fabric {
   /// them before reusing it (SWS epoch recycle under duplication).
   int pending_to(int pe) const;
 
+  // --- crash-stop failures ----------------------------------------------
+  /// Any CrashEvents in the plan? Constant over the fabric's lifetime;
+  /// consumers gate every resilience code path on it so crash-free runs
+  /// stay byte-identical to pre-crash-subsystem builds.
+  bool crashes_planned() const noexcept { return crashes_armed_; }
+  /// Is `pe` still alive? Ground truth — survivors should learn deaths
+  /// through poison verdicts / DeathRegistry probes, not by polling this;
+  /// it exists for the fabric's own op handling, assertions, and tests.
+  bool alive(int pe) const noexcept {
+    return !dead_[static_cast<std::size_t>(pe)].load(
+        std::memory_order_relaxed);
+  }
+  int num_dead() const noexcept {
+    return ndead_.load(std::memory_order_relaxed);
+  }
+  /// Crash check for non-op wait points (PeContext::compute, quiet polls):
+  /// throws PeKilled iff `pe`'s planned crash time has passed. Every
+  /// fabric op checks implicitly via charge().
+  void poll_crash(int pe) {
+    if (crashes_armed_) maybe_crash(pe);
+  }
+  /// Disarm `pe`'s planned crash (idempotent). The scheduler calls this
+  /// when a PE leaves its scheduling loop: crashes model failures during
+  /// work, not during teardown, where a death would be indistinguishable
+  /// from a clean exit anyway.
+  void disarm_crash(int pe) {
+    if (crashes_armed_)
+      crash_at_[static_cast<std::size_t>(pe)] = kNoPendingDeadline;
+  }
+  /// Mark `pe` dead: drop every pending nbi effect it initiated or that
+  /// targets it (reconciling the pending counters and slab refcounts).
+  /// Called by the dying PE itself just before PeKilled is thrown; public
+  /// for tests that stage deaths directly.
+  void mark_dead(int pe);
+
   // --- fault injection --------------------------------------------------
   bool faults_enabled() const noexcept { return faults_ != nullptr; }
   bool fault_duplicates_possible() const noexcept {
@@ -253,6 +306,20 @@ class Fabric {
 
   std::byte* translate(int target, std::uint64_t offset, std::size_t n) const;
   std::uint64_t* translate_u64(int target, std::uint64_t offset) const;
+  /// Throw PeKilled if `pe`'s clock has reached its planned crash time.
+  /// Out-of-line slow path; callers pre-check crashes_armed_.
+  void maybe_crash(int pe);
+  /// (Re-)load crash_at_ from the plan's CrashEvents.
+  void arm_crashes();
+  /// Post-charge check on every op path: true when the op's target is dead
+  /// and the effect must be suppressed (the charge already happened —
+  /// talking to a dead NIC costs the same as talking to a live one).
+  bool effect_suppressed(int initiator, int target) {
+    if (!crashes_armed_) return false;
+    if (alive(target)) return false;
+    ++stats_[static_cast<std::size_t>(initiator)].s.dead_target_ops;
+    return true;
+  }
   /// Charge a blocking op: stats + advance; returns nothing, effect is the
   /// caller's next statement.
   void charge(int initiator, int target, OpKind kind, std::size_t bytes);
@@ -298,6 +365,16 @@ class Fabric {
   /// Present iff model_.params().faults.enabled(); a null injector means
   /// every fault hook short-circuits to the pre-fault fast path.
   std::unique_ptr<FaultInjector> faults_;
+
+  // Crash-stop state. crashes_armed_ is constant after construction and
+  // gates every check, so un-planned runs pay one predicted-not-taken
+  // branch per op and nothing else. crash_at_ is written only by the
+  // owning PE (disarm) or under reset/new_run; dead_ flags are atomic for
+  // the real-time backend and cross-thread test reads.
+  bool crashes_armed_ = false;
+  std::vector<Nanos> crash_at_;
+  std::vector<std::atomic<bool>> dead_;
+  std::atomic<int> ndead_{0};
 
   // Real-time backend: a progress thread applies queued nbi effects once
   // their wall-clock deadline passes, so completion notifications arrive

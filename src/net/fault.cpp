@@ -188,4 +188,30 @@ FaultPlan partitioned_node_plan(const Topology& topo, int node, Nanos from_ns,
   return partition_group_plan(topo, 1, node, from_ns, until_ns);
 }
 
+FaultPlan crash_plan(int pe, Nanos at_ns) {
+  SWS_CHECK(pe >= 0, "crash plan: bad pe");
+  FaultPlan plan;
+  plan.crashes.push_back(CrashEvent{pe, at_ns});
+  return plan;
+}
+
+FaultPlan crash_group_plan(const Topology& topo, Tier tier, int group,
+                           Nanos at_ns) {
+  SWS_CHECK(tier >= 1 && tier <= topo.ntiers(), "crash group: bad tier");
+  FaultPlan plan;
+  for (int pe : topo.group_members(tier, group))
+    plan.crashes.push_back(CrashEvent{pe, at_ns});
+  SWS_CHECK(!plan.crashes.empty(), "crash group: empty group");
+  return plan;
+}
+
+FaultPlan node_failure_plan(const Topology& topo, int node, Nanos at_ns) {
+  return crash_group_plan(topo, 1, node, at_ns);
+}
+
+FaultPlan rack_failure_plan(const Topology& topo, int rack, Nanos at_ns) {
+  const Tier t = topo.ntiers() > 1 ? topo.ntiers() - 1 : 1;
+  return crash_group_plan(topo, t, rack, at_ns);
+}
+
 }  // namespace sws::net

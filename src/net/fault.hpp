@@ -65,6 +65,19 @@ struct PartitionWindow {
   Nanos delivery_extra_ns = 40'000;
 };
 
+/// A crash-stop failure: PE `pe` dies permanently at the first operation
+/// boundary (fabric op issue, compute slice, quiet poll) whose virtual
+/// time is >= `at_ns`. A dead PE's thread unwinds via net::PeKilled, its
+/// queued nbi effects are dropped, and every later op targeting it
+/// returns the poison verdict (Fabric::kDeadFetchValue) instead of a
+/// memory effect — crash-stop, not crash-recovery: the PE never returns.
+/// Crashes are plan-driven and need no RNG stream, so a plan with only
+/// crashes does not instantiate a FaultInjector.
+struct CrashEvent {
+  int pe = -1;
+  Nanos at_ns = 0;
+};
+
 /// A complete, seeded description of what can go wrong on the fabric.
 /// Default-constructed plans inject nothing and cost nothing.
 struct FaultPlan {
@@ -92,12 +105,19 @@ struct FaultPlan {
   // --- topology-cut windows ---------------------------------------------
   std::vector<PartitionWindow> partitions;
 
+  // --- crash-stop failures ----------------------------------------------
+  std::vector<CrashEvent> crashes;
+
   bool spikes_enabled() const noexcept { return spike_rate > 0.0; }
   bool delivery_faults_enabled() const noexcept {
     return jitter > 0.0 || drop_rate > 0.0 || dup_rate > 0.0 ||
            !partitions.empty();
   }
   bool duplicates_possible() const noexcept { return dup_rate > 0.0; }
+  /// Any crash-stop failures planned? Crashes bypass the injector: the
+  /// fabric arms them directly (they draw no random decisions), so this is
+  /// deliberately NOT part of enabled().
+  bool crashes_enabled() const noexcept { return !crashes.empty(); }
   /// Anything at all to inject? The fabric only instantiates an injector
   /// (and only pays any per-op cost) when this is true.
   bool enabled() const noexcept {
@@ -203,5 +223,17 @@ FaultPlan slow_rack_plan(const Topology& topo, int rack, Nanos from_ns,
                          Nanos until_ns, double factor = 4.0);
 FaultPlan partitioned_node_plan(const Topology& topo, int node, Nanos from_ns,
                                 Nanos until_ns);
+
+/// Crash-stop presets (docs/resilience.md "Writing a crash plan").
+/// A single PE dies at virtual time `at_ns`.
+FaultPlan crash_plan(int pe, Nanos at_ns);
+/// Every PE of tier-`tier` group `group` dies at `at_ns` — a whole
+/// node/rack lost at once.
+FaultPlan crash_group_plan(const Topology& topo, Tier tier, int group,
+                           Nanos at_ns);
+/// Named shapes: a dead node (innermost tier) and a dead rack (largest
+/// grouping below the machine).
+FaultPlan node_failure_plan(const Topology& topo, int node, Nanos at_ns);
+FaultPlan rack_failure_plan(const Topology& topo, int rack, Nanos at_ns);
 
 }  // namespace sws::net

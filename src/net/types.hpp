@@ -55,6 +55,9 @@ struct FabricStats {
   std::uint64_t bytes_got = 0;
   std::uint64_t blocking_ns = 0;  ///< total initiator-blocking time
   std::uint64_t occupancy_wait_ns = 0;  ///< queueing behind a busy target NIC
+  /// Ops issued against a crashed PE: charged but effect-free, fetches
+  /// returning the poison value (net/fabric.hpp kDeadFetchValue).
+  std::uint64_t dead_target_ops = 0;
 
   std::uint64_t total_ops() const noexcept {
     std::uint64_t t = 0;
@@ -77,6 +80,7 @@ struct FabricStats {
     bytes_got += o.bytes_got;
     blocking_ns += o.blocking_ns;
     occupancy_wait_ns += o.occupancy_wait_ns;
+    dead_target_ops += o.dead_target_ops;
   }
 };
 

@@ -228,6 +228,7 @@ RunTrace parse_chrome_trace(std::istream& is) {
       rt.slot_bytes =
           static_cast<std::uint32_t>(args->num_or("slot_bytes", 0.0));
       rt.topo = args->str_or("topo", "");
+      rt.crash_mode = args->num_or("crashes", 0.0) != 0.0;
       rt.truncated = args->num_or("truncated", 0.0) != 0.0;
       continue;
     }
@@ -281,6 +282,13 @@ RunTrace parse_chrome_trace(std::istream& is) {
       ++rt.counters;
     } else {
       ++rt.instants;
+      if (name == "death_detected") {
+        ++rt.deaths_detected;
+      } else if (name == "rerouted") {
+        ++rt.reroutes;
+        rt.rerouted_tasks +=
+            static_cast<std::uint64_t>(args ? args->num_or("b", 0.0) : 0);
+      }
     }
   }
 
@@ -326,7 +334,7 @@ int count_op(const Span& s, const char* name) {
 /// the wire for each protocol. `wrapped_gets` allows one extra get when
 /// the victim's ring wrapped mid-copy.
 void check_success_span(const std::string& protocol, const Span& s,
-                        std::vector<std::string>& out) {
+                        bool crash_mode, std::vector<std::string>& out) {
   auto violation = [&](const std::string& what) {
     if (out.size() >= 16) return;  // cap the noise; counts tell the rest
     std::ostringstream msg;
@@ -353,17 +361,23 @@ void check_success_span(const std::string& protocol, const Span& s,
     // Lock, metadata fetch, tail claim, unlock, task copy, completion
     // notify — the six-op sequence SWS collapses. Under lock contention
     // each failed cswap adds one more cswap plus one metadata probe get
-    // before the steal eventually succeeds.
+    // before the steal eventually succeeds. With a crash plan armed the
+    // thief also publishes one claim-intent put inside the critical
+    // section (docs/resilience.md), so crash-mode traces show two puts.
+    const int want_puts = crash_mode ? 2 : 1;
     const int cswaps = count_op(s, "amo_cswap");
     if (cswaps < 1) violation("expected at least 1 lock cswap");
-    if (count_op(s, "put") != 1) violation("expected exactly 1 tail-claim put");
+    if (count_op(s, "put") != want_puts)
+      violation(crash_mode
+                    ? "expected claim-intent put + tail-claim put (crash mode)"
+                    : "expected exactly 1 tail-claim put");
     if (count_op(s, "amo_set") != 1) violation("expected exactly 1 unlock set");
     if (count_op(s, "nbi_amo_set") != 1)
       violation("expected exactly 1 nbi completion set");
     if (gets < cswaps + 1 || gets > cswaps + 2)
       violation("expected 1 probe get per failed lock attempt + metadata get "
                 "+ task-copy get (1 more if wrapped)");
-    if (s.ops.size() != 3 + static_cast<std::size_t>(cswaps + gets))
+    if (s.ops.size() != 2 + static_cast<std::size_t>(want_puts + cswaps + gets))
       violation("unexpected extra ops in SDC steal");
   }
 }
@@ -383,10 +397,20 @@ AnalyzeReport analyze(const RunTrace& rt, const WindowConfig& wc) {
   std::uint64_t total_ops = 0;
   std::uint64_t total_blocking = 0;
 
+  r.deaths_detected = rt.deaths_detected;
+  r.reroutes = rt.reroutes;
+  r.rerouted_tasks = rt.rerouted_tasks;
+
   // Victim-distance attribution: rebuild the run's Topology from the
-  // trace metadata so each steal span lands in its tier bucket.
+  // trace metadata so each steal span lands in its tier bucket. A trace
+  // that names its protocol but carries no topo is an incomplete dump —
+  // tier attribution would silently be wrong, so refuse loudly instead.
   r.topo = rt.topo;
   net::Topology topo(rt.npes > 0 ? rt.npes : 1);
+  if (!rt.protocol.empty() && rt.topo.empty())
+    r.violations.push_back(
+        "trace meta lacks topo: re-dump with a current writer (victim-tier "
+        "attribution would be silently wrong)");
   if (!rt.topo.empty() && rt.npes > 0) {
     try {
       topo = net::Topology(net::TopologySpec::parse(rt.topo), rt.npes);
@@ -415,6 +439,13 @@ AnalyzeReport analyze(const RunTrace& rt, const WindowConfig& wc) {
       ++r.acquire_spans;
       continue;
     }
+    if (s.kind == "recovery") {
+      // Lease-paced fencing sweep; the end's b arg counts the fenced
+      // tasks handed back to the survivor's scheduler for re-execution.
+      ++r.recovery_spans;
+      r.tasks_recovered += s.b_end;
+      continue;
+    }
     if (s.kind != "steal") continue;
     ++r.steal_spans;
     net::Tier tier = 1;
@@ -435,7 +466,7 @@ AnalyzeReport analyze(const RunTrace& rt, const WindowConfig& wc) {
         total_ops += s.ops.size();
         for (const TraceOp& op : s.ops) total_blocking += op.blocking() ? 1 : 0;
         if (!rt.protocol.empty() && !rt.truncated)
-          check_success_span(rt.protocol, s, r.violations);
+          check_success_span(rt.protocol, s, rt.crash_mode, r.violations);
         break;
       case 1:
         ++r.steals_empty;
@@ -470,7 +501,10 @@ AnalyzeReport analyze(const RunTrace& rt, const WindowConfig& wc) {
       ++r.churn_windows;
   }
 
-  if (!rt.truncated && (rt.orphan_begins != 0 || rt.orphan_ends != 0))
+  // A PE that crashes mid-steal never closes its span; those orphans are
+  // part of the crash-stop fault model, not a writer bug.
+  if (!rt.truncated && !rt.crash_mode &&
+      (rt.orphan_begins != 0 || rt.orphan_ends != 0))
     r.violations.push_back(
         "orphaned span begin/end in an untruncated trace (" +
         std::to_string(rt.orphan_begins) + " begins, " +
@@ -537,6 +571,14 @@ void write_report(std::ostream& os, const AnalyzeReport& r) {
   metric_line(os, "storm windows", r.storm_windows);
   metric_line(os, "churn windows", r.churn_windows);
   metric_line(os, "peak fails/window", r.peak_window_fails);
+  if (r.deaths_detected != 0 || r.recovery_spans != 0 || r.reroutes != 0) {
+    os << "recovery summary (crash-stop):\n";
+    metric_line(os, "deaths detected", r.deaths_detected);
+    metric_line(os, "recovery sweeps", r.recovery_spans);
+    metric_line(os, "tasks re-executed", r.tasks_recovered);
+    metric_line(os, "reroute events", r.reroutes);
+    metric_line(os, "tasks rerouted", r.rerouted_tasks);
+  }
   if (r.orphan_begins != 0 || r.orphan_ends != 0 || r.orphan_ops != 0) {
     os << "orphans:\n";
     metric_line(os, "span begins", r.orphan_begins);
@@ -593,6 +635,13 @@ void write_diff(std::ostream& os, const AnalyzeReport& a,
            b.lat_ok_ns.quantile(0.99));
   diff_u64(os, "storm windows", a.storm_windows, b.storm_windows);
   diff_u64(os, "churn windows", a.churn_windows, b.churn_windows);
+  if (a.deaths_detected + b.deaths_detected + a.recovery_spans +
+          b.recovery_spans !=
+      0) {
+    diff_u64(os, "deaths detected", a.deaths_detected, b.deaths_detected);
+    diff_u64(os, "tasks re-executed", a.tasks_recovered, b.tasks_recovered);
+    diff_u64(os, "tasks rerouted", a.rerouted_tasks, b.rerouted_tasks);
+  }
 }
 
 }  // namespace sws::obs

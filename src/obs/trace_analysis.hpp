@@ -66,12 +66,17 @@ struct RunTrace {
   int npes = 0;
   std::uint32_t slot_bytes = 0;
   std::string topo;  ///< topology spec string ("flat", "*x4", "2x4x48", …)
+  bool crash_mode = false;  ///< run had a crash-stop FaultPlan armed
   bool truncated = false;  ///< ring wrapped: orphans at the front are benign
   std::vector<Span> spans;  ///< closed spans in begin-time order
   std::uint64_t orphan_begins = 0;  ///< begin with no matching end
   std::uint64_t orphan_ends = 0;    ///< end with no matching begin
   std::uint64_t orphan_ops = 0;     ///< fabric op outside any open span
   std::uint64_t instants = 0;
+  // Crash-recovery instants (crash-mode runs only; docs/resilience.md).
+  std::uint64_t deaths_detected = 0;  ///< death_detected events (per observer)
+  std::uint64_t reroutes = 0;         ///< rerouted events
+  std::uint64_t rerouted_tasks = 0;   ///< tasks re-homed off dead inboxes
   std::uint64_t counters = 0;
   std::uint64_t fabric_ops = 0;  ///< attributed + orphaned
   std::uint64_t duration_ns = 0;  ///< max event end time
@@ -111,6 +116,12 @@ struct AnalyzeReport {
   std::array<std::uint64_t, net::kMaxTiers> steals_ok_by_tier{};
   std::uint64_t release_spans = 0;
   std::uint64_t acquire_spans = 0;
+  /// Crash-recovery shapes (all zero on crash-free traces).
+  std::uint64_t recovery_spans = 0;   ///< lease-paced fencing sweeps
+  std::uint64_t tasks_recovered = 0;  ///< fenced claims handed back for re-run
+  std::uint64_t deaths_detected = 0;  ///< per-observer death certificates
+  std::uint64_t reroutes = 0;
+  std::uint64_t rerouted_tasks = 0;
   std::uint64_t orphan_begins = 0;
   std::uint64_t orphan_ends = 0;
   std::uint64_t orphan_ops = 0;

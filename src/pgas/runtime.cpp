@@ -69,6 +69,10 @@ void Runtime::run(const std::function<void(PeContext&)>& body) {
       try {
         PeContext ctx(*this, pe);
         body(ctx);
+      } catch (const net::PeKilled&) {
+        // A planned crash-stop (FaultPlan::crashes): this PE's execution
+        // simply ends here. Not an error — survivors keep running and the
+        // run completes over the surviving set.
       } catch (...) {
         std::lock_guard<std::mutex> lk(err_mu);
         if (!first_error) first_error = std::current_exception();
@@ -95,6 +99,10 @@ void Runtime::run(const std::function<void(PeContext&)>& body) {
                  0, static_cast<std::uint64_t>(max_t));
     metrics_.add(metrics_.counter("runtime.runs", "completed run() calls"),
                  0);
+    if (fabric_->crashes_planned())
+      metrics_.set(metrics_.gauge("runtime.deaths",
+                                  "PEs dead at end of the last run"),
+                   0, static_cast<std::uint64_t>(fabric_->num_dead()));
   }
 
   if (first_error) std::rethrow_exception(first_error);
@@ -111,7 +119,12 @@ SymmetricHeap& PeContext::heap() noexcept { return rt_.heap(); }
 
 net::Nanos PeContext::now() const { return rt_.time().now(pe_); }
 
-void PeContext::compute(net::Nanos dt) { rt_.time().advance(pe_, dt); }
+void PeContext::compute(net::Nanos dt) {
+  rt_.time().advance(pe_, dt);
+  // A computing PE dies at the end of the slice that crosses its planned
+  // crash time (no-op unless the plan schedules crashes).
+  rt_.fabric().poll_crash(pe_);
+}
 
 std::byte* PeContext::local(SymPtr p, std::uint64_t delta) {
   return rt_.heap().local(pe_, p, delta);

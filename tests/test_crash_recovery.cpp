@@ -1,0 +1,310 @@
+// Crash-stop recovery, end to end (docs/resilience.md).
+//
+// Four regression shapes that hang without the recovery machinery — a
+// thief dying mid-steal, a victim dying under its thieves, an SDC lock
+// holder dying, and a PE dying with spawn_on traffic in its inbox — plus
+// the acceptance runs: UTS and BPC at 16 PEs surviving 1–3 planned
+// crashes on both protocols with run-twice-identical recovery schedules.
+//
+// The watchdog: every run also plans a crash for EVERY PE at a virtual
+// instant far beyond any legitimate completion. A PE that finishes
+// disarms its own watchdog at pool teardown, so passing runs never see
+// it; a recovery deadlock instead kills the whole job at the watchdog
+// instant, the run returns, and the duration assertion fails loudly —
+// a hang becomes a readable test failure, in virtual time.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "net/fault.hpp"
+#include "sws.hpp"
+
+namespace sws {
+namespace {
+
+/// Far beyond any passing run in this file (longest ≈ 4 ms virtual).
+constexpr net::Nanos kWatchdogNs = 50'000'000;
+
+/// CI's chaos-soak sweeps the base RNG seed (victim selection order, and
+/// through it which steals are in flight when each crash fires) without
+/// recompiling: SWS_CRASH_SEED=n overrides the default. Every assertion
+/// in this file is seed-independent — determinism checks compare two runs
+/// of the same seed, and task-count bounds hold for any schedule.
+std::uint64_t base_seed() {
+  const char* s = std::getenv("SWS_CRASH_SEED");
+  return s != nullptr ? std::strtoull(s, nullptr, 10) : 42;
+}
+
+pgas::RuntimeConfig crash_rcfg(int npes,
+                               const std::vector<net::CrashEvent>& crashes,
+                               std::uint64_t seed = 0) {
+  if (seed == 0) seed = base_seed();
+  pgas::RuntimeConfig c;
+  c.npes = npes;
+  c.heap_bytes = 4 << 20;
+  c.seed = seed;
+  for (const net::CrashEvent& e : crashes) c.net.faults.crashes.push_back(e);
+  for (int pe = 0; pe < npes; ++pe)
+    c.net.faults.crashes.push_back({pe, kWatchdogNs});
+  return c;
+}
+
+core::PoolConfig pcfg(core::QueueKind kind) {
+  core::PoolConfig c;
+  c.kind = kind;
+  c.queue.capacity = 8192;
+  c.queue.slot_bytes = 64;
+  return c;
+}
+
+/// The ~27k-node tree from Integration.TaskConservationAtScale, slowed to
+/// 500 ns per node so a 16-PE run lasts >= 800 µs and every planned crash
+/// in this file lands mid-run, well after the startup barriers.
+workloads::UtsParams crash_uts_params() {
+  workloads::UtsParams p;
+  p.b0 = 6;
+  p.gen_mx = 9;
+  p.root_seed = 3;
+  p.node_compute_ns = 500;
+  return p;
+}
+
+/// Comparable per-PE fingerprint: identical across two identical runs iff
+/// the recovery schedule (who detected, fenced, re-executed, rerouted
+/// what) replayed exactly.
+struct PeSig {
+  std::uint64_t executed = 0;
+  std::uint64_t spawned = 0;
+  std::uint64_t stolen = 0;
+  std::uint64_t steals_ok = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t reexecuted = 0;
+  std::uint64_t rerouted = 0;
+  std::uint64_t deaths = 0;
+
+  bool operator==(const PeSig&) const = default;
+};
+
+struct CrashRun {
+  core::PoolRunReport report;
+  std::vector<PeSig> per_pe;
+  net::Nanos duration = 0;
+  int ndead = 0;
+};
+
+CrashRun run_uts_crash(core::QueueKind kind, int npes,
+                       const std::vector<net::CrashEvent>& crashes) {
+  pgas::Runtime rt(crash_rcfg(npes, crashes));
+  core::TaskRegistry reg;
+  workloads::UtsBenchmark uts(reg, crash_uts_params());
+  core::TaskPool pool(rt, reg, pcfg(kind));
+  rt.run([&](pgas::PeContext& ctx) {
+    pool.run_pe(ctx, [&](core::Worker& w) { uts.seed(w); });
+  });
+  CrashRun r;
+  r.report = pool.report();
+  for (int pe = 0; pe < npes; ++pe) {
+    const core::WorkerStats& s = pool.worker_stats(pe);
+    r.per_pe.push_back({s.tasks_executed, s.tasks_spawned, s.tasks_stolen,
+                        s.steals_ok, s.steal_attempts, s.tasks_reexecuted,
+                        s.tasks_rerouted, s.deaths_witnessed});
+  }
+  r.duration = rt.last_run_duration();
+  r.ndead = rt.fabric().num_dead();
+  return r;
+}
+
+/// The watchdog check every crash test runs: the job finished on its own
+/// (no PE was still stuck when the watchdog instant arrived) and exactly
+/// the planned deaths happened.
+void expect_clean_finish(const CrashRun& r, int expected_dead) {
+  EXPECT_LT(r.duration, kWatchdogNs)
+      << "run only ended because the watchdog killed it — recovery hung";
+  EXPECT_EQ(r.ndead, expected_dead);
+}
+
+// ------------------------------------------------- regression: hang shapes
+
+// A thief dies mid-run with claims open against the owner. Without lease
+// fencing the owner waits on the dead thief's completion words forever.
+TEST(CrashRecovery, ThiefCrashMidStealSws) {
+  const CrashRun r =
+      run_uts_crash(core::QueueKind::kSws, 4, {{3, 400'000}});
+  expect_clean_finish(r, 1);
+  EXPECT_GT(r.report.total.tasks_executed, 0u);
+  EXPECT_GE(r.report.total.deaths_witnessed, 1u);
+}
+
+// The victim (and seed owner, and initial termination coordinator) dies
+// under its thieves: steal handshakes against it return poison, and the
+// coordinator role must fail over to the next live PE.
+TEST(CrashRecovery, VictimCrashMidRunSws) {
+  const CrashRun r =
+      run_uts_crash(core::QueueKind::kSws, 4, {{0, 400'000}});
+  expect_clean_finish(r, 1);
+  EXPECT_GT(r.report.total.tasks_executed, 0u);
+  EXPECT_GE(r.report.total.deaths_witnessed, 1u);
+}
+
+// SDC: a PE that dies can take the per-queue lock with it. Three crash
+// instants sample different protocol stages; each must break the dead
+// holder's lease rather than spin on the lock forever.
+TEST(CrashRecovery, LockHolderCrashSdc) {
+  for (const net::Nanos at : {200'000, 350'000, 500'000}) {
+    const CrashRun r = run_uts_crash(core::QueueKind::kSdc, 4, {{2, at}});
+    expect_clean_finish(r, 1);
+    EXPECT_GT(r.report.total.tasks_executed, 0u) << "crash at " << at;
+    EXPECT_GE(r.report.total.deaths_witnessed, 1u) << "crash at " << at;
+  }
+}
+
+// A PE dies with spawn_on traffic aimed at it: ring chains push through
+// every PE continuously, so the dead PE's inbox has undrained tasks and
+// senders mid-push against it. Senders must reroute or re-home those
+// tasks; without that, chains stall and termination never fires.
+TEST(CrashRecovery, InboxCrashWithPendingTasks) {
+  constexpr int kNpes = 8;
+  pgas::Runtime rt(crash_rcfg(kNpes, {{3, 300'000}}));
+  core::TaskRegistry reg;
+  core::TaskFnId fn = 0;
+  fn = reg.register_fn(
+      "ring-hop", [&fn](core::Worker& w, std::span<const std::byte> b) {
+        std::uint32_t hops;
+        std::memcpy(&hops, b.data(), 4);
+        w.compute(5000);
+        if (hops == 0) return;
+        w.spawn_on((w.pe() + 1) % w.npes(), core::Task::of(fn, hops - 1));
+      });
+  core::TaskPool pool(rt, reg, pcfg(core::QueueKind::kSws));
+  rt.run([&](pgas::PeContext& ctx) {
+    pool.run_pe(ctx, [&](core::Worker& w) {
+      for (std::uint32_t c = 0; c < 4; ++c)
+        w.spawn(core::Task::of(fn, std::uint32_t{64}));
+    });
+  });
+  EXPECT_LT(rt.last_run_duration(), kWatchdogNs)
+      << "run only ended because the watchdog killed it — recovery hung";
+  EXPECT_EQ(rt.fabric().num_dead(), 1);
+  const core::PoolRunReport r = pool.report();
+  EXPECT_GT(r.total.tasks_executed, 0u);
+  EXPECT_GE(r.total.deaths_witnessed, 1u);
+}
+
+// --------------------------------------------- acceptance: 16-PE survival
+
+// Both protocols, 1 and 3 planned crashes, 16 PEs: survivors finish, the
+// re-execution bound holds (every task runs at most twice, so the total
+// can never exceed 2x the tree), and the whole run — including the
+// recovery schedule — replays byte-identically from the same seed + plan.
+TEST(CrashRecovery, UtsSurvivorsDeterministic) {
+  const auto truth = workloads::uts_sequential_count(crash_uts_params());
+  const std::vector<std::vector<net::CrashEvent>> plans = {
+      {{5, 250'000}},
+      {{3, 200'000}, {7, 280'000}, {11, 360'000}},
+  };
+  for (const auto kind : {core::QueueKind::kSdc, core::QueueKind::kSws}) {
+    for (const auto& plan : plans) {
+      const CrashRun a = run_uts_crash(kind, 16, plan);
+      const CrashRun b = run_uts_crash(kind, 16, plan);
+      expect_clean_finish(a, static_cast<int>(plan.size()));
+      EXPECT_GT(a.report.total.tasks_executed, 0u);
+      EXPECT_LE(a.report.total.tasks_executed, 2 * truth.nodes)
+          << "at-least-once multiplicity bound breached";
+      EXPECT_GE(a.report.total.deaths_witnessed, 1u);
+      // Determinism: same seed + same fault plan => identical survivor
+      // work, identical recovery actions, identical virtual duration.
+      EXPECT_EQ(a.duration, b.duration);
+      EXPECT_EQ(a.ndead, b.ndead);
+      ASSERT_EQ(a.per_pe.size(), b.per_pe.size());
+      for (std::size_t pe = 0; pe < a.per_pe.size(); ++pe)
+        EXPECT_TRUE(a.per_pe[pe] == b.per_pe[pe])
+            << "pe " << pe << " diverged between identical runs";
+    }
+  }
+}
+
+TEST(CrashRecovery, BpcSurvivorsDeterministic) {
+  workloads::BpcParams bp;
+  bp.consumers_per_producer = 16;
+  bp.depth = 20;
+  bp.consumer_ns = 100'000;
+  bp.producer_ns = 10'000;
+  for (const auto kind : {core::QueueKind::kSdc, core::QueueKind::kSws}) {
+    std::vector<CrashRun> runs;
+    for (int rep = 0; rep < 2; ++rep) {
+      pgas::Runtime rt(crash_rcfg(16, {{2, 300'000}}));
+      core::TaskRegistry reg;
+      workloads::BpcBenchmark bpc(reg, bp);
+      core::TaskPool pool(rt, reg, pcfg(kind));
+      rt.run([&](pgas::PeContext& ctx) {
+        pool.run_pe(ctx, [&](core::Worker& w) { bpc.seed(w); });
+      });
+      CrashRun r;
+      r.report = pool.report();
+      for (int pe = 0; pe < 16; ++pe) {
+        const core::WorkerStats& s = pool.worker_stats(pe);
+        r.per_pe.push_back({s.tasks_executed, s.tasks_spawned,
+                            s.tasks_stolen, s.steals_ok, s.steal_attempts,
+                            s.tasks_reexecuted, s.tasks_rerouted,
+                            s.deaths_witnessed});
+      }
+      r.duration = rt.last_run_duration();
+      r.ndead = rt.fabric().num_dead();
+      runs.push_back(std::move(r));
+    }
+    expect_clean_finish(runs[0], 1);
+    EXPECT_GT(runs[0].report.total.tasks_executed, 0u);
+    EXPECT_LE(runs[0].report.total.tasks_executed, 2 * bp.expected_tasks());
+    EXPECT_EQ(runs[0].duration, runs[1].duration);
+    for (std::size_t pe = 0; pe < runs[0].per_pe.size(); ++pe)
+      EXPECT_TRUE(runs[0].per_pe[pe] == runs[1].per_pe[pe])
+          << "pe " << pe << " diverged between identical runs";
+  }
+}
+
+// A plan whose crashes all postdate completion (the watchdog alone): the
+// crash-mode machinery is fully armed — resilient termination, claim
+// intents, sender ledgers — yet nothing fires, and the run must still
+// visit every node exactly once. Recovery must not distort a run it
+// never acts on.
+TEST(CrashRecovery, ArmedButUnfiredPlanStaysExact) {
+  const auto truth = workloads::uts_sequential_count(crash_uts_params());
+  for (const auto kind : {core::QueueKind::kSdc, core::QueueKind::kSws}) {
+    const CrashRun r = run_uts_crash(kind, 8, {});
+    expect_clean_finish(r, 0);
+    EXPECT_EQ(r.report.total.tasks_executed, truth.nodes);
+    EXPECT_EQ(r.report.total.tasks_reexecuted, 0u);
+    EXPECT_EQ(r.report.total.deaths_witnessed, 0u);
+  }
+}
+
+// Node-granularity failure through the topology preset: a 2x4 job loses
+// one full node (all four of its PEs) at once — the shape the CI smoke
+// runs.
+TEST(CrashRecovery, NodeFailurePlanKillsWholeNode) {
+  const net::Topology topo(net::TopologySpec::two_level(4), 8);
+  net::NetworkParams netp = net::NetworkParams::two_level(4);
+  netp.faults = net::node_failure_plan(topo, /*node=*/1, /*at_ns=*/300'000);
+  for (int pe = 0; pe < 8; ++pe)
+    netp.faults.crashes.push_back({pe, kWatchdogNs});
+  pgas::RuntimeConfig c;
+  c.npes = 8;
+  c.heap_bytes = 4 << 20;
+  c.seed = base_seed();
+  c.net = netp;
+  core::TaskRegistry reg;
+  pgas::Runtime rt(c);
+  workloads::UtsBenchmark uts(reg, crash_uts_params());
+  core::TaskPool pool(rt, reg, pcfg(core::QueueKind::kSws));
+  rt.run([&](pgas::PeContext& ctx) {
+    pool.run_pe(ctx, [&](core::Worker& w) { uts.seed(w); });
+  });
+  EXPECT_LT(rt.last_run_duration(), kWatchdogNs);
+  EXPECT_EQ(rt.fabric().num_dead(), 4);
+  EXPECT_GT(pool.report().total.tasks_executed, 0u);
+}
+
+}  // namespace
+}  // namespace sws

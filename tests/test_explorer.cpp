@@ -121,6 +121,46 @@ TEST(Explorer, FindsReplaysAndShrinksLostUpdate) {
             nondefault(rep.failing.choices));
 }
 
+// One planned crash exhaustively interleaved against live steal
+// handshakes: PE 1 dies at explore-epoch + offset (ops cost 100 ns, so
+// different offsets land the death at different handshake stages), the
+// owner fences its open claims, and the ledger holds every task to the
+// at-least-once multiplicity bound of 2. Any schedule that hangs would
+// trip the explorer's bounded schedule budget / test timeout.
+TEST(Explorer, CrashStealSwsMultiplicityBound) {
+  for (const net::Nanos offset : {50, 250, 450}) {
+    ExploreOptions opts;
+    opts.mode = ExploreMode::kExhaustive;
+    opts.max_schedules = 150;
+    Explorer ex(crash_steal_scenario(core::QueueKind::kSws, offset), opts);
+    const ExploreReport rep = ex.run();
+    EXPECT_FALSE(rep.failed) << "offset=" << offset << "\n" << rep.summary();
+    EXPECT_GT(rep.branch_points, 0u) << "offset=" << offset;
+  }
+}
+
+TEST(Explorer, CrashStealSdcMultiplicityBound) {
+  for (const net::Nanos offset : {50, 350, 650}) {
+    ExploreOptions opts;
+    opts.mode = ExploreMode::kExhaustive;
+    opts.max_schedules = 150;
+    Explorer ex(crash_steal_scenario(core::QueueKind::kSdc, offset), opts);
+    const ExploreReport rep = ex.run();
+    EXPECT_FALSE(rep.failed) << "offset=" << offset << "\n" << rep.summary();
+    EXPECT_GT(rep.branch_points, 0u) << "offset=" << offset;
+  }
+}
+
+TEST(Explorer, CrashStealRandomSampling) {
+  ExploreOptions opts;
+  opts.mode = ExploreMode::kRandom;
+  opts.max_schedules = 100;
+  opts.seed = 17;
+  Explorer ex(crash_steal_scenario(core::QueueKind::kSws, 150), opts);
+  const ExploreReport rep = ex.run();
+  EXPECT_FALSE(rep.failed) << rep.summary();
+}
+
 TEST(Explorer, SummaryMentionsViolation) {
   ExploreOptions opts;
   opts.mode = ExploreMode::kRandom;

@@ -239,6 +239,20 @@ TEST(TraceAnalysis, RejectsMalformedJson) {
   EXPECT_THROW(parse_chrome_trace(truncated), std::runtime_error);
 }
 
+TEST(TraceAnalysis, MissingTopoMetaFailsLoudly) {
+  // A protocol-bearing trace from an older writer (no topo key): tier
+  // attribution would silently default to flat, so the analyzer must
+  // refuse instead of guessing.
+  std::istringstream is(
+      "[\n{\"name\":\"sws_run_meta\",\"ph\":\"i\",\"s\":\"g\",\"ts\":0,"
+      "\"pid\":0,\"tid\":0,\"args\":{\"protocol\":\"sws\",\"npes\":2,"
+      "\"slot_bytes\":48,\"truncated\":0}}\n]\n");
+  const AnalyzeReport r = analyze(parse_chrome_trace(is));
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_NE(r.violations.front().find("topo"), std::string::npos)
+      << r.violations.front();
+}
+
 // ----------------------------------------- live end-to-end (Fig 2 claims)
 
 struct UtsRun {
@@ -311,6 +325,47 @@ TEST(TraceAnalysisLive, SdcStealIsSixOpSequence) {
             "amo_cswap:1 amo_set:1 get:2 nbi_amo_set:1 put:1");
   EXPECT_DOUBLE_EQ(r.ops_per_success, 6.0);
   EXPECT_DOUBLE_EQ(r.blocking_per_success, 5.0);
+}
+
+TEST(TraceAnalysisLive, CrashModeShapesAdmittedAndSummarized) {
+  // A crash-mode run: PE 2 dies mid-run. The analyzer must (a) admit the
+  // crash-mode SDC steal shape — the extra claim-intent put inside the
+  // critical section is protocol, not a violation — and (b) surface the
+  // recovery events in its summary counters.
+  for (const auto kind : {core::QueueKind::kSdc, core::QueueKind::kSws}) {
+    pgas::RuntimeConfig rcfg;
+    rcfg.npes = 4;
+    rcfg.net.faults.crashes.push_back({2, 300'000});
+    pgas::Runtime rt(rcfg);
+
+    workloads::UtsParams p;
+    p.b0 = 4;
+    p.gen_mx = 9;
+    p.node_compute_ns = 2000;
+    core::TaskRegistry registry;
+    workloads::UtsBenchmark uts(registry, p);
+
+    core::PoolConfig pcfg;
+    pcfg.kind = kind;
+    pcfg.queue.slot_bytes = 48;
+    pcfg.trace.enable = true;
+    pcfg.trace.events = std::size_t{1} << 18;
+    core::TaskPool pool(rt, registry, pcfg);
+    rt.run([&](pgas::PeContext& ctx) {
+      pool.run_pe(ctx, [&](core::Worker& w) { uts.seed(w); });
+    });
+
+    std::ostringstream os;
+    pool.dump_trace_json(os);
+    std::istringstream is(os.str());
+    const RunTrace rtr = parse_chrome_trace(is);
+    EXPECT_TRUE(rtr.crash_mode);
+    const AnalyzeReport r = analyze(rtr);
+    ASSERT_FALSE(r.truncated) << "grow the trace ring";
+    EXPECT_TRUE(r.violations.empty()) << r.violations.front();
+    EXPECT_GE(r.deaths_detected, 1u)
+        << (kind == core::QueueKind::kSdc ? "SDC" : "SWS");
+  }
 }
 
 TEST(TraceAnalysisLive, MetricsCoverEveryLayer) {
