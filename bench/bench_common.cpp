@@ -130,6 +130,10 @@ ConfigResult run_config(core::QueueKind kind, int npes,
     out.tasks = r.total.tasks_executed;
     out.steals += r.total.steals_ok;
     out.steal_attempts += r.total.steal_attempts;
+    out.tasks_stolen += r.total.tasks_stolen;
+    out.bytes_stolen += r.total.bytes_stolen;
+    for (int pe = 0; pe < npes; ++pe)
+      out.remote_ops += rt.fabric().stats(pe).remote_ops;
     out.reexec_tasks += r.total.tasks_reexecuted;
     out.rerouted_tasks += r.total.tasks_rerouted;
     out.deaths += static_cast<std::uint64_t>(rt.fabric().num_dead());

@@ -4,7 +4,7 @@
 //
 //   ./steal_timeline [--npes 8] [--queue sws|sdc] [--depth 9]
 //                    [--topo SPEC|--node-size N] [--victim POLICY]
-//                    [--chrome-json trace.json]
+//                    [--bulk N] [--chrome-json trace.json]
 //
 // --topo "2x4" models 2 nodes x 4 PEs (outermost-first; see
 // docs/topology.md); --victim picks the selection policy (random,
@@ -47,6 +47,8 @@ int main(int argc, char** argv) {
                   ? core::QueueKind::kSdc
                   : core::QueueKind::kSws;
   pcfg.queue.slot_bytes = 48;
+  pcfg.steal.bulk_claim_max =
+      static_cast<std::uint32_t>(opt.get("bulk", std::int64_t{1}));
   pcfg.victim.policy = core::parse_victim_policy(
       opt.get("victim", std::string("random")));
   pcfg.trace.enable = true;

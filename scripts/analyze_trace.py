@@ -113,15 +113,19 @@ def check_success(protocol, span, crash_mode=False):
     bad = []
     if protocol == "sws":
         probes = ops["amo_fetch"]
+        nbi_adds = ops["nbi_amo_add"]
         if ops["amo_fetch_add"] != 1:
             bad.append("expected exactly 1 remote fetch-add")
         if probes > 1:
             bad.append("expected at most 1 empty-mode probe fetch")
         if not 1 <= gets <= 2:
             bad.append("expected 1 task-copy get (2 if wrapped)")
-        if ops["nbi_amo_add"] != 1:
-            bad.append("expected exactly 1 nbi completion add")
-        if sum(ops.values()) != 2 + gets + probes:
+        # Bulk claims: one completion add per claimed block, still one
+        # fetch-add and one coalesced copy.
+        if not 1 <= nbi_adds <= 32:
+            bad.append("expected 1 nbi completion add per claimed block "
+                       "(1..32)")
+        if sum(ops.values()) != 1 + gets + probes + nbi_adds:
             bad.append("unexpected extra ops in SWS steal")
     elif protocol == "sdc":
         want_puts = 2 if crash_mode else 1

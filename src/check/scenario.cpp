@@ -415,6 +415,24 @@ Scenario sws_steal_release_scenario(int npes) {
   return s;
 }
 
+Scenario bulk_steal_scenario(int npes) {
+  Scenario s;
+  s.name = "sws-bulk-steal";
+  s.npes = npes;
+  s.make = [npes](pgas::Runtime& rt) -> std::unique_ptr<ScenarioInstance> {
+    // Same protocol exercise, bulk claims on: thieves may take several
+    // blocks per fetch-add, so the ledger must still see every task
+    // surface exactly once across every interleaving of multi-block
+    // claims, owner republishes, and epoch flips.
+    core::SwsConfig bulk;
+    bulk.bulk_claim_max = 4;
+    auto q = std::make_unique<core::SwsQueue>(rt, core::QueueConfig{64, 32},
+                                              bulk);
+    return std::make_unique<QueueStealRelease>(std::move(q), npes);
+  };
+  return s;
+}
+
 Scenario sdc_steal_release_scenario(int npes) {
   Scenario s;
   s.name = "sdc-steal-release";

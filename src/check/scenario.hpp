@@ -130,6 +130,10 @@ class ScenarioEnv {
 /// SWS structured-atomic queue. Checks: queue audit invariants at every
 /// step, no task lost, no task duplicated.
 Scenario sws_steal_release_scenario(int npes = 2);
+/// Same exercise with SWS bulk claims enabled (bulk_claim_max = 4):
+/// multi-block claims interleaved with owner republish and epoch flips
+/// must still surface every task exactly once.
+Scenario bulk_steal_scenario(int npes = 2);
 /// Same protocol exercise against the SDC baseline queue.
 Scenario sdc_steal_release_scenario(int npes = 2);
 

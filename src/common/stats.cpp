@@ -72,16 +72,28 @@ std::uint64_t LogHistogram::quantile(double q) const noexcept {
       static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1));
   std::uint64_t seen = 0;
   for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const std::uint64_t before = seen;
     seen += buckets_[b];
     if (seen <= target) continue;
-    // Interior quantiles report the bucket's *lower* bound (a value <= the
-    // true quantile). q=1.0 instead reports the top occupied bucket's
-    // inclusive upper bound, so "max <= quantile(1.0)" actually holds —
-    // the lower bound would understate the max by up to 2x.
-    if (q >= 1.0)
-      return b + 1 >= kBuckets ? ~std::uint64_t{0}
-                               : (std::uint64_t{1} << (b + 1)) - 1;
-    return b == 0 ? 0 : (std::uint64_t{1} << b);
+    // q=1.0 reports the top occupied bucket's inclusive upper bound, so
+    // "max <= quantile(1.0)" actually holds — a lower estimate would
+    // understate the max by up to 2x.
+    const std::uint64_t lower = b == 0 ? 0 : std::uint64_t{1} << b;
+    const std::uint64_t upper = b + 1 >= kBuckets
+                                    ? ~std::uint64_t{0}
+                                    : (std::uint64_t{1} << (b + 1)) - 1;
+    if (q >= 1.0) return upper;
+    // Interior quantiles interpolate within the bucket: the target rank
+    // falls on the (rank+1)-th of `count` samples spread evenly across
+    // [lower, upper], so p95/p99 no longer collapse to the bucket's lower
+    // bound (which under-reported tails by up to 2x).
+    const std::uint64_t rank = target - before;   // 0-based within bucket
+    const std::uint64_t count = buckets_[b];
+    const double frac =
+        (static_cast<double>(rank) + 0.5) / static_cast<double>(count);
+    return lower + static_cast<std::uint64_t>(
+                       static_cast<double>(upper - lower) * frac);
   }
   return ~std::uint64_t{0};  // unreachable: seen reaches total_ > target
 }

@@ -77,6 +77,80 @@ bool TaskInbox::remote_push(pgas::PeContext& sender, int target,
   return true;
 }
 
+std::uint32_t TaskInbox::remote_push_many(pgas::PeContext& sender, int target,
+                                          std::span<const Task> tasks) {
+  if (tasks.empty()) return 0;
+  if (tasks.size() == 1)
+    return remote_push(sender, target, tasks[0]) ? 1 : 0;
+  auto& fab = sender.fabric();
+  const bool crash_mode = fab.crashes_planned() && recovery_ != nullptr;
+
+  // Reserve a run of slots with one CAS: same bounded reservation as the
+  // single push, except the cursor advances by however many of `tasks`
+  // the (possibly stale — only ever pessimistic) room estimate covers.
+  std::uint64_t seq;
+  std::uint64_t drained;
+  std::uint64_t n;
+  for (;;) {
+    const std::uint64_t reserve =
+        fab.amo_fetch(sender.pe(), target, base_.off + kReserveOff);
+    drained = fab.amo_fetch(sender.pe(), target, base_.off + kDrainedOff);
+    if (crash_mode && (reserve == net::kDeadFetchValue ||
+                       drained == net::kDeadFetchValue)) {
+      recovery_->note_dead(sender.pe(), target);
+      return 0;
+    }
+    const std::uint64_t used = reserve - drained;
+    if (used >= capacity_) return 0;  // full
+    n = std::min<std::uint64_t>(tasks.size(), capacity_ - used);
+    if (fab.amo_compare_swap(sender.pe(), target, base_.off + kReserveOff,
+                             reserve, reserve + n) == reserve) {
+      seq = reserve;
+      break;
+    }
+    // Lost the race to another sender; re-check occupancy and retry.
+  }
+
+  // Stage [tag|payload] for slots seq..seq+n-1 and ship each contiguous
+  // ring segment as one put (two when the run wraps). Every tag rides
+  // inside the put EXCEPT the first slot's, staged as 0: the owner drains
+  // strictly in sequence order, so nothing in the run is visible until the
+  // closing AMO publishes that first tag — one completion tag for the
+  // whole batch. Blocking ops complete in order, so the puts land first.
+  const std::uint64_t stride = 8 + slot_bytes_;
+  std::vector<std::byte> staged;
+  std::uint64_t i = 0;
+  while (i < n) {
+    const std::uint64_t first = seq + i;
+    const std::uint64_t pos = first % capacity_;
+    const std::uint64_t run = std::min(n - i, capacity_ - pos);
+    staged.assign(static_cast<std::size_t>(run * stride), std::byte{0});
+    for (std::uint64_t j = 0; j < run; ++j) {
+      std::byte* slot = staged.data() + j * stride;
+      const std::uint64_t tag = first + j + 1;
+      std::memcpy(slot, &tag, sizeof(tag));
+      tasks[static_cast<std::size_t>(i + j)].serialize(slot + 8, slot_bytes_);
+    }
+    // The run's first slot is the one the owner's drain loop may already
+    // be polling: keep its tag word out of the put (start at the payload)
+    // so the only write that ever publishes it is the closing AMO.
+    const std::uint64_t skip = first == seq ? 8 : 0;
+    sender.put(target, base_, slot_off(first) + skip, staged.data() + skip,
+               static_cast<std::size_t>(run * stride - skip));
+    i += run;
+  }
+  fab.amo_set(sender.pe(), target, base_.off + slot_off(seq), seq + 1);
+
+  if (crash_mode) {
+    auto& row = ledgers_[static_cast<std::size_t>(sender.pe())]
+                    .per_target[static_cast<std::size_t>(target)];
+    while (!row.empty() && row.front().first < drained) row.pop_front();
+    for (std::uint64_t j = 0; j < n; ++j)
+      row.emplace_back(seq + j, tasks[static_cast<std::size_t>(j)]);
+  }
+  return static_cast<std::uint32_t>(n);
+}
+
 std::uint32_t TaskInbox::reroute_dead(pgas::PeContext& sender, int target,
                                       std::vector<Task>& out) {
   auto& row = ledgers_[static_cast<std::size_t>(sender.pe())]

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -51,6 +52,15 @@ class TaskInbox {
   /// Deliver `t` to `target`'s inbox. Returns false when the inbox is
   /// full (sender should retry later or fall back to local execution).
   bool remote_push(pgas::PeContext& sender, int target, const Task& t);
+
+  /// Batched push: reserve a run of slots with one CAS, stage every
+  /// payload (and every tag but the first) into 1–2 vectorized puts, then
+  /// publish the whole run with a single tag AMO — the owner drains in
+  /// sequence order, so tagging the first slot releases the run. Pushes as
+  /// many of `tasks` as the ring has room for; returns that count (0 when
+  /// full or the target is dead).
+  std::uint32_t remote_push_many(pgas::PeContext& sender, int target,
+                                 std::span<const Task> tasks);
 
   /// Owner: consume every published task in sequence order.
   /// Returns the number drained.

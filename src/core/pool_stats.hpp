@@ -17,6 +17,7 @@ struct WorkerStats {
   std::uint64_t tasks_executed = 0;
   std::uint64_t tasks_spawned = 0;   ///< children + seeds added by this PE
   std::uint64_t tasks_stolen = 0;    ///< tasks this PE pulled from victims
+  std::uint64_t bytes_stolen = 0;    ///< payload bytes those tasks carried
   std::uint64_t steals_ok = 0;
   std::uint64_t steal_attempts = 0;  ///< successful + failed
   /// Steal traffic by victim tier distance (index t-1 = tier t): the
@@ -35,11 +36,15 @@ struct WorkerStats {
   /// Per-successful-steal latency distribution (ns, log2 buckets) — the
   /// tail view behind the Fig 6/7e/8e means.
   LogHistogram steal_latency;
+  /// Blocks per successful steal claim (SWS bulk mode; all-1s at
+  /// bulk_claim_max = 1) — the mean-claim-size view the bulk ablation plots.
+  LogHistogram claim_blocks;
 
   void merge(const WorkerStats& o) noexcept {
     tasks_executed += o.tasks_executed;
     tasks_spawned += o.tasks_spawned;
     tasks_stolen += o.tasks_stolen;
+    bytes_stolen += o.bytes_stolen;
     steals_ok += o.steals_ok;
     steal_attempts += o.steal_attempts;
     for (std::size_t i = 0; i < steal_attempts_by_tier.size(); ++i) {
@@ -55,6 +60,7 @@ struct WorkerStats {
     tasks_rerouted += o.tasks_rerouted;
     deaths_witnessed += o.deaths_witnessed;
     steal_latency.merge(o.steal_latency);
+    claim_blocks.merge(o.claim_blocks);
   }
 };
 

@@ -44,6 +44,9 @@ struct StealResult {
   /// queue knows *why* the steal failed — locked epoch rotation vs. lock
   /// convoy — so it, not the scheduler, sizes the fast-retry pause.
   net::Nanos retry_after_ns = 0;
+  /// Steal-half blocks the claim covered (SWS bulk claims may take several
+  /// per AMO; every other path reports 1 per success, 0 otherwise).
+  std::uint32_t blocks = 0;
 };
 
 /// Per-PE queue-op counters (owner and thief sides), aggregated by the
@@ -62,6 +65,9 @@ struct QueueOpStats {
   std::uint64_t steals_dead = 0;      ///< steal attempts against crashed PEs
   std::uint64_t leases_broken = 0;    ///< dead peers' claims/locks fenced off
   std::uint64_t tasks_recovered = 0;  ///< tasks re-published after a death
+  std::uint64_t bulk_claims = 0;      ///< SWS successes claiming > 1 block
+  std::uint64_t blocks_claimed = 0;   ///< SWS blocks claimed across successes
+  std::uint64_t pressure_releases = 0;  ///< SWS enlarged releases under load
 
   void merge(const QueueOpStats& o) noexcept {
     releases += o.releases;
@@ -76,6 +82,9 @@ struct QueueOpStats {
     steals_dead += o.steals_dead;
     leases_broken += o.leases_broken;
     tasks_recovered += o.tasks_recovered;
+    bulk_claims += o.bulk_claims;
+    blocks_claimed += o.blocks_claimed;
+    pressure_releases += o.pressure_releases;
   }
 };
 

@@ -65,6 +65,34 @@ void Worker::spawn_on(int target, const Task& t) {
   execute(t);
 }
 
+void Worker::spawn_on_many(int target, std::span<const Task> tasks) {
+  if (tasks.empty()) return;
+  if (target == pe() || !pool_.inbox_ ||
+      (pool_.recovery_ && pool_.recovery_->known_dead(pe(), target))) {
+    for (const Task& t : tasks) spawn(t);
+    return;
+  }
+  pool_.term_->count_created(ctx_, tasks.size());
+  stats_.tasks_spawned += tasks.size();
+  if (pool_.tracer_.enabled())
+    pool_.tracer_.record(pe(), ctx_.now(), TraceKind::kSpawnRemote,
+                         static_cast<std::uint64_t>(target), tasks.size());
+  // Same escape hazard as spawn_on, batched: flush the whole created-delta
+  // before any of the tasks can land remotely.
+  pool_.term_->task_boundary(ctx_);
+  std::size_t done = 0;
+  for (int attempt = 0; attempt < 8 && done < tasks.size(); ++attempt) {
+    done += pool_.inbox_->remote_push_many(ctx_, target,
+                                           tasks.subspan(done));
+    if (done == tasks.size()) return;
+    if (pool_.recovery_ && pool_.recovery_->known_dead(pe(), target)) break;
+    ctx_.compute(pool_.cfg_.steal.backoff_min_ns);
+  }
+  // Whatever the target could not take runs here — always legal under the
+  // Scioto model (tasks are location-independent).
+  for (const Task& t : tasks.subspan(done)) execute(t);
+}
+
 void Worker::compute(net::Nanos dt) {
   stats_.compute_time_ns += dt;
   ctx_.compute(dt);
@@ -88,6 +116,11 @@ TaskPool::TaskPool(pgas::Runtime& rt, TaskRegistry& registry, PoolConfig cfg)
       registry_(registry),
       cfg_(cfg),
       last_stats_(static_cast<std::size_t>(rt.npes())) {
+  // The bulk-claim knob lives on StealTuning (the user-facing pacing
+  // struct) but the queue implements it; mirror so either spelling works,
+  // larger wins.
+  cfg_.sws.bulk_claim_max =
+      std::max(cfg_.sws.bulk_claim_max, cfg_.steal.bulk_claim_max);
   switch (cfg_.kind) {
     case QueueKind::kSws:
       queue_ = std::make_unique<SwsQueue>(rt, cfg_.queue, cfg_.sws);
@@ -377,6 +410,9 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
           if (vtier >= 1)
             ++w.stats_.steals_ok_by_tier[static_cast<std::size_t>(vtier - 1)];
           w.stats_.tasks_stolen += res.ntasks;
+          w.stats_.bytes_stolen += static_cast<std::uint64_t>(res.ntasks) *
+                                   cfg_.queue.slot_bytes;
+          if (res.blocks > 0) w.stats_.claim_blocks.add(res.blocks);
           w.stats_.steal_latency.add(dt);
           if (tracer_.enabled())
             tracer_.record(ctx.pe(), ctx.now(), TraceKind::kStealOk,
@@ -422,15 +458,29 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
         fast_retries = 0;
         pause = backoff;
         if (st.jitter > 0.0 && pause > 0) {
+          // Jitter, then clamp: the scaled pause must stay inside
+          // [backoff_min_ns, backoff_max_ns] — jitter decorrelates convoys,
+          // it must not grow the pause past the configured cap (or shrink
+          // it below the floor). Clamp in double BEFORE the cast: for
+          // extreme jitter/mult configurations the scaled value can exceed
+          // the integer range, and a double→Nanos cast of such a value is
+          // undefined behavior.
           const double f =
               1.0 + st.jitter * (2.0 * backoff_rng.uniform() - 1.0);
-          pause = static_cast<net::Nanos>(static_cast<double>(pause) * f);
+          double scaled = static_cast<double>(pause) * f;
+          scaled = std::min(scaled, static_cast<double>(st.backoff_max_ns));
+          scaled = std::max(scaled, static_cast<double>(st.backoff_min_ns));
+          pause = static_cast<net::Nanos>(scaled);
         }
         if (hint > pause) pause = hint;
-        backoff = std::min<net::Nanos>(
-            st.backoff_max_ns,
-            static_cast<net::Nanos>(static_cast<double>(backoff) *
-                                    st.backoff_mult));
+        // Grow in double and compare before casting — casting first
+        // overflows (UB) once backoff_mult compounds the value past the
+        // integer range, and only then clamping is too late.
+        const double grown =
+            static_cast<double>(backoff) * st.backoff_mult;
+        backoff = grown >= static_cast<double>(st.backoff_max_ns)
+                      ? st.backoff_max_ns
+                      : static_cast<net::Nanos>(grown);
       }
       const net::Nanos t0 = ctx.now();
       ctx.compute(pause);
@@ -492,6 +542,8 @@ void TaskPool::publish_metrics(obs::MetricsRegistry& reg) const {
              [](const WorkerStats& s) { return s.tasks_spawned; });
   set_worker("pool.tasks_stolen", "tasks pulled from victims",
              [](const WorkerStats& s) { return s.tasks_stolen; });
+  set_worker("pool.bytes_stolen", "payload bytes moved by successful steals",
+             [](const WorkerStats& s) { return s.bytes_stolen; });
   set_worker("pool.steals_ok", "successful steal operations",
              [](const WorkerStats& s) { return s.steals_ok; });
   set_worker("pool.steal_attempts", "successful + failed steals",
@@ -527,6 +579,11 @@ void TaskPool::publish_metrics(obs::MetricsRegistry& reg) const {
   for (int pe = 0; pe < npes; ++pe)
     reg.set_hist(lat, pe,
                  last_stats_[static_cast<std::size_t>(pe)].steal_latency);
+  const auto cblocks = reg.histogram("pool.claim_blocks",
+                                     "blocks per successful steal claim");
+  for (int pe = 0; pe < npes; ++pe)
+    reg.set_hist(cblocks, pe,
+                 last_stats_[static_cast<std::size_t>(pe)].claim_blocks);
 
   auto set_queue = [&](const char* name, const char* help, auto&& field) {
     const auto id = reg.counter(name, help);
@@ -547,6 +604,12 @@ void TaskPool::publish_metrics(obs::MetricsRegistry& reg) const {
             [](const QueueOpStats& s) { return s.damping_probes; });
   set_queue("queue.renews", "SWS owner-forced allotment renewals",
             [](const QueueOpStats& s) { return s.renews; });
+  set_queue("queue.bulk_claims", "SWS successes claiming more than one block",
+            [](const QueueOpStats& s) { return s.bulk_claims; });
+  set_queue("queue.blocks_claimed", "SWS blocks claimed across successes",
+            [](const QueueOpStats& s) { return s.blocks_claimed; });
+  set_queue("queue.pressure_releases", "SWS enlarged releases under pressure",
+            [](const QueueOpStats& s) { return s.pressure_releases; });
 
   // Crash-recovery series exist only for crash-mode pools, keeping
   // crash-free metric dumps identical to older builds.

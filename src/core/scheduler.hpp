@@ -18,6 +18,7 @@
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <span>
 
 #include "core/inbox.hpp"
 #include "core/pool_stats.hpp"
@@ -46,6 +47,11 @@ struct StealTuning {
   std::uint32_t retry_budget = 4;
   /// Failed steal attempts between termination-detector polls.
   std::uint32_t term_check_interval = 4;
+  /// SWS bulk claims: most steal-half blocks one steal AMO may take
+  /// (1..kMaxBulkClaim; 1 = legacy single-block protocol, bit-identical
+  /// schedules). Mirrored into SwsConfig::bulk_claim_max by the pool; the
+  /// larger of the two wins. Ignored by the SDC baseline.
+  std::uint32_t bulk_claim_max = 1;
 };
 
 /// Scheduler event tracing (off by default — recording is cheap but
@@ -96,6 +102,12 @@ class Worker {
   /// Requires PoolConfig::remote_spawn; falls back to local execution if
   /// the target inbox stays full.
   void spawn_on(int target, const Task& t);
+
+  /// Batched spawn_on: reserve a run of inbox slots with one CAS, ship all
+  /// payloads in one vectorized put, publish with a single completion tag.
+  /// Same fallback semantics as spawn_on, applied to whatever remainder
+  /// the target could not accept.
+  void spawn_on_many(int target, std::span<const Task> tasks);
 
   /// Charge task computation time (virtual in DES mode).
   void compute(net::Nanos dt);

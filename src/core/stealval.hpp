@@ -49,25 +49,39 @@ inline constexpr std::uint32_t kMaxQueueCapacity =
     static_cast<std::uint32_t>(TailField::kMax) + 1;
 
 // The asteals field is 24 bits wide and every full-mode steal attempt —
-// successful or not — increments it. A long-lived allotment under a probe
-// storm could therefore wrap the counter mod 2^24, at which point a late
-// thief's fetched prior value aliases an already-claimed block index and
-// the same tasks get copied twice (task multiplicity). Two complementary
-// guards keep the counter far from the wrap point:
+// successful or not — advances it (by the attempt's claim size, 1..
+// kMaxBulkClaim units). A long-lived allotment under a probe storm could
+// therefore wrap the counter mod 2^24, at which point a late thief's
+// fetched prior value aliases an already-claimed block index and the same
+// tasks get copied twice (task multiplicity). Two complementary guards
+// keep the counter far from the wrap point:
 //
-//  * kAStealsSoftCap — thief side: a fetched prior at/above this refuses
-//    to claim and falls back to read-only probes, so thieves stop feeding
-//    the counter. Each thief overshoots the cap by at most one increment,
-//    leaving > 2^23 of headroom before wrap.
+//  * kAStealsSoftCap — thief side: a claim whose fetched prior plus its
+//    own size would land at/past this refuses to claim and falls back to
+//    read-only probes, so thieves stop feeding the counter. Each thief
+//    overshoots the cap by at most one claim (<= kMaxBulkClaim units, not
+//    +1 — the bulk-claim guard), leaving > 2^23 of headroom before wrap
+//    even with every PE overshooting at once.
 //  * kAStealsRenewAt — owner side: progress() retires and republishes the
 //    allotment once it observes asteals at/above this, resetting the
 //    counter to zero. Orders of magnitude below the soft cap, so in a
 //    live system the owner renews long before any thief hits the cap.
 inline constexpr std::uint32_t kAStealsSoftCap = 1u << 20;
 inline constexpr std::uint32_t kAStealsRenewAt = 1u << 16;
+/// Upper bound on blocks one bulk fetch-add may claim. 32 matches the
+/// completion-array depth (CompletionSpace::kSlotsPerEpoch): no allotment
+/// has more blocks, so a single claim can never need more.
+inline constexpr std::uint32_t kMaxBulkClaim = 32;
 static_assert(kAStealsRenewAt < kAStealsSoftCap);
 static_assert(kAStealsSoftCap < (AStealsField::kMax + 1) / 2,
               "soft cap must leave wraparound headroom for thief overshoot");
+// Worst-case post-cap overshoot: one in-flight bulk claim per thief.
+// Budget for 2^16 thieves — far beyond any supported configuration —
+// and even that sum stays well inside the headroom the soft cap leaves
+// before the 24-bit counter wraps.
+static_assert(kAStealsSoftCap + (std::uint64_t{1} << 16) * kMaxBulkClaim <
+                  (AStealsField::kMax + 1) / 2,
+              "bulk overshoot must not reach the asteals wrap point");
 
 struct StealVal {
   std::uint32_t asteals = 0;

@@ -19,11 +19,26 @@ QueueConfig validated(QueueConfig q) {
   return q;
 }
 
+SwsConfig validated(SwsConfig c) {
+  SWS_CHECK(c.bulk_claim_max >= 1 && c.bulk_claim_max <= kMaxBulkClaim,
+            "bulk_claim_max must be in [1, kMaxBulkClaim]");
+  return c;
+}
+
+/// Steal-pressure threshold cap: an allotment counts as hot when thieves'
+/// observed asteals delta covers every one of its blocks (they consumed it
+/// whole), capped at this many for large allotments. The owner retires an
+/// allotment the moment it drains, so the delta can never run far past the
+/// block count — an absolute threshold above it would be unreachable for
+/// the small allotments steal storms actually produce. A hot retirement
+/// makes the next release expose 3/4 of the local portion instead of half.
+constexpr std::uint32_t kHighPressure = 8;
+
 }  // namespace
 
 SwsQueue::SwsQueue(pgas::Runtime& rt, const QueueConfig& queue, SwsConfig cfg)
     : qcfg_(validated(queue)),
-      cfg_(cfg),
+      cfg_(validated(cfg)),
       stealval_(rt.heap().alloc(sizeof(std::uint64_t), 8)),
       completion_(rt.heap()),
       buffer_(rt.heap(), qcfg_.capacity, qcfg_.slot_bytes),
@@ -38,6 +53,7 @@ void SwsQueue::reset_pe(pgas::PeContext& ctx) {
   o = OwnerState{};
   auto& t = thieves_[static_cast<std::size_t>(ctx.pe())];
   std::fill(t.empty_mode.begin(), t.empty_mode.end(), std::uint8_t{0});
+  t.claim_size = 1;
   // Valid-but-empty stealval: thieves decode itasks == 0 and give up
   // without claiming anything.
   std::memset(ctx.local(stealval_), 0, sizeof(std::uint64_t));
@@ -166,6 +182,7 @@ std::uint32_t SwsQueue::retire_allotment(pgas::PeContext& ctx) {
 void SwsQueue::publish(pgas::PeContext& ctx, std::uint32_t itasks) {
   auto& o = owners_[static_cast<std::size_t>(ctx.pe())];
   o.itasks = itasks;
+  o.asteals_seen = 0;  // fresh allotment: pressure deltas restart at zero
   const StealVal sv{0, o.epoch, itasks, buffer_.wrap(o.alloc_base_abs)};
   // Atomic store re-enables stealing in one local AMO.
   ctx.fabric().amo_set(ctx.pe(), ctx.pe(), stealval_.off, sv.encode());
@@ -178,9 +195,24 @@ bool SwsQueue::try_release(pgas::PeContext& ctx) {
   const auto nlocal = static_cast<std::uint32_t>(o.head_abs - o.split_abs);
   if (nlocal < 2) return false;
 
-  retire_allotment(ctx);
-  // Expose the oldest half of the local portion as the new allotment.
+  const std::uint32_t retired_claims = retire_allotment(ctx);
+  // Expose the oldest half of the local portion as the new allotment — or,
+  // in bulk mode under observed steal pressure, three quarters: hot victims
+  // feed bigger allotments so bulk claims have whole multi-block spans to
+  // amortize over.
   std::uint32_t expose = nlocal / 2;
+  // Hot iff thieves claimed the whole retiring allotment (asteals delta or
+  // the retire swap's authoritative claim count covers its block count,
+  // floored at 1 so an initial empty allotment never counts, capped at
+  // kHighPressure for large ones).
+  const std::uint32_t hot_at = std::min(
+      kHighPressure, std::max<std::uint32_t>(steal_block_count(o.itasks), 1));
+  if (cfg_.bulk_claim_max > 1 &&
+      std::max(o.pressure, retired_claims) >= hot_at) {
+    expose = (3 * nlocal) / 4;
+    ++o.stats.pressure_releases;
+  }
+  o.pressure = 0;
   expose = std::min(expose, kMaxITasks);
   o.alloc_base_abs = o.split_abs;
   o.split_abs += expose;
@@ -227,6 +259,13 @@ void SwsQueue::progress(pgas::PeContext& ctx) {
   // renewal non-recursive.
   {
     const StealVal sv = owner_stealval(ctx);
+    // Steal-pressure sampling (bulk mode): the same local read the renew
+    // check needs also yields the per-epoch asteals delta — the owner's
+    // only signal for how hard thieves are hitting this allotment.
+    if (cfg_.bulk_claim_max > 1 && !sv.locked()) {
+      if (sv.asteals > o.asteals_seen) o.pressure += sv.asteals - o.asteals_seen;
+      o.asteals_seen = sv.asteals;
+    }
     if (!sv.locked() && sv.asteals >= kAStealsRenewAt) {
       const std::uint32_t claimed = retire_allotment(ctx);
       const std::uint64_t claim_end =
@@ -351,8 +390,36 @@ StealResult SwsQueue::steal(pgas::PeContext& thief, int victim,
   SWS_ASSERT(victim != thief.pe());
   auto& st = owners_[static_cast<std::size_t>(thief.pe())].stats;
   auto& fab = thief.fabric();
-  auto& mode =
-      thieves_[static_cast<std::size_t>(thief.pe())].empty_mode[static_cast<std::size_t>(victim)];
+  auto& tstate = thieves_[static_cast<std::size_t>(thief.pe())];
+  auto& mode = tstate.empty_mode[static_cast<std::size_t>(victim)];
+
+  // Bulk claims: in bulk mode the thief's adaptive claim size decides
+  // how many blocks this one fetch-add tries to take. Success doubles it
+  // (capped at bulk_claim_max); it halves on signals that a victim
+  // genuinely can't feed a bulk claim — an empty read-only probe (the
+  // victim has nothing published), a soft-cap refusal, a dead victim.
+  // Two *transient* outcomes deliberately leave it alone: losing the
+  // claim race to peers (fetch-add landed past the last block) and
+  // catching the owner's locked rotation sentinel. Under a steal storm
+  // both happen constantly between wins, and shrinking on either pins
+  // every claim at one block exactly when bulk claims pay off most.
+  // Overshoot past the last block only burns dead asteals units, which
+  // the soft-cap/renewal guards bound.
+  std::uint8_t* csize =
+      cfg_.bulk_claim_max > 1 ? &tstate.claim_size : nullptr;
+  const std::uint32_t want =
+      csize != nullptr
+          ? std::min<std::uint32_t>(*csize, cfg_.bulk_claim_max)
+          : 1;
+  auto grow_claim = [&] {
+    if (csize != nullptr)
+      *csize = static_cast<std::uint8_t>(
+          std::min<std::uint32_t>(want * 2, cfg_.bulk_claim_max));
+  };
+  auto shrink_claim = [&] {
+    if (csize != nullptr)
+      *csize = static_cast<std::uint8_t>(std::max<std::uint32_t>(want / 2, 1));
+  };
 
   // The poison word decodes to a *locked* stealval (the 2-bit epoch field
   // reads as the sentinel), so without the raw-word checks below a dead
@@ -360,6 +427,7 @@ StealResult SwsQueue::steal(pgas::PeContext& thief, int victim,
   // kPeerDead instead evicts the victim from the steal set for good.
   auto dead_victim = [&]() -> StealResult {
     if (recovery_ != nullptr) recovery_->note_dead(thief.pe(), victim);
+    shrink_claim();
     ++st.steals_dead;
     return {StealOutcome::kPeerDead, 0};
   };
@@ -375,6 +443,7 @@ StealResult SwsQueue::steal(pgas::PeContext& thief, int victim,
     if (probe_word == net::kDeadFetchValue) return dead_victim();
     const StealVal probe = StealVal::decode(probe_word);
     if (!has_work(probe)) {
+      shrink_claim();  // the victim provably has nothing published
       ++st.steals_empty;
       return {StealOutcome::kEmpty, 0};
     }
@@ -382,10 +451,12 @@ StealResult SwsQueue::steal(pgas::PeContext& thief, int victim,
   }
 
   // (1) The single-communication discover+claim: fetch-add the packed
-  // asteals field. The returned prior value is our claim ticket.
+  // asteals field. In bulk mode the addend is `want` units, claiming the
+  // next `want` contiguous blocks at once; the returned prior value is our
+  // claim ticket either way.
   const std::uint64_t word =
       fab.amo_fetch_add(thief.pe(), victim, stealval_.off,
-                        AStealsField::unit());
+                        AStealsField::unit() * want);
   if (word == net::kDeadFetchValue) return dead_victim();
   const StealVal sv = StealVal::decode(word);
 
@@ -395,12 +466,14 @@ StealResult SwsQueue::steal(pgas::PeContext& thief, int victim,
     // that only re-reads the sentinel.
     return {StealOutcome::kRetry, 0, cfg_.epoch_poll_ns};
   }
-  if (sv.asteals >= kAStealsSoftCap) {
-    // Wraparound protection (thief half): a fetched prior this large could
-    // only alias an already-claimed block once the counter wraps mod 2^24.
-    // Refuse the claim and go probe-first until the owner's progress()
-    // renews the allotment (asteals back to 0).
+  if (sv.asteals + want > kAStealsSoftCap) {
+    // Wraparound protection (thief half): a claim whose last unit would
+    // land at/past the cap could alias an already-claimed block once the
+    // counter wraps mod 2^24 — with bulk increments, checking the fetched
+    // prior alone is not enough. Refuse the claim and go probe-first until
+    // the owner's progress() renews the allotment (asteals back to 0).
     mode = 1;
+    shrink_claim();
     ++st.steals_retry;
     return {StealOutcome::kRetry, 0, cfg_.epoch_poll_ns};
   }
@@ -411,16 +484,23 @@ StealResult SwsQueue::steal(pgas::PeContext& thief, int victim,
     return {StealOutcome::kEmpty, 0};
   }
 
-  // Our block is fully determined by (itasks, asteals): volume by repeated
-  // halving, displacement by the claimed prefix (§4.1).
-  const StealBlock blk = steal_block(sv.itasks, sv.asteals);
-  SWS_ASSERT(blk.size > 0);
+  // Our claim is fully determined by (itasks, asteals, want): blocks
+  // [asteals, min(asteals + want, nblocks)) — volume by repeated halving,
+  // displacement by the claimed prefix (§4.1). A claim that runs past the
+  // last block keeps what exists; the overshot units are dead indices no
+  // other thief can receive (their fetched priors are larger still).
+  const std::uint32_t b0 = sv.asteals;
+  const std::uint32_t k = std::min(b0 + want, nblocks) - b0;
+  const std::uint32_t first_off = steal_block_offset(sv.itasks, b0);
+  const std::uint32_t ntasks = steal_block_offset(sv.itasks, b0 + k) - first_off;
+  SWS_ASSERT(k > 0 && ntasks > 0);
   const std::uint32_t start_mod =
-      (sv.tail + blk.offset) % buffer_.capacity();
+      (sv.tail + first_off) % buffer_.capacity();
 
-  // (2) copy the claimed block (blocking, wrap-aware).
+  // (2) copy the claimed blocks — contiguous in the ring, so even a
+  // multi-block claim is one coalesced get (two when it wraps).
   const std::size_t out_base = out.size();
-  buffer_.get_remote(thief, victim, start_mod, blk.size, out);
+  buffer_.get_remote(thief, victim, start_mod, ntasks, out);
   if (fab.crashes_planned() && !fab.alive(victim)) {
     // The victim died between our claim and the copy: the get returned
     // filler, not tasks (the blocking op's local NIC error status, not an
@@ -430,12 +510,19 @@ StealResult SwsQueue::steal(pgas::PeContext& thief, int victim,
     return dead_victim();
   }
 
-  // (3) passive completion notification.
-  completion_.notify_finished(thief, victim, sv.epoch, sv.asteals, blk.size);
+  // (3) passive completion notification, one non-blocking AMO per claimed
+  // block — the owner's finished-prefix reclaim is per block, so a bulk
+  // claim must light up each of its slots.
+  for (std::uint32_t b = 0; b < k; ++b)
+    completion_.notify_finished(thief, victim, sv.epoch, b0 + b,
+                                steal_block_size(sv.itasks, b0 + b));
 
+  grow_claim();
   ++st.steals_ok;
-  st.tasks_stolen += blk.size;
-  return {StealOutcome::kSuccess, blk.size};
+  st.tasks_stolen += ntasks;
+  st.blocks_claimed += k;
+  if (k > 1) ++st.bulk_claims;
+  return {StealOutcome::kSuccess, ntasks, 0, k};
 }
 
 const QueueOpStats& SwsQueue::op_stats(int pe) const {

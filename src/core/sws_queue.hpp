@@ -40,6 +40,13 @@ struct SwsConfig {
   std::uint32_t damping_slack = 8;
   /// Owner poll interval while waiting for an epoch's steals to finish.
   net::Nanos epoch_poll_ns = 400;
+  /// Bulk claims: the most steal-half blocks one thief fetch-add may claim
+  /// (1..kMaxBulkClaim). 1 = legacy single-block protocol, bit-identical
+  /// schedules. Above 1, thieves grow their per-victim claim size on
+  /// successful steals and shrink it when the victim provably can't feed
+  /// a bulk claim (empty probe, soft-cap refusal, dead victim), and the
+  /// owner releases larger allotments when it observes steal pressure.
+  std::uint32_t bulk_claim_max = 1;
 };
 
 class SwsQueue final : public TaskQueue {
@@ -91,12 +98,24 @@ class SwsQueue final : public TaskQueue {
     /// Tasks fenced off from dead thieves' unfinished claims, awaiting
     /// re-publication by the scheduler (crash-mode runs only).
     std::vector<Task> recovered;
+    /// Steal-pressure tracking (bulk mode only): last asteals value sampled
+    /// from the live allotment, and attempts accumulated since the last
+    /// release — high pressure makes the next release expose more.
+    std::uint32_t asteals_seen = 0;
+    std::uint32_t pressure = 0;
     QueueOpStats stats;
   };
   /// Thief-side damping state, one row per thief (padded against false
   /// sharing), one entry per potential victim.
   struct alignas(64) ThiefState {
     std::vector<std::uint8_t> empty_mode;  // 1 = probe-first
+    /// Adaptive bulk claim size (bulk mode only): doubles on a successful
+    /// steal, halves on an empty probe / soft-cap refusal / dead victim.
+    /// One value per thief, not per victim: the demand it tracks — "this
+    /// thief keeps coming back for more" — follows the thief to whichever
+    /// victim it tries next, and per-victim values would never warm up
+    /// when selection scatters attempts across many victims.
+    std::uint8_t claim_size = 1;
   };
 
   /// True when the decoded value offers an unclaimed block.

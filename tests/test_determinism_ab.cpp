@@ -35,6 +35,7 @@ struct RunTrace {
   std::uint64_t tasks = 0;
   std::uint64_t steals_ok = 0;
   std::uint64_t steal_attempts = 0;
+  std::uint64_t bulk_claims = 0;  ///< multi-block claims (SWS bulk mode)
   net::Nanos duration = 0;
   std::string trace_json;  ///< only when tracing was enabled
 };
@@ -52,7 +53,8 @@ void expect_identical(const RunTrace& a, const RunTrace& b,
 }
 
 RunTrace run_uts(core::QueueKind kind, int npes, bool reference,
-                 bool trace = false, net::NetworkParams net = {}) {
+                 bool trace = false, net::NetworkParams net = {},
+                 std::uint32_t bulk = 1) {
   pgas::RuntimeConfig rc;
   rc.npes = npes;
   rc.heap_bytes = 4 << 20;
@@ -72,6 +74,7 @@ RunTrace run_uts(core::QueueKind kind, int npes, bool reference,
   pc.kind = kind;
   pc.queue.capacity = 8192;
   pc.queue.slot_bytes = 64;
+  pc.steal.bulk_claim_max = bulk;
   if (trace) {
     pc.trace.enable = true;
     pc.trace.events = std::size_t{1} << 18;
@@ -88,6 +91,8 @@ RunTrace run_uts(core::QueueKind kind, int npes, bool reference,
   t.tasks = pool.report().total.tasks_executed;
   t.steals_ok = pool.report().total.steals_ok;
   t.steal_attempts = pool.report().total.steal_attempts;
+  for (int pe = 0; pe < npes; ++pe)
+    t.bulk_claims += pool.queue().op_stats(pe).bulk_claims;
   t.duration = rt.last_run_duration();
   if (trace) {
     std::ostringstream os;
@@ -110,6 +115,37 @@ TEST_P(DeterminismAb, OptimizedMatchesReferenceStrategy) {
   const RunTrace opt = run_uts(GetParam(), 8, /*reference=*/false);
   const RunTrace ref = run_uts(GetParam(), 8, /*reference=*/true);
   expect_identical(opt, ref, "optimized vs linear-scan reference");
+}
+
+TEST(DeterminismBulk, BulkClaimRunsAreRepeatable) {
+  // SWS bulk claims (one fetch-add claiming several steal-half blocks) add
+  // thief-side adaptive state and owner-side pressure tracking; none of it
+  // may introduce nondeterminism. Two identical bulk runs must match on
+  // every per-PE fabric counter and clock.
+  const RunTrace a = run_uts(core::QueueKind::kSws, 8, /*reference=*/false,
+                             /*trace=*/false, {}, /*bulk=*/4);
+  const RunTrace b = run_uts(core::QueueKind::kSws, 8, /*reference=*/false,
+                             /*trace=*/false, {}, /*bulk=*/4);
+  EXPECT_GT(a.bulk_claims, 0u)
+      << "workload never exercised a multi-block claim";
+  EXPECT_EQ(a.bulk_claims, b.bulk_claims);
+  expect_identical(a, b, "bulk=4 run-to-run");
+}
+
+TEST(DeterminismBulk, BulkClaimMatchesReferenceStrategy) {
+  const RunTrace opt = run_uts(core::QueueKind::kSws, 8, /*reference=*/false,
+                               /*trace=*/false, {}, /*bulk=*/4);
+  const RunTrace ref = run_uts(core::QueueKind::kSws, 8, /*reference=*/true,
+                               /*trace=*/false, {}, /*bulk=*/4);
+  expect_identical(opt, ref, "bulk=4 optimized vs reference");
+}
+
+TEST(DeterminismBulk, BulkClaimOffNeverBulks) {
+  // The default (bulk_claim_max = 1) is the legacy protocol; the golden
+  // fingerprints above pin its schedule bit-for-bit. Belt and braces: it
+  // must also never record a multi-block claim.
+  const RunTrace t = run_uts(core::QueueKind::kSws, 8, /*reference=*/false);
+  EXPECT_EQ(t.bulk_claims, 0u);
 }
 
 TEST_P(DeterminismAb, TracingIsObservationOnly) {
@@ -145,15 +181,20 @@ struct GoldenRun {
   std::uint64_t blocking, ops, clocks, tasks, steals_ok;
 };
 
+// Recaptured when the steal-retry backoff clamp was fixed: the jittered
+// pause is now clamped into [backoff_min_ns, backoff_max_ns] before the
+// cast, so jitter below min (or above max) no longer escapes the band —
+// a legitimate schedule change. Task count (4186) is unchanged: the same
+// work ran, only pause timing moved.
 constexpr GoldenRun kGolden[] = {
     {"flat SWS", core::QueueKind::kSws, 0,  //
-     293318, 514212, 741, 2344534, 4186, 44},
+     291924, 513575, 746, 2334444, 4186, 43},
     {"flat SDC", core::QueueKind::kSdc, 0,  //
-     359066, 932266, 995, 2870438, 4186, 32},
+     341782, 883641, 934, 2733380, 4186, 32},
     {"two-level SWS", core::QueueKind::kSws, 4,  //
-     277523, 329251, 736, 2214367, 4186, 42},
+     272740, 374966, 850, 2180002, 4186, 60},
     {"two-level SDC", core::QueueKind::kSdc, 4,  //
-     344488, 668318, 1185, 2748683, 4186, 47},
+     336390, 707661, 1231, 2686339, 4186, 48},
 };
 
 TEST(DeterminismGolden, SchedulesMatchPreTopologyFingerprints) {

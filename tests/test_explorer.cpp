@@ -25,6 +25,20 @@ TEST(Explorer, ExhaustiveSmokeSwsTwoPe) {
   EXPECT_GT(rep.branch_points, 0u);
 }
 
+TEST(Explorer, BulkStealScenarioGreen) {
+  // The bulk-claim protocol (multi-block fetch-adds, AIMD claim sizes,
+  // pressure releases) under exhaustive 2-PE interleaving: every schedule
+  // must keep the queue audit green and surface each task exactly once.
+  ExploreOptions opts;
+  opts.mode = ExploreMode::kExhaustive;
+  opts.max_schedules = 1500;
+  Explorer ex(bulk_steal_scenario(2), opts);
+  const ExploreReport rep = ex.run();
+  EXPECT_FALSE(rep.failed) << rep.summary();
+  EXPECT_GE(rep.schedules, 500u) << rep.summary();
+  EXPECT_GT(rep.branch_points, 0u);
+}
+
 TEST(Explorer, SdcScenarioGreen) {
   ExploreOptions opts;
   opts.mode = ExploreMode::kExhaustive;

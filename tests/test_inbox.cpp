@@ -117,6 +117,115 @@ TEST(Inbox, MultipleSendersAllDeliver) {
   });
 }
 
+TEST(Inbox, BatchPushDeliversInOrderWithOnePutAndOneTag) {
+  // remote_push_many vectorizes the slot writes: one reservation CAS, one
+  // put covering the whole contiguous run, and a single closing AMO that
+  // publishes the first slot's tag — the owner's strict in-order drain
+  // keeps the rest invisible until then.
+  pgas::Runtime rt(rcfg(2));
+  TaskInbox inbox(rt, 64, 32);
+  rt.run([&](pgas::PeContext& ctx) {
+    inbox.reset_pe(ctx);
+    ctx.barrier();
+    if (ctx.pe() == 1) {
+      std::vector<Task> batch;
+      for (std::uint32_t i = 0; i < 10; ++i) batch.push_back(mk(i));
+      const net::FabricStats before = ctx.fabric().stats(1);
+      EXPECT_EQ(inbox.remote_push_many(ctx, 0, batch), 10u);
+      const net::FabricStats after = ctx.fabric().stats(1);
+      EXPECT_EQ(after.ops[static_cast<int>(net::OpKind::kPut)] -
+                    before.ops[static_cast<int>(net::OpKind::kPut)],
+                1u)
+          << "a non-wrapping batch must ship as one put";
+      EXPECT_EQ(after.ops[static_cast<int>(net::OpKind::kAmoSet)] -
+                    before.ops[static_cast<int>(net::OpKind::kAmoSet)],
+                1u)
+          << "one completion tag publishes the whole batch";
+    }
+    ctx.barrier();
+    if (ctx.pe() == 0) {
+      std::vector<std::uint32_t> got;
+      EXPECT_EQ(
+          inbox.drain(ctx, [&](const Task& t) { got.push_back(id_of(t)); }),
+          10u);
+      ASSERT_EQ(got.size(), 10u);
+      for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(got[i], i);
+      EXPECT_TRUE(inbox.looks_empty(ctx));
+    }
+    ctx.barrier();
+  });
+}
+
+TEST(Inbox, BatchPushWrapsRingInTwoPuts) {
+  pgas::Runtime rt(rcfg(2));
+  TaskInbox inbox(rt, 8, 32);
+  rt.run([&](pgas::PeContext& ctx) {
+    inbox.reset_pe(ctx);
+    ctx.barrier();
+    // Advance the ring cursor to 5 so a 6-task batch straddles the wrap.
+    if (ctx.pe() == 1) {
+      for (std::uint32_t i = 0; i < 5; ++i)
+        ASSERT_TRUE(inbox.remote_push(ctx, 0, mk(100 + i)));
+    }
+    ctx.barrier();
+    if (ctx.pe() == 0) {
+      std::uint32_t n = 0;
+      inbox.drain(ctx, [&](const Task&) { ++n; });
+      ASSERT_EQ(n, 5u);
+    }
+    ctx.barrier();
+    if (ctx.pe() == 1) {
+      std::vector<Task> batch;
+      for (std::uint32_t i = 0; i < 6; ++i) batch.push_back(mk(i));
+      const net::FabricStats before = ctx.fabric().stats(1);
+      EXPECT_EQ(inbox.remote_push_many(ctx, 0, batch), 6u);
+      const net::FabricStats after = ctx.fabric().stats(1);
+      EXPECT_EQ(after.ops[static_cast<int>(net::OpKind::kPut)] -
+                    before.ops[static_cast<int>(net::OpKind::kPut)],
+                2u)
+          << "a wrapping batch is two contiguous-segment puts";
+      EXPECT_EQ(after.ops[static_cast<int>(net::OpKind::kAmoSet)] -
+                    before.ops[static_cast<int>(net::OpKind::kAmoSet)],
+                1u);
+    }
+    ctx.barrier();
+    if (ctx.pe() == 0) {
+      std::vector<std::uint32_t> got;
+      inbox.drain(ctx, [&](const Task& t) { got.push_back(id_of(t)); });
+      ASSERT_EQ(got.size(), 6u);
+      for (std::uint32_t i = 0; i < 6; ++i) EXPECT_EQ(got[i], i);
+    }
+    ctx.barrier();
+  });
+}
+
+TEST(Inbox, BatchPushTakesPartialRunWhenShortOnRoom) {
+  pgas::Runtime rt(rcfg(2));
+  TaskInbox inbox(rt, 8, 32);
+  rt.run([&](pgas::PeContext& ctx) {
+    inbox.reset_pe(ctx);
+    ctx.barrier();
+    if (ctx.pe() == 1) {
+      for (std::uint32_t i = 0; i < 5; ++i)
+        ASSERT_TRUE(inbox.remote_push(ctx, 0, mk(i)));
+      std::vector<Task> batch;
+      for (std::uint32_t i = 5; i < 11; ++i) batch.push_back(mk(i));
+      // Only 3 slots left: the batch is clipped, never split or dropped.
+      EXPECT_EQ(inbox.remote_push_many(ctx, 0, batch), 3u);
+      // Completely full: a further batch refuses outright.
+      EXPECT_EQ(inbox.remote_push_many(ctx, 0, batch), 0u);
+    }
+    ctx.barrier();
+    if (ctx.pe() == 0) {
+      std::vector<std::uint32_t> got;
+      inbox.drain(ctx, [&](const Task& t) { got.push_back(id_of(t)); });
+      ASSERT_EQ(got.size(), 8u);
+      for (std::uint32_t i = 0; i < 8; ++i) EXPECT_EQ(got[i], i);
+    }
+    ctx.barrier();
+  });
+}
+
 // ------------------------------------------------------ pool integration
 
 struct RemoteChain {
@@ -151,6 +260,36 @@ TEST(InboxPool, SpawnOnMovesTasksAcrossPes) {
   // The chain visits PEs round-robin: 0,1,2,3,0,... — every PE executed.
   for (int pe = 0; pe < 4; ++pe)
     EXPECT_GE(pool.worker_stats(pe).tasks_executed, 3u) << "pe " << pe;
+}
+
+TEST(InboxPool, SpawnOnManyDeliversABurstPerTarget) {
+  // Worker::spawn_on_many pushes a whole burst through one batched inbox
+  // put instead of a push per task; every task must still run exactly
+  // once, wherever it lands.
+  pgas::Runtime rt(rcfg(4));
+  TaskRegistry reg;
+  std::atomic<std::uint32_t> ran{0};
+  TaskFnId fn =
+      reg.register_fn("tick", [&](Worker& w, std::span<const std::byte>) {
+        w.compute(500);
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+  PoolConfig pc;
+  pc.queue.slot_bytes = 32;
+  TaskPool pool(rt, reg, pc);
+  rt.run([&](pgas::PeContext& ctx) {
+    pool.run_pe(ctx, [&](Worker& w) {
+      if (w.pe() != 0) return;
+      std::vector<Task> burst;
+      for (int i = 0; i < 24; ++i)
+        burst.push_back(Task::of(fn, std::uint32_t{0}));
+      for (int pe = 1; pe < w.npes(); ++pe) w.spawn_on_many(pe, burst);
+    });
+  });
+  EXPECT_EQ(ran.load(), 72u);
+  EXPECT_EQ(pool.report().total.tasks_executed, 72u);
+  for (int pe = 1; pe < 4; ++pe)
+    EXPECT_GE(pool.worker_stats(pe).tasks_executed, 1u) << "pe " << pe;
 }
 
 TEST(InboxPool, SpawnOnSelfBehavesLikeSpawn) {

@@ -23,6 +23,7 @@ struct FuzzParams {
   std::uint32_t capacity;
   std::uint64_t seed;
   pgas::TimeMode mode;
+  std::uint32_t bulk = 1;  ///< SWS bulk_claim_max (ignored by SDC)
 };
 
 class QueueFuzz : public ::testing::TestWithParam<FuzzParams> {};
@@ -38,10 +39,13 @@ TEST_P(QueueFuzz, NothingLostNothingDuplicated) {
 
   const QueueConfig qc{fp.capacity, /*slot_bytes=*/32};
   std::unique_ptr<TaskQueue> q;
-  if (fp.kind == QueueKind::kSws)
-    q = std::make_unique<SwsQueue>(rt, qc);
-  else
+  if (fp.kind == QueueKind::kSws) {
+    SwsConfig scfg;
+    scfg.bulk_claim_max = fp.bulk;
+    q = std::make_unique<SwsQueue>(rt, qc, scfg);
+  } else {
     q = std::make_unique<SdcQueue>(rt, qc);
+  }
 
   std::mutex mu;
   std::set<std::uint64_t> consumed;  // ids seen exactly once
@@ -135,6 +139,7 @@ std::string fuzz_name(const ::testing::TestParamInfo<FuzzParams>& info) {
   s += "_p" + std::to_string(p.npes) + "_c" + std::to_string(p.capacity) +
        "_s" + std::to_string(p.seed);
   s += p.mode == pgas::TimeMode::kVirtual ? "_virt" : "_real";
+  if (p.bulk > 1) s += "_b" + std::to_string(p.bulk);
   return s;
 }
 
@@ -150,7 +155,14 @@ INSTANTIATE_TEST_SUITE_P(
         FuzzParams{QueueKind::kSdc, 4, 4096, 3, pgas::TimeMode::kVirtual},
         FuzzParams{QueueKind::kSdc, 8, 256, 4, pgas::TimeMode::kVirtual},
         FuzzParams{QueueKind::kSws, 4, 128, 5, pgas::TimeMode::kReal},
-        FuzzParams{QueueKind::kSdc, 4, 128, 5, pgas::TimeMode::kReal}),
+        FuzzParams{QueueKind::kSdc, 4, 128, 5, pgas::TimeMode::kReal},
+        // SWS bulk claims: multi-block fetch-adds interleaved with the
+        // same random release/acquire/epoch churn must stay conservative.
+        FuzzParams{QueueKind::kSws, 2, 64, 6, pgas::TimeMode::kVirtual, 4},
+        FuzzParams{QueueKind::kSws, 4, 128, 7, pgas::TimeMode::kVirtual, 4},
+        FuzzParams{QueueKind::kSws, 4, 4096, 8, pgas::TimeMode::kVirtual, 8},
+        FuzzParams{QueueKind::kSws, 8, 256, 9, pgas::TimeMode::kVirtual, 32},
+        FuzzParams{QueueKind::kSws, 4, 128, 10, pgas::TimeMode::kReal, 4}),
     fuzz_name);
 
 }  // namespace

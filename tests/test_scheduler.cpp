@@ -234,6 +234,34 @@ TEST_P(SchedulerBoth, RealTimeModeCompletes) {
   EXPECT_EQ(pool.report().total.tasks_executed, fan.expected(4));
 }
 
+TEST_P(SchedulerBoth, ExtremeBackoffTuningStaysClamped) {
+  // Regression: the jittered pause was scaled in double but cast back to
+  // Nanos *before* clamping, so a backoff_mult big enough to overflow the
+  // cast — or a jitter above 1.0 driving the scale factor negative —
+  // produced garbage pauses (negative, or ~2^63 ns) that stalled the
+  // search loop for virtual centuries. The clamp now happens in double
+  // space: even absurd tuning keeps every pause inside
+  // [backoff_min_ns, backoff_max_ns].
+  pgas::Runtime rt(rcfg(4));
+  TaskRegistry reg;
+  FanOut fan(reg, 3, 500);
+  PoolConfig pc = pcfg(GetParam());
+  pc.steal.backoff_min_ns = 100;
+  pc.steal.backoff_max_ns = 2000;
+  pc.steal.backoff_mult = 1e18;  // one failed round overflows unclamped
+  pc.steal.jitter = 8.0;         // scale factor spans [-7, 9]
+  TaskPool pool(rt, reg, pc);
+  rt.run([&](pgas::PeContext& ctx) {
+    pool.run_pe(ctx, [&](Worker& w) {
+      if (w.pe() == 0) w.spawn(Task::of(fan.fn, std::uint32_t{6}));
+    });
+  });
+  EXPECT_EQ(pool.report().total.tasks_executed, fan.expected(6));
+  // 1093 tasks x 500 ns over 4 PEs with searches paced at <= 2 us each:
+  // anything near a virtual second means a pause escaped the band.
+  EXPECT_LT(rt.last_run_duration(), net::Nanos{1'000'000'000});
+}
+
 INSTANTIATE_TEST_SUITE_P(BothQueues, SchedulerBoth,
                          ::testing::Values(QueueKind::kSdc, QueueKind::kSws),
                          [](const auto& info) {

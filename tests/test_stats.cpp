@@ -93,18 +93,54 @@ TEST(LogHistogram, BucketsByPowerOfTwo) {
 
 TEST(LogHistogram, QuantileApproximatesOrder) {
   LogHistogram h;
-  for (int i = 0; i < 90; ++i) h.add(8);     // bucket 3
-  for (int i = 0; i < 10; ++i) h.add(4096);  // bucket 12
-  EXPECT_EQ(h.quantile(0.5), 8u);
-  EXPECT_EQ(h.quantile(0.99), 4096u);
+  for (int i = 0; i < 90; ++i) h.add(8);     // bucket 3 = [8, 15]
+  for (int i = 0; i < 10; ++i) h.add(4096);  // bucket 12 = [4096, 8191]
+  // Interior quantiles interpolate within the bucket. q=0.5 hits rank 49
+  // of the 90 samples in bucket 3: 8 + 7*(49.5/90) = 11. q=0.99 hits
+  // rank 8 of the 10 in bucket 12: 4096 + 4095*(8.5/10) = 7576.
+  EXPECT_EQ(h.quantile(0.5), 11u);
+  EXPECT_EQ(h.quantile(0.99), 7576u);
 }
 
-TEST(LogHistogram, QuantileInteriorReportsBucketLowerBound) {
+TEST(LogHistogram, QuantileInteriorInterpolatesWithinBucket) {
   LogHistogram h;
-  for (int i = 0; i < 4; ++i) h.add(9);  // bucket 3 = [8, 16)
-  EXPECT_EQ(h.quantile(0.0), 8u);
-  EXPECT_EQ(h.quantile(0.5), 8u);
-  EXPECT_EQ(h.quantile(0.999), 8u);
+  for (int i = 0; i < 4; ++i) h.add(9);  // bucket 3 = [8, 15]
+  // Four samples spread evenly across [8, 15]: rank r maps to
+  // 8 + 7*(r+0.5)/4. The old behaviour collapsed all interior quantiles
+  // to the bucket's lower bound, under-reporting tails by up to 2x.
+  EXPECT_EQ(h.quantile(0.0), 8u);     // rank 0 -> 8.875
+  EXPECT_EQ(h.quantile(0.5), 10u);    // rank 1 -> 10.625
+  EXPECT_EQ(h.quantile(0.999), 12u);  // rank 2 -> 12.375
+}
+
+TEST(LogHistogram, QuantileBucketEdgeBoundaries) {
+  // Samples at the extreme representable values of one bucket: every
+  // interior quantile must stay inside that bucket's [lower, upper] range.
+  LogHistogram h;
+  h.add(8);   // lowest value of bucket 3
+  h.add(15);  // highest value of bucket 3
+  for (double q : {0.0, 0.25, 0.5, 0.75, 0.999}) {
+    const std::uint64_t v = h.quantile(q);
+    EXPECT_GE(v, 8u) << "q=" << q;
+    EXPECT_LE(v, 15u) << "q=" << q;
+  }
+  EXPECT_EQ(h.quantile(1.0), 15u);
+}
+
+TEST(LogHistogram, QuantileIsMonotoneAcrossBucketEdge) {
+  LogHistogram h;
+  for (int i = 0; i < 7; ++i) h.add(7);  // bucket 2 = [4, 7]
+  for (int i = 0; i < 5; ++i) h.add(8);  // bucket 3 = [8, 15]
+  std::uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const std::uint64_t v = h.quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+  // The 7s and 8s straddle a bucket edge: low quantiles stay in [4, 7],
+  // high ones land in [8, 15] — interpolation never crosses the edge.
+  EXPECT_LE(h.quantile(0.25), 7u);
+  EXPECT_GE(h.quantile(0.9), 8u);
 }
 
 TEST(LogHistogram, QuantileOneReportsInclusiveUpperBound) {
@@ -122,8 +158,11 @@ TEST(LogHistogram, QuantileOneReportsInclusiveUpperBound) {
 
 TEST(LogHistogram, QuantileOneSaturatesInTopBucket) {
   LogHistogram h;
-  h.add(~std::uint64_t{0});  // bucket 63
-  EXPECT_EQ(h.quantile(0.5), std::uint64_t{1} << 63);
+  h.add(~std::uint64_t{0});  // bucket 63 = [2^63, 2^64-1]
+  // One sample interpolates to the bucket midpoint: 2^63 + (2^63-1)*0.5,
+  // which rounds to 2^62 in double precision.
+  EXPECT_EQ(h.quantile(0.5),
+            (std::uint64_t{1} << 63) + (std::uint64_t{1} << 62));
   EXPECT_EQ(h.quantile(1.0), ~std::uint64_t{0});
 }
 

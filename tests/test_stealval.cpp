@@ -2,6 +2,8 @@
 // paper's §4 worked example (150 tasks → {75,37,19,9,5,2,1,1,1}).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/rng.hpp"
 #include "core/stealval.hpp"
 
@@ -175,6 +177,45 @@ TEST(StealSeqProperty, FuzzBlockDecompositionIsExact) {
     ASSERT_EQ(sum, itasks) << "blocks must sum to the allotment";
     ASSERT_EQ(steal_block_offset(itasks, n), itasks)
         << "offset past the last block is the full allotment";
+  }
+}
+
+TEST(StealSeqProperty, FuzzBulkClaimSpansPartitionTheAllotment) {
+  // Bulk claims take blocks [b0, min(b0+want, nblocks)) where b0 is the
+  // fetched asteals prior and want is in [1, kMaxBulkClaim]. For any
+  // allotment and any claim-size sequence: the claimed task spans are
+  // contiguous, disjoint, in order, and together cover [0, itasks)
+  // exactly — no task is claimed twice, none is orphaned — and a claim's
+  // coalesced get length equals the sum of its per-block completion adds.
+  Xoshiro256 rng(1234);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto itasks =
+        static_cast<std::uint32_t>(rng.below(ITasksField::kMax + 1));
+    const std::uint32_t n = steal_block_count(itasks);
+    std::uint32_t asteals = 0;  // the simulated packed counter
+    std::uint64_t covered = 0;  // tasks claimed so far
+    while (asteals < n) {
+      const auto want =
+          static_cast<std::uint32_t>(1 + rng.below(kMaxBulkClaim));
+      const std::uint32_t b0 = asteals;  // this claim's fetched prior
+      asteals += want;
+      const std::uint32_t k = std::min(b0 + want, n) - b0;
+      ASSERT_GE(k, 1u);
+      ASSERT_LE(k, want);
+      const std::uint32_t first = steal_block_offset(itasks, b0);
+      const std::uint32_t end = steal_block_offset(itasks, b0 + k);
+      ASSERT_EQ(first, covered)
+          << "claim must start exactly where the previous one ended";
+      std::uint64_t block_sum = 0;
+      for (std::uint32_t b = b0; b < b0 + k; ++b)
+        block_sum += steal_block_size(itasks, b);
+      ASSERT_EQ(end - first, block_sum)
+          << "coalesced span must equal the per-block completion sum";
+      covered = end;
+    }
+    ASSERT_EQ(covered, itasks) << "claims must drain the whole allotment";
+    // Units fetched past the last block are dead: their span is empty.
+    ASSERT_EQ(steal_block_offset(itasks, n), itasks);
   }
 }
 

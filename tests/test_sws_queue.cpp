@@ -426,6 +426,118 @@ TEST(SwsQueue, AStealsWraparoundCannotDoubleClaim) {
   EXPECT_EQ(seen.size(), kTasks);
 }
 
+TEST(SwsQueue, BulkStealClaimsContiguousBlocksInOneComm) {
+  // Bulk mode: one fetch-add claims up to `claim_size` contiguous
+  // steal-half blocks, copied with a single coalesced get plus one cheap
+  // completion add per block. The thief's claim size is AIMD: it starts at
+  // 1 and doubles on every success, so against a 75-task allotment
+  // (blocks {37,19,9,5,2,1,1,1}) the steal sequence is 1, 2, 4, then 1
+  // leftover block — and the loot must be the allotment in order.
+  pgas::Runtime rt(rcfg(2));
+  SwsConfig scfg;
+  scfg.bulk_claim_max = 4;
+  SwsQueue q(rt, qcfg(), scfg);
+  rt.run([&](pgas::PeContext& ctx) {
+    q.reset_pe(ctx);
+    if (ctx.pe() == 0) {
+      for (std::uint32_t i = 0; i < 150; ++i) ASSERT_TRUE(q.push_local(ctx, mk(i)));
+      ASSERT_TRUE(q.try_release(ctx));  // exposes 75 tasks = 8 blocks
+    }
+    ctx.barrier();
+    if (ctx.pe() == 1) {
+      std::vector<Task> loot;
+      struct Expect {
+        std::uint32_t blocks, ntasks, gets;
+      };
+      // want grows 1 -> 2 -> 4 -> 4 (capped); the last claim finds only
+      // block 7 left. No claim wraps the ring, so each is a single get.
+      const Expect steps[] = {{1, 37, 1}, {2, 28, 1}, {4, 9, 1}, {1, 1, 1}};
+      for (const Expect& e : steps) {
+        const net::FabricStats before = ctx.fabric().stats(1);
+        const StealResult r = q.steal(ctx, 0, loot);
+        ASSERT_EQ(r.outcome, StealOutcome::kSuccess);
+        EXPECT_EQ(r.blocks, e.blocks);
+        EXPECT_EQ(r.ntasks, e.ntasks);
+        const net::FabricStats d = delta(ctx.fabric().stats(1), before);
+        EXPECT_EQ(d.ops[static_cast<int>(net::OpKind::kAmoFetchAdd)], 1u)
+            << "a bulk claim is still one discover+claim AMO";
+        EXPECT_EQ(d.ops[static_cast<int>(net::OpKind::kGet)], e.gets)
+            << "contiguous blocks must coalesce into one get";
+        EXPECT_EQ(d.ops[static_cast<int>(net::OpKind::kNbiAmoAdd)], e.blocks)
+            << "one completion add per claimed block";
+        EXPECT_EQ(d.blocking_ops(), 1u + e.gets)
+            << "completion adds must stay non-blocking";
+      }
+      EXPECT_EQ(q.steal(ctx, 0, loot).outcome, StealOutcome::kEmpty);
+      // The four claims drained the allotment contiguously, in order.
+      ASSERT_EQ(loot.size(), 75u);
+      for (std::uint32_t i = 0; i < 75; ++i) EXPECT_EQ(id_of(loot[i]), i);
+      EXPECT_EQ(q.op_stats(1).bulk_claims, 2u);     // the 2- and 4-block claims
+      EXPECT_EQ(q.op_stats(1).blocks_claimed, 8u);  // 1 + 2 + 4 + 1
+      ctx.quiet();
+    }
+    ctx.barrier();
+  });
+}
+
+TEST(SwsQueue, BulkClaimEndingPastSoftCapRefuses) {
+  // Regression (bulk counterpart of AStealsWraparoundCannotDoubleClaim):
+  // the refuse threshold must account for the claim *size*, not just the
+  // fetched prior. A 4-block claim whose prior sits 2 below the soft cap
+  // would end 2 past it — checking `prior >= cap` alone lets it through
+  // to the claim path, eroding the wraparound headroom bound (each thief
+  // may overshoot by at most one claim). Pre-fix this returned kEmpty via
+  // the exhausted-allotment path; the fix refuses with kRetry and flips
+  // the thief to read-only probes.
+  pgas::Runtime rt(rcfg(2));
+  SwsConfig scfg;
+  scfg.bulk_claim_max = 4;
+  SwsQueue q(rt, qcfg(256), scfg);
+  rt.run([&](pgas::PeContext& ctx) {
+    q.reset_pe(ctx);
+    if (ctx.pe() == 0) {
+      for (std::uint32_t i = 0; i < 150; ++i) ASSERT_TRUE(q.push_local(ctx, mk(i)));
+      ASSERT_TRUE(q.try_release(ctx));  // exposes 75 tasks = 8 blocks
+    }
+    ctx.barrier();
+    if (ctx.pe() == 1) {
+      std::vector<Task> loot;
+      // Two successes grow the adaptive claim size to 4 (asteals: 0 -> 3).
+      ASSERT_EQ(q.steal(ctx, 0, loot).outcome, StealOutcome::kSuccess);
+      ASSERT_EQ(q.steal(ctx, 0, loot).outcome, StealOutcome::kSuccess);
+      // Raw-inject failed-steal increments until the counter sits 2 below
+      // the soft cap — within one 4-unit claim of crossing it.
+      ctx.fabric().amo_fetch_add(1, 0, q.stealval_ptr().off,
+                                 AStealsField::unit() * (kAStealsSoftCap - 2 - 3));
+      const std::uint64_t retries_before = q.op_stats(1).steals_retry;
+      const net::FabricStats before = ctx.fabric().stats(1);
+      const StealResult r = q.steal(ctx, 0, loot);
+      EXPECT_EQ(r.outcome, StealOutcome::kRetry)
+          << "claim ending past the soft cap must refuse, not claim";
+      EXPECT_EQ(r.ntasks, 0u);
+      EXPECT_EQ(q.op_stats(1).steals_retry, retries_before + 1);
+      const net::FabricStats d = delta(ctx.fabric().stats(1), before);
+      EXPECT_EQ(d.ops[static_cast<int>(net::OpKind::kGet)], 0u)
+          << "a refused claim must not copy tasks";
+      // The refused fetch-add is the thief's one allowed overshoot; the
+      // counter must sit within kMaxBulkClaim of the cap, far from wrap.
+      const StealVal after = StealVal::decode(
+          ctx.fabric().amo_fetch(1, 0, q.stealval_ptr().off));
+      EXPECT_LE(after.asteals, kAStealsSoftCap + kMaxBulkClaim);
+      // Follow-up attempts are read-only probes: they stop feeding the
+      // counter entirely while the owner has not renewed.
+      const std::uint64_t probes_before = q.op_stats(1).damping_probes;
+      EXPECT_EQ(q.steal(ctx, 0, loot).outcome, StealOutcome::kEmpty);
+      EXPECT_EQ(q.op_stats(1).damping_probes, probes_before + 1);
+      const StealVal after2 = StealVal::decode(
+          ctx.fabric().amo_fetch(1, 0, q.stealval_ptr().off));
+      EXPECT_EQ(after2.asteals, after.asteals);
+      ctx.quiet();
+    }
+    ctx.barrier();
+  });
+}
+
 TEST(SwsQueue, RejectsCapacityBeyondStealvalFields) {
   // A ring deeper than the 19-bit itasks/tail fields could publish an
   // allotment the stealval cannot describe; construction must refuse it
@@ -433,6 +545,57 @@ TEST(SwsQueue, RejectsCapacityBeyondStealvalFields) {
   pgas::Runtime rt(rcfg(2));
   EXPECT_THROW(SwsQueue(rt, qcfg(kMaxITasks + 1)), std::invalid_argument);
   SwsQueue ok(rt, qcfg(1024));  // sane capacity still constructs
+}
+
+TEST(SwsQueue, RejectsBulkClaimBeyondCompletionDepth) {
+  // A claim wider than the completion array (kMaxBulkClaim slots per
+  // epoch) could never notify all its blocks; 0 would make every steal a
+  // no-op fetch-add. Both are configuration bugs, refused up front.
+  pgas::Runtime rt(rcfg(2));
+  SwsConfig bad;
+  bad.bulk_claim_max = kMaxBulkClaim + 1;
+  EXPECT_THROW(SwsQueue(rt, qcfg(), bad), std::invalid_argument);
+  bad.bulk_claim_max = 0;
+  EXPECT_THROW(SwsQueue(rt, qcfg(), bad), std::invalid_argument);
+}
+
+TEST(SwsQueue, StealPressureEnlargesNextRelease) {
+  // Owner half of bulk mode: progress() tracks the asteals delta against
+  // the live allotment; once it crosses the pressure threshold, the next
+  // release exposes 3/4 of the local portion instead of half, feeding a
+  // hot allotment to the thieves instead of drip-releasing.
+  pgas::Runtime rt(rcfg(2));
+  SwsConfig scfg;
+  scfg.bulk_claim_max = 4;
+  SwsQueue q(rt, qcfg(), scfg);
+  rt.run([&](pgas::PeContext& ctx) {
+    q.reset_pe(ctx);
+    if (ctx.pe() == 0) {
+      for (std::uint32_t i = 0; i < 160; ++i)
+        ASSERT_TRUE(q.push_local(ctx, mk(i)));
+      ASSERT_TRUE(q.try_release(ctx));
+      EXPECT_EQ(q.owner_stealval(ctx).itasks, 80u);  // ordinary half
+    }
+    ctx.barrier();
+    if (ctx.pe() == 1) {
+      // Drain the allotment; the AIMD claim sizes (1, 2, 4, 4) plus one
+      // empty probe advance asteals well past the pressure threshold.
+      std::vector<Task> loot;
+      while (q.steal(ctx, 0, loot).outcome == StealOutcome::kSuccess) {}
+      EXPECT_EQ(loot.size(), 80u);
+      ctx.quiet();
+    }
+    ctx.barrier();
+    if (ctx.pe() == 0) {
+      for (int i = 0; i < 64 && q.shared_available(ctx); ++i) q.progress(ctx);
+      q.progress(ctx);  // samples the steal pressure off the stealval
+      ASSERT_TRUE(q.try_release(ctx));
+      EXPECT_EQ(q.owner_stealval(ctx).itasks, 60u)
+          << "a pressured release must expose 3/4 of the 80 local tasks";
+      EXPECT_EQ(q.op_stats(0).pressure_releases, 1u);
+    }
+    ctx.barrier();
+  });
 }
 
 TEST(SwsQueue, AuditStaysGreenThroughProtocol) {
