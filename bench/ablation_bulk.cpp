@@ -34,6 +34,7 @@ struct StormResult {
   std::uint64_t thief_ops = 0;  ///< thief-side remote fabric ops
   std::uint64_t releases = 0;
   std::uint64_t pressure_releases = 0;
+  std::uint64_t full_claims = 0;  ///< whole multi-block allotments claimed
 
   double steals_per_s() const {
     const double s = drain_ms.sum() / 1e3;
@@ -142,6 +143,7 @@ StormResult run_storm(std::uint32_t bulk, int npes, std::uint32_t tasks,
     out.blocks += s.blocks_claimed;
     out.releases += s.releases;
     out.pressure_releases += s.pressure_releases;
+    out.full_claims += s.full_claims;
     if (pe != 0) out.thief_ops += rt.fabric().stats(pe).remote_ops;
   }
   return out;
@@ -197,7 +199,22 @@ int main(int argc, char** argv) {
                Table::num(bytes_per_steal, 0),
                Table::num(r.mean_claim(), 2), Table::num(r.releases),
                Table::num(r.pressure_releases)});
-    std::cerr << "  [bulk] bulk_claim_max=" << bulk << " done\n";
+    std::cerr << "  [bulk] bulk_claim_max=" << bulk
+              << " done (full claims " << r.full_claims << "/" << r.steals
+              << " steals)\n";
+    // Regression gate for the observed-allotment cap: in this single-victim
+    // storm the victim releases small multi-block allotments, so without
+    // the cap a warmed-up thief's adaptive claim swallows whole allotments
+    // and every other thief serializes behind the owner's renewal cadence.
+    // With the cap (claim <= half the last observed allotment), whole-
+    // allotment grabs should be a rare cold-start event, not the norm.
+    if (bulk >= 4 && r.full_claims * 10 > r.steals) {
+      std::cerr << "FAIL: bulk=" << bulk << " storm took " << r.full_claims
+                << " whole multi-block allotments across " << r.steals
+                << " steals (>10%); the observed-allotment claim cap has "
+                   "regressed\n";
+      return 1;
+    }
   }
   bench::emit(t, settings);
   std::cout << "single-victim storm, best bulk vs N=1: stolen tasks/s x"

@@ -42,6 +42,8 @@ BenchSettings BenchSettings::from_options(const Options& opt) {
   s.seq_reference = opt.get("seq-reference", false);
   s.trace_out = opt.get("trace-out", std::string(""));
   s.metrics_out = opt.get("metrics-out", std::string(""));
+  s.engine_threads = static_cast<int>(
+      opt.get("engine-threads", std::int64_t{s.engine_threads}));
   return s;
 }
 
@@ -78,6 +80,7 @@ ConfigResult run_config(core::QueueKind kind, int npes,
     rcfg.seed = settings.seed + static_cast<std::uint64_t>(rep) * 1000003;
     rcfg.net = tweaks.net;
     rcfg.sequencer_reference = settings.seq_reference;
+    rcfg.engine_threads = settings.engine_threads;
     rcfg.metrics = want_metrics;
     rcfg.heap_bytes =
         tweaks.heap_bytes != 0

@@ -8,6 +8,7 @@
 //   --csv                  emit CSV instead of aligned tables
 //   --seed 42              base seed
 //   --seq-reference        legacy linear-scan sequencer (perf A/B)
+//   --engine-threads N     sharded parallel sequencer threads (1 = serial)
 //   --trace-out PREFIX     per config, dump the last repetition's Chrome
 //                          trace JSON to PREFIX.<kind>.p<npes>.json
 //   --metrics-out PREFIX   per config, write the metrics snapshot merged
@@ -45,6 +46,10 @@ struct BenchSettings {
   std::string trace_out;
   /// --metrics-out: filename prefix for per-config metrics JSON.
   std::string metrics_out;
+  /// --engine-threads: host worker threads for the sharded parallel
+  /// sequencer (1 = serial engine; schedules are byte-identical either
+  /// way, only wall-clock changes).
+  int engine_threads = 1;
 
   static BenchSettings from_options(const Options& opt);
 };

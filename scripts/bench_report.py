@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
 """Machine-readable performance baseline for the simulator engine.
 
-Runs bench/sim_engine (the sequencer + nbi-path microbenchmarks) in both
-the optimized and the legacy linear-scan reference strategy, optionally
-times the end-to-end paper benchmarks (fig8 UTS, fig7 BPC), and writes
-one JSON file (BENCH_<pr>.json) that CI and future PRs diff against.
+Runs bench/sim_engine (the sequencer + nbi-path microbenchmarks, plus the
+engine_mixed engine-threads sweep) in both the optimized and the legacy
+linear-scan reference strategy, sweeps bench/engine_scale (end-to-end UTS
+wall clock, serial baton vs the sharded windowed engine), optionally times
+the end-to-end paper benchmarks (fig8 UTS, fig7 BPC), and writes one JSON
+file (BENCH_<pr>.json) that CI and future PRs diff against.
 
 The committed file also carries a frozen "pre_change" section: the same
 scenarios measured on the tree *before* the sequencer overhaul (PR 4).
@@ -13,16 +15,23 @@ exists, pre_change is carried over verbatim, so the historical reference
 survives regeneration on any machine. See docs/performance.md for the
 schema and for how the speedup numbers are derived.
 
+Engine-threads rows carry an "engine_threads" field (1 = the serial
+sequencer); rows without one are serial-only scenarios. The host's core
+count is recorded under host.nproc — on a single-core host the windowed
+engine cannot exploit hardware parallelism, so engine speedups there
+measure pure synchronization savings (see docs/performance.md).
+
 Usage:
-  scripts/bench_report.py                    # full suite -> BENCH_4.json
+  scripts/bench_report.py                    # full suite -> BENCH_9.json
   scripts/bench_report.py --quick            # CI smoke: small, no e2e
-  scripts/bench_report.py --compare BENCH_4.json
-                                             # print deltas, never fail
+  scripts/bench_report.py --compare newest   # deltas vs newest BENCH_*.json
 """
 
 import argparse
+import glob
 import json
 import os
+import re
 import subprocess
 import sys
 import time
@@ -37,16 +46,32 @@ E2E = {
 }
 
 
-def run_sim_engine(build_dir, mode, pes, events, nbi_events):
+def run_sim_engine(build_dir, mode, pes, events, nbi_events, threads):
     exe = os.path.join(build_dir, "bench", "sim_engine")
     cmd = [exe, "--pes", ",".join(str(p) for p in pes), "--events",
-           str(events), "--nbi-events", str(nbi_events)]
+           str(events), "--nbi-events", str(nbi_events),
+           "--engine-threads", ",".join(str(t) for t in threads)]
     if mode == "reference":
         cmd.append("--reference")
     out = subprocess.run(cmd, check=True, capture_output=True, text=True)
     rows = [json.loads(line) for line in out.stdout.splitlines() if line]
     for r in rows:
         assert r.pop("mode") == mode
+    return rows
+
+
+def run_engine_scale(build_dir, pes, threads):
+    """End-to-end UTS wall clock across engine thread counts. One rep per
+    config: the schedule is byte-identical at every thread count, so the
+    wall delta is pure sequencer machinery."""
+    exe = os.path.join(build_dir, "bench", "engine_scale")
+    cmd = [exe, "--pes", ",".join(str(p) for p in pes), "--threads",
+           ",".join(str(t) for t in threads), "--reps", "1"]
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    rows = [json.loads(line) for line in out.stdout.splitlines() if line]
+    for r in rows:
+        print(f"  uts_e2e P={r['pes']} T={r['engine_threads']}: "
+              f"{r['wall_s']:.3g} s wall", file=sys.stderr)
     return rows
 
 
@@ -72,17 +97,54 @@ def run_e2e(build_dir, pe_counts, reps=3):
 
 
 def index_rows(rows):
-    return {(r["bench"], r["pes"]): r for r in rows}
+    """Key rows on (bench, pes, engine_threads); serial-only scenarios
+    (no engine_threads field) index as threads = 1."""
+    return {(r["bench"], r["pes"], r.get("engine_threads", 1)): r
+            for r in rows}
 
 
 def speedups(optimized, reference):
-    """events/sec ratio per (bench, pes) present in both row sets."""
+    """events/sec ratio per config present in both row sets."""
     opt, ref = index_rows(optimized), index_rows(reference)
     out = {}
     for key in sorted(opt.keys() & ref.keys()):
-        out[f"{key[0]}_{key[1]}"] = round(
+        out[row_name(key)] = round(
             opt[key]["events_per_sec"] / ref[key]["events_per_sec"], 2)
     return out
+
+
+def row_name(key):
+    bench, pes, threads = key
+    return f"{bench}_{pes}" + (f"_t{threads}" if threads != 1 else "")
+
+
+def engine_speedups(rows, metric, invert):
+    """Per (bench, pes): ratio of each threads > 1 row vs the threads = 1
+    row. `metric` is the column; `invert` for wall times (lower = faster)."""
+    idx = index_rows(rows)
+    out = {}
+    for (bench, pes, threads), r in sorted(idx.items()):
+        if threads == 1:
+            continue
+        base = idx.get((bench, pes, 1))
+        if base is None or not base.get(metric) or not r.get(metric):
+            continue
+        ratio = (base[metric] / r[metric]) if invert \
+            else (r[metric] / base[metric])
+        out[f"{bench}_{pes}_t{threads}"] = round(ratio, 2)
+    return out
+
+
+def newest_baseline(exclude):
+    """Newest committed BENCH_*.json (by PR number) other than `exclude`."""
+    best, best_pr = None, -1
+    for path in glob.glob(os.path.join(REPO, "BENCH_*.json")):
+        if os.path.abspath(path) == os.path.abspath(exclude):
+            continue
+        m = re.match(r"BENCH_(\d+)\.json$", os.path.basename(path))
+        if m and int(m.group(1)) > best_pr:
+            best, best_pr = path, int(m.group(1))
+    return best
 
 
 def compare(path, report):
@@ -91,24 +153,35 @@ def compare(path, report):
         base = json.load(f)
     base_opt = index_rows(base.get("sim_engine", {}).get("optimized", []))
     for r in report["sim_engine"]["optimized"]:
-        key = (r["bench"], r["pes"])
+        key = (r["bench"], r["pes"], r.get("engine_threads", 1))
         if key not in base_opt:
             continue
         old = base_opt[key]["events_per_sec"]
         delta = 100.0 * (r["events_per_sec"] - old) / old
-        print(f"  {r['bench']} P={r['pes']}: {r['events_per_sec']:.3g} ev/s "
+        print(f"  {row_name(key)}: {r['events_per_sec']:.3g} ev/s "
+              f"({delta:+.1f}% vs committed)")
+    base_scale = index_rows(base.get("engine_scale", []))
+    for r in report.get("engine_scale", []):
+        key = (r["bench"], r["pes"], r.get("engine_threads", 1))
+        if key not in base_scale:
+            continue
+        old = base_scale[key]["wall_s"]
+        delta = 100.0 * (r["wall_s"] - old) / old
+        print(f"  {row_name(key)}: {r['wall_s']:.3g} s wall "
               f"({delta:+.1f}% vs committed)")
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default=os.path.join(REPO, "build"))
-    ap.add_argument("--out", default=os.path.join(REPO, "BENCH_4.json"))
+    ap.add_argument("--out", default=os.path.join(REPO, "BENCH_9.json"))
     ap.add_argument("--quick", action="store_true",
                     help="CI smoke: 64 PEs, fewer events, no e2e runs")
     ap.add_argument("--skip-e2e", action="store_true")
     ap.add_argument("--compare", metavar="FILE",
-                    help="also print event-rate deltas vs FILE (never fails)")
+                    help="also print rate/wall deltas vs FILE; 'newest' "
+                         "picks the highest-numbered committed BENCH_*.json "
+                         "(never fails)")
     ap.add_argument("--pre-change-jsonl",
                     help="seed the pre_change section: sim_engine JSONL "
                          "captured on the pre-overhaul tree")
@@ -119,21 +192,36 @@ def main():
 
     if args.quick:
         pes, events, nbi = [64], 200_000, 50_000
+        scale_pes = [64]
     else:
         pes, events, nbi = [64, 128, 256], 1_000_000, 200_000
+        scale_pes = [256, 1024, 2048]
+    threads = [1, 2, 4]
 
     print(f"sim_engine optimized (pes={pes})", file=sys.stderr)
-    optimized = run_sim_engine(args.build_dir, "optimized", pes, events, nbi)
+    optimized = run_sim_engine(args.build_dir, "optimized", pes, events, nbi,
+                               threads)
     print("sim_engine reference (legacy linear scan)", file=sys.stderr)
-    reference = run_sim_engine(args.build_dir, "reference", pes, events, nbi)
+    reference = run_sim_engine(args.build_dir, "reference", pes, events, nbi,
+                               threads)
+    print(f"engine_scale uts_e2e (pes={scale_pes}, threads={threads})",
+          file=sys.stderr)
+    engine_scale = run_engine_scale(args.build_dir, scale_pes, threads)
 
     report = {
         "schema": "sws-bench",
-        "pr": 4,
+        "pr": 9,
         "quick": args.quick,
         "host": {"nproc": os.cpu_count()},
         "sim_engine": {"optimized": optimized, "reference": reference},
+        "engine_scale": engine_scale,
         "speedup_vs_reference": speedups(optimized, reference),
+        # Windowed engine vs the serial sequencer, same binary: event rate
+        # for the engine_mixed microbenchmark, wall clock for e2e UTS.
+        "engine_speedup_vs_serial": {
+            **engine_speedups(optimized, "events_per_sec", invert=False),
+            **engine_speedups(engine_scale, "wall_s", invert=True),
+        },
     }
     if not (args.quick or args.skip_e2e):
         print("end-to-end paper benchmarks", file=sys.stderr)
@@ -160,19 +248,25 @@ def main():
         pre_rows = index_rows(pre.get("sim_engine", []))
         sp = {}
         for r in optimized:
-            key = (r["bench"], r["pes"])
+            key = (r["bench"], r["pes"], r.get("engine_threads", 1))
             if key in pre_rows:
-                sp[f"{key[0]}_{key[1]}"] = round(
+                sp[row_name(key)] = round(
                     r["events_per_sec"] / pre_rows[key]["events_per_sec"], 2)
         if sp:
             report["speedup_vs_pre_change"] = sp
 
     if args.compare:
-        print(f"delta vs {args.compare} (informational):", file=sys.stderr)
-        try:
-            compare(args.compare, report)
-        except Exception as e:  # non-gating by design
-            print(f"  comparison skipped: {e}", file=sys.stderr)
+        target = args.compare
+        if target == "newest":
+            target = newest_baseline(exclude=args.out)
+        if target:
+            print(f"delta vs {target} (informational):", file=sys.stderr)
+            try:
+                compare(target, report)
+            except Exception as e:  # non-gating by design
+                print(f"  comparison skipped: {e}", file=sys.stderr)
+        else:
+            print("no committed baseline to compare against", file=sys.stderr)
 
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2, sort_keys=True)

@@ -68,6 +68,8 @@ struct QueueOpStats {
   std::uint64_t bulk_claims = 0;      ///< SWS successes claiming > 1 block
   std::uint64_t blocks_claimed = 0;   ///< SWS blocks claimed across successes
   std::uint64_t pressure_releases = 0;  ///< SWS enlarged releases under load
+  std::uint64_t full_claims = 0;  ///< SWS claims taking a whole multi-block
+                                  ///< allotment (serializes through one owner)
 
   void merge(const QueueOpStats& o) noexcept {
     releases += o.releases;
@@ -85,6 +87,7 @@ struct QueueOpStats {
     bulk_claims += o.bulk_claims;
     blocks_claimed += o.blocks_claimed;
     pressure_releases += o.pressure_releases;
+    full_claims += o.full_claims;
   }
 };
 

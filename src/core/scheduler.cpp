@@ -503,7 +503,7 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
         static_cast<std::uint64_t>(recovery_->known_count(ctx.pe()));
     term_->on_exit(ctx);
     ctx.quiet();
-    while (ctx.fabric().pending_to(ctx.pe()) > 0)
+    while (ctx.fabric().pending_to_synced(ctx.pe()) > 0)
       ctx.compute(recovery_->config().probe_backoff_ns);
   } else {
     ctx.quiet();  // complete our in-flight completion notifications

@@ -44,8 +44,10 @@ SwsQueue::SwsQueue(pgas::Runtime& rt, const QueueConfig& queue, SwsConfig cfg)
       buffer_(rt.heap(), qcfg_.capacity, qcfg_.slot_bytes),
       owners_(static_cast<std::size_t>(rt.npes())),
       thieves_(static_cast<std::size_t>(rt.npes())) {
-  for (auto& t : thieves_)
+  for (auto& t : thieves_) {
     t.empty_mode.assign(static_cast<std::size_t>(rt.npes()), 0);
+    t.seen_blocks.assign(static_cast<std::size_t>(rt.npes()), 0);
+  }
 }
 
 void SwsQueue::reset_pe(pgas::PeContext& ctx) {
@@ -53,6 +55,7 @@ void SwsQueue::reset_pe(pgas::PeContext& ctx) {
   o = OwnerState{};
   auto& t = thieves_[static_cast<std::size_t>(ctx.pe())];
   std::fill(t.empty_mode.begin(), t.empty_mode.end(), std::uint8_t{0});
+  std::fill(t.seen_blocks.begin(), t.seen_blocks.end(), std::uint8_t{0});
   t.claim_size = 1;
   // Valid-but-empty stealval: thieves decode itasks == 0 and give up
   // without claiming anything.
@@ -148,7 +151,7 @@ std::uint32_t SwsQueue::retire_allotment(pgas::PeContext& ctx) {
       // before fencing what remains.
       recovery_->probe_all(ctx);
       if (recovery_->known_count(ctx.pe()) > 0) {
-        while (ctx.fabric().pending_to(ctx.pe()) > 0) {
+        while (ctx.fabric().pending_to_synced(ctx.pe()) > 0) {
           ctx.compute(cfg_.epoch_poll_ns);
           o.stats.acquire_poll_ns += cfg_.epoch_poll_ns;
         }
@@ -168,7 +171,7 @@ std::uint32_t SwsQueue::retire_allotment(pgas::PeContext& ctx) {
   // Both copies of a duplicated op enter the fabric's pending set at
   // issue time, so pending_to(us)==0 certifies no stray copy remains.
   if (ctx.fabric().fault_duplicates_possible()) {
-    while (ctx.fabric().pending_to(ctx.pe()) > 0) {
+    while (ctx.fabric().pending_to_synced(ctx.pe()) > 0) {
       ctx.compute(cfg_.epoch_poll_ns);
       o.stats.acquire_poll_ns += cfg_.epoch_poll_ns;
     }
@@ -358,7 +361,7 @@ void SwsQueue::fence_dead(pgas::PeContext& ctx) {
     ctx.compute(cfg_.epoch_poll_ns);
     o.stats.acquire_poll_ns += cfg_.epoch_poll_ns;
   }
-  while (ctx.fabric().pending_to(ctx.pe()) > 0)
+  while (ctx.fabric().pending_to_synced(ctx.pe()) > 0)
     ctx.compute(cfg_.epoch_poll_ns);
   progress(ctx);
   if (!o.outstanding.empty()) fence_dead_claims(ctx);
@@ -407,10 +410,31 @@ StealResult SwsQueue::steal(pgas::PeContext& thief, int victim,
   // the soft-cap/renewal guards bound.
   std::uint8_t* csize =
       cfg_.bulk_claim_max > 1 ? &tstate.claim_size : nullptr;
-  const std::uint32_t want =
+  std::uint32_t want =
       csize != nullptr
           ? std::min<std::uint32_t>(*csize, cfg_.bulk_claim_max)
           : 1;
+  // Observed-allotment cap: never ask for more than half the victim's
+  // last-seen block count. A warmed-up thief (claim_size at max) hitting
+  // a small owner would otherwise swallow the whole allotment with every
+  // AMO, funneling all other thieves through that owner's renewal cadence
+  // — the single-victim-storm pathology (bench/ablation_bulk). Half
+  // leaves the remainder claimable concurrently; unknown victims (0)
+  // fall back to the pure adaptive size.
+  if (csize != nullptr) {
+    const std::uint8_t seen =
+        tstate.seen_blocks[static_cast<std::size_t>(victim)];
+    if (seen > 0)
+      want = std::min<std::uint32_t>(
+          want, std::max<std::uint32_t>(std::uint32_t{seen} / 2, 1));
+  }
+  // Refresh the per-victim observation from any decoded live allotment.
+  auto note_allotment = [&](const StealVal& v) {
+    if (csize != nullptr && !v.locked() && v.itasks > 0)
+      tstate.seen_blocks[static_cast<std::size_t>(victim)] =
+          static_cast<std::uint8_t>(
+              std::min<std::uint32_t>(steal_block_count(v.itasks), 255));
+  };
   auto grow_claim = [&] {
     if (csize != nullptr)
       *csize = static_cast<std::uint8_t>(
@@ -442,6 +466,7 @@ StealResult SwsQueue::steal(pgas::PeContext& thief, int victim,
         fab.amo_fetch(thief.pe(), victim, stealval_.off);
     if (probe_word == net::kDeadFetchValue) return dead_victim();
     const StealVal probe = StealVal::decode(probe_word);
+    note_allotment(probe);
     if (!has_work(probe)) {
       shrink_claim();  // the victim provably has nothing published
       ++st.steals_empty;
@@ -459,6 +484,7 @@ StealResult SwsQueue::steal(pgas::PeContext& thief, int victim,
                         AStealsField::unit() * want);
   if (word == net::kDeadFetchValue) return dead_victim();
   const StealVal sv = StealVal::decode(word);
+  note_allotment(sv);
 
   if (sv.locked()) {
     ++st.steals_retry;
@@ -522,6 +548,10 @@ StealResult SwsQueue::steal(pgas::PeContext& thief, int victim,
   st.tasks_stolen += ntasks;
   st.blocks_claimed += k;
   if (k > 1) ++st.bulk_claims;
+  // A claim that took every block of a multi-block allotment: the exact
+  // shape the observed-allotment cap exists to suppress (the storm regime
+  // of bench/ablation_bulk asserts it stays rare).
+  if (k == nblocks && nblocks > 1) ++st.full_claims;
   return {StealOutcome::kSuccess, ntasks, 0, k};
 }
 

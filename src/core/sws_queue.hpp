@@ -109,6 +109,13 @@ class SwsQueue final : public TaskQueue {
   /// sharing), one entry per potential victim.
   struct alignas(64) ThiefState {
     std::vector<std::uint8_t> empty_mode;  // 1 = probe-first
+    /// Last observed allotment block count per victim (bulk mode; 0 =
+    /// never observed, saturated at 255). Every decoded stealval with a
+    /// live allotment refreshes it. Caps the adaptive claim at half the
+    /// victim's allotment, so a warmed-up thief can't keep swallowing a
+    /// small owner's whole allotment and serialize every other thief
+    /// behind that owner's renewal cadence.
+    std::vector<std::uint8_t> seen_blocks;
     /// Adaptive bulk claim size (bulk mode only): doubles on a successful
     /// steal, halves on an empty probe / soft-cap refusal / dead victim.
     /// One value per thief, not per victim: the demand it tracks — "this

@@ -1,0 +1,395 @@
+#include "net/parallel_time_model.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace sws::net {
+
+ParallelTimeModel::ParallelTimeModel(int npes, int shards, Nanos lookahead)
+    : lookahead_(lookahead), shards_requested_(std::max(shards, 1)) {
+  if (npes > 0) reset(npes);
+}
+
+ParallelTimeModel::~ParallelTimeModel() = default;
+
+void ParallelTimeModel::reset(int npes) {
+  SWS_ASSERT(npes > 0);
+  // Quiescent between runs: either no run happened since the last reset
+  // (running_ still pre-armed at the old npes) or every PE reached pe_end
+  // (running_ drained to 0). Anything else means live PE threads.
+  SWS_ASSERT_MSG(running_.load(std::memory_order_relaxed) == 0 ||
+                     running_.load(std::memory_order_relaxed) ==
+                         static_cast<int>(slots_.size()),
+                 "reset while PE threads are active");
+  if (static_cast<int>(slots_.size()) != npes) {
+    slots_.clear();
+    slots_.reserve(static_cast<std::size_t>(npes));
+    for (int pe = 0; pe < npes; ++pe)
+      slots_.push_back(std::make_unique<PeSlot>());
+  }
+  const int nshards = std::min(shards_requested_, npes);
+  if (static_cast<int>(shards_.size()) != nshards) {
+    shards_.clear();
+    shards_.reserve(static_cast<std::size_t>(nshards));
+    for (int s = 0; s < nshards; ++s) shards_.push_back(std::make_unique<Shard>());
+  }
+  // Contiguous blocks: the first (npes % nshards) shards get one extra PE.
+  shard_of_.assign(static_cast<std::size_t>(npes), 0);
+  {
+    const int base = npes / nshards, extra = npes % nshards;
+    int pe = 0;
+    for (int s = 0; s < nshards; ++s) {
+      const int take = base + (s < extra ? 1 : 0);
+      for (int i = 0; i < take; ++i) shard_of_[static_cast<std::size_t>(pe++)] = s;
+    }
+    SWS_ASSERT(pe == npes);
+  }
+  for (auto& slot : slots_) {
+    slot->vtime.store(0, std::memory_order_relaxed);
+    slot->horizon = 0;
+    slot->in_global = false;
+    slot->gtarget = kOpaqueTarget;
+    slot->park_kind = PeSlot::Park::kPriv;
+    slot->solo_license = false;
+    slot->released.store(false, std::memory_order_relaxed);
+  }
+  for (auto& sh : shards_) {
+    sh->priv.clear(npes);
+    sh->glob.clear(npes);
+  }
+  stats_ = EngineStats{};
+  parks_.store(0, std::memory_order_relaxed);
+  license_skips_.store(0, std::memory_order_relaxed);
+  shard_releases_.assign(static_cast<std::size_t>(nshards), 0);
+  release_scratch_.clear();
+  release_scratch_.reserve(static_cast<std::size_t>(npes));
+  defer_scratch_.clear();
+  defer_scratch_.reserve(static_cast<std::size_t>(npes));
+  cap_.assign(static_cast<std::size_t>(npes), ReadyHeap::kNoVtime);
+  cap_epoch_.assign(static_cast<std::size_t>(npes), 0);
+  epoch_ = 0;
+  // Every PE thread is "running" until it parks in pe_begin; the last
+  // arrival drives the first release (all clocks 0 -> one full window).
+  running_.store(npes, std::memory_order_relaxed);
+}
+
+void ParallelTimeModel::park_and_wait(int pe, PeSlot::Park kind) {
+  PeSlot& slot = *slots_[static_cast<std::size_t>(pe)];
+  Shard& sh = *shards_[static_cast<std::size_t>(shard_of_[static_cast<std::size_t>(pe)])];
+  // Disarm the wake flag *before* becoming visible in a heap: the driver
+  // only touches this slot after popping it, and it can only pop what the
+  // shard-mutex-ordered insert below has published.
+  slot.released.store(false, std::memory_order_relaxed);
+  slot.park_kind = kind;
+  slot.solo_license = false;  // any park invalidates the lex-min proof
+  {
+    std::lock_guard<std::mutex> lk(sh.mu);
+    (kind != PeSlot::Park::kPriv ? sh.glob : sh.priv)
+        .insert(pe, slot.vtime.load(std::memory_order_relaxed));
+  }
+  parks_.fetch_add(1, std::memory_order_relaxed);
+  // The parker counts as running until this decrement, so no other thread
+  // can observe zero (and drive) while this PE is half-parked; exactly one
+  // thread per quiescence sees the 1 -> 0 transition.
+  if (running_.fetch_sub(1, std::memory_order_acq_rel) == 1) drive();
+  // Wait on the slot channel, not the shard mutex: the driver has already
+  // dropped its locks by the time it notifies, so this wake never blocks
+  // behind drive(). The acquire pairs with the driver's release-store and
+  // makes the freshly written horizon visible.
+  std::unique_lock<std::mutex> lk(slot.mu);
+  slot.cv.wait(lk, [&] { return slot.released.load(std::memory_order_acquire); });
+}
+
+void ParallelTimeModel::drive() {
+  // Sole executor: running_ just hit zero, every unfinished PE is parked.
+  // The shard locks freeze the heaps and order every parker's insert
+  // before the pops below; they are dropped before any wake so released
+  // PEs (who may park again immediately) never contend with this batch's
+  // remaining notifies.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& sh : shards_) locks.emplace_back(sh->mu);
+
+  // Global frontier: lexicographic (vtime, pe) minimum over every parked
+  // PE. Real keys are always < kNoVtime, so the sentinel never wins.
+  Nanos fc = ReadyHeap::kNoVtime;
+  int fp = -1;
+  bool fglob = false;
+  auto consider = [&fc, &fp, &fglob](const ReadyHeap& h, bool is_glob) {
+    const int p = h.top();
+    if (p < 0) return;
+    const Nanos c = h.top_vtime();
+    if (c < fc || (c == fc && p < fp)) {
+      fc = c;
+      fp = p;
+      fglob = is_glob;
+    }
+  };
+  for (auto& sh : shards_) {
+    consider(sh->priv, false);
+    consider(sh->glob, true);
+  }
+  if (fp < 0) return;  // every PE reached pe_end; nothing left to release
+
+  // Time floor moved to fc: deliver everything due, learn the earliest
+  // deadline still pending. It caps every release below so no delivery is
+  // skipped over (same contract as the serial sequencer).
+  const Nanos nd = hook_ ? hook_(fc) : kNoPendingDeadline;
+
+  if (!fglob) {
+    // Window attempt: wake every private PE strictly below its horizon
+    // W(p). The base edge is the lookahead (or an earlier pending nbi
+    // deadline); parked gated PEs shrink it only by their declared
+    // conflict footprint. A mid-charge park resumes by applying its
+    // blocking op's effect on its target, so it caps that target at its
+    // clock; an opaque-footprint gate (fault injection) caps everyone; a
+    // pre-charge or sync park resumes into gated-shared state only and
+    // caps nobody — its op's effect lands at least one full lookahead
+    // past its park clock, provably outside this window.
+    Nanos w = fc + lookahead_;
+    enum { kLook, kGlob, kDead } cause = kLook;
+    if (nd < w) {
+      w = nd;
+      cause = kDead;
+    }
+    ++epoch_;
+    Nanos opaque = ReadyHeap::kNoVtime;
+    for (auto& sh : shards_)
+      sh->glob.for_each([&](int p, Nanos v) {
+        if (v >= w) return;
+        const PeSlot& s = *slots_[static_cast<std::size_t>(p)];
+        if (s.gtarget == kOpaqueTarget && s.park_kind != PeSlot::Park::kSync) {
+          if (v < opaque) opaque = v;
+        } else if (s.gtarget >= 0 && s.park_kind == PeSlot::Park::kMid) {
+          auto& ce = cap_epoch_[static_cast<std::size_t>(s.gtarget)];
+          auto& cv = cap_[static_cast<std::size_t>(s.gtarget)];
+          if (ce != epoch_ || v < cv) {
+            ce = epoch_;
+            cv = v;
+          }
+        }
+      });
+    if (opaque < w) {
+      w = opaque;
+      cause = kGlob;
+    }
+    release_scratch_.clear();
+    defer_scratch_.clear();
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      ReadyHeap& heap = shards_[s]->priv;
+      while (heap.top() >= 0 && heap.top_vtime() < w) {
+        const int p = heap.top();
+        const Nanos pv = heap.top_vtime();
+        heap.remove(p);
+        PeSlot& slot = *slots_[static_cast<std::size_t>(p)];
+        Nanos wp = w;
+        if (cap_epoch_[static_cast<std::size_t>(p)] == epoch_ &&
+            cap_[static_cast<std::size_t>(p)] < wp)
+          wp = cap_[static_cast<std::size_t>(p)];
+        if (wp <= pv) {
+          // An in-flight op lands on this PE at or before its clock (a
+          // clock tie included — conservative): it must wait its exact
+          // turn via the solo path.
+          defer_scratch_.push_back(p);
+          ++stats_.deferred;
+          continue;
+        }
+        if (wp < w) ++stats_.cap_target;
+        slot.horizon = wp;
+        release_scratch_.push_back(p);
+        ++shard_releases_[s];
+      }
+      for (const int p : defer_scratch_)
+        if (shard_of_[static_cast<std::size_t>(p)] == static_cast<int>(s))
+          heap.insert(p, slots_[static_cast<std::size_t>(p)]->vtime.load(
+                             std::memory_order_relaxed));
+      defer_scratch_.erase(
+          std::remove_if(defer_scratch_.begin(), defer_scratch_.end(),
+                         [&](int p) {
+                           return shard_of_[static_cast<std::size_t>(p)] ==
+                                  static_cast<int>(s);
+                         }),
+          defer_scratch_.end());
+    }
+    if (!release_scratch_.empty()) {
+      ++stats_.windows;
+      stats_.window_pes += release_scratch_.size();
+      if (cause == kLook)
+        ++stats_.cap_lookahead;
+      else if (cause == kGlob)
+        ++stats_.cap_global;
+      else
+        ++stats_.cap_deadline;
+      // Horizons and the running count are in place before anyone wakes:
+      // a released PE that re-parks instantly decrements from the full
+      // batch size, so running_ cannot hit zero until every batch member
+      // (notified or not) has run and parked again.
+      running_.store(static_cast<int>(release_scratch_.size()),
+                     std::memory_order_release);
+      locks.clear();  // heaps are final for this release; let parkers in
+      for (const int p : release_scratch_) {
+        PeSlot& slot = *slots_[static_cast<std::size_t>(p)];
+        {
+          std::lock_guard<std::mutex> g(slot.mu);
+          slot.released.store(true, std::memory_order_release);
+        }
+        slot.cv.notify_one();
+      }
+      return;
+    }
+    // Even the private frontier is capped at its own clock (an in-flight
+    // op lands exactly there) — release it alone with its exact horizon.
+  }
+
+  // Solo release of the frontier with its *exact* horizon: the next
+  // event's time, +1 when the frontier keeps winning the (vtime, pe) tie
+  // (it may run events at the shared clock before yielding). This is what
+  // reproduces the serial total order for globally ordered actions.
+  Shard& fsh = *shards_[static_cast<std::size_t>(shard_of_[static_cast<std::size_t>(fp)])];
+  (fglob ? fsh.glob : fsh.priv).remove(fp);
+  Nanos m = ReadyHeap::kNoVtime;
+  int q = -1;
+  {
+    Nanos mc = ReadyHeap::kNoVtime;
+    int mp = -1;
+    bool mg = false;
+    auto consider2 = [&mc, &mp, &mg](const ReadyHeap& h, bool is_glob) {
+      const int p = h.top();
+      if (p < 0) return;
+      const Nanos c = h.top_vtime();
+      if (c < mc || (c == mc && p < mp)) {
+        mc = c;
+        mp = p;
+        mg = is_glob;
+      }
+    };
+    for (auto& sh : shards_) {
+      consider2(sh->priv, false);
+      consider2(sh->glob, true);
+    }
+    m = mc;
+    q = mp;
+    (void)mg;
+  }
+  Nanos h;
+  if (q < 0) {
+    h = nd;  // alone in the system: only pending deliveries can preempt
+  } else {
+    h = m + ((fp < q) ? Nanos{1} : Nanos{0});
+    if (nd < h) h = nd;
+  }
+  // Progress: the frontier is the lex minimum, so a clock tie means the
+  // other PE has a higher id (fp < q) and the +1 applies; the hook only
+  // reports deadlines strictly beyond the floor it swept.
+  SWS_ASSERT_MSG(h > fc, "solo horizon must exceed the frontier clock");
+  if (fglob)
+    ++stats_.solo_global;
+  else
+    ++stats_.solo_private;
+  ++shard_releases_[static_cast<std::size_t>(shard_of_[static_cast<std::size_t>(fp)])];
+  PeSlot& slot = *slots_[static_cast<std::size_t>(fp)];
+  slot.horizon = h;
+  // Solo license: below this exact horizon the PE stays the unique lex
+  // minimum (everyone else is parked at >= m, no delivery is due < h), so
+  // its next globally ordered action may begin without parking — the park
+  // would be released right back with identical state. Window releases
+  // never grant this (peers run concurrently).
+  slot.solo_license = true;
+  running_.store(1, std::memory_order_release);
+  locks.clear();
+  {
+    std::lock_guard<std::mutex> g(slot.mu);
+    slot.released.store(true, std::memory_order_release);
+  }
+  slot.cv.notify_one();
+}
+
+void ParallelTimeModel::pe_begin(int pe) {
+  // Park at clock 0; the last arrival drives the first window.
+  park_and_wait(pe, PeSlot::Park::kPriv);
+}
+
+void ParallelTimeModel::pe_end(int pe) {
+  (void)pe;
+  // The finishing PE is running (not in any heap): just stop counting it.
+  // If it was the last runner, someone parked must be released next.
+  if (running_.fetch_sub(1, std::memory_order_acq_rel) == 1) drive();
+}
+
+void ParallelTimeModel::advance(int pe, Nanos dt) {
+  PeSlot& slot = *slots_[static_cast<std::size_t>(pe)];
+  const Nanos nv = slot.vtime.load(std::memory_order_relaxed) + dt;
+  slot.vtime.store(nv, std::memory_order_release);
+  if (nv < slot.horizon) return;  // in-window fast path: no lock, no wake
+  // Crossing inside a globally ordered op parks into the global heap so
+  // the op resumes exactly at its serial position; such a mid-charge park
+  // caps concurrent windows by the gate's declared footprint.
+  park_and_wait(pe, slot.in_global ? PeSlot::Park::kMid : PeSlot::Park::kPriv);
+}
+
+Nanos ParallelTimeModel::now(int pe) const {
+  return slots_[static_cast<std::size_t>(pe)]->vtime.load(
+      std::memory_order_acquire);
+}
+
+void ParallelTimeModel::clamp_horizon(int pe, Nanos deadline) {
+  // Only the sole running PE enqueues (nbi paths are globally gated), so
+  // a plain shrink of its own horizon is race-free; the driver re-learns
+  // pending deadlines from the delivery hook at every release.
+  PeSlot& slot = *slots_[static_cast<std::size_t>(pe)];
+  if (deadline < slot.horizon) slot.horizon = deadline;
+}
+
+void ParallelTimeModel::set_delivery_hook(DeliveryHook hook) {
+  hook_ = std::move(hook);
+}
+
+void ParallelTimeModel::global_begin(int pe) {
+  global_begin(pe, kOpaqueTarget);
+}
+
+void ParallelTimeModel::global_begin(int pe, int target) {
+  PeSlot& slot = *slots_[static_cast<std::size_t>(pe)];
+  SWS_ASSERT_MSG(!slot.in_global, "nested global_begin");
+  slot.gtarget = target;
+  slot.in_global = true;
+  if (slot.solo_license &&
+      slot.vtime.load(std::memory_order_relaxed) < slot.horizon) {
+    // Solo license: this PE is still the unique lex minimum, so the park
+    // below would be granted right back with identical state. Skip it —
+    // the charge/effect already run in exact serial position.
+    license_skips_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  park_and_wait(pe, PeSlot::Park::kBegin);
+}
+
+void ParallelTimeModel::global_end(int pe) {
+  // No park: the PE continues privately under the horizon it was granted.
+  slots_[static_cast<std::size_t>(pe)]->in_global = false;
+}
+
+void ParallelTimeModel::global_sync(int pe) {
+  // A pure read barrier: park at the current clock and return once every
+  // lex-earlier global action has applied (the solo release guarantees
+  // it). The PE is not inside an op, so in_global stays false.
+  PeSlot& slot = *slots_[static_cast<std::size_t>(pe)];
+  if (slot.solo_license &&
+      slot.vtime.load(std::memory_order_relaxed) < slot.horizon) {
+    // Unique lex minimum: every lex-earlier global action has applied.
+    license_skips_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  slot.gtarget = kNoConflictTarget;
+  park_and_wait(pe, PeSlot::Park::kSync);
+}
+
+ParallelTimeModel::EngineStats ParallelTimeModel::engine_stats() const {
+  EngineStats s = stats_;
+  s.parks = parks_.load(std::memory_order_relaxed);
+  s.license_skips = license_skips_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace sws::net

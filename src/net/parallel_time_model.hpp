@@ -1,0 +1,192 @@
+// Sharded run-to-horizon sequencer: the parallel discrete-event engine.
+//
+// The serial VirtualTimeModel hands a baton between PE threads — exactly
+// one runs at a time, and every horizon crossing is a condition-variable
+// round trip. This model instead releases *windows* of PEs that run
+// concurrently: whenever the global (vtime, pe) frontier is a private
+// action, every parked private PE with clock strictly below its per-PE
+// horizon
+//
+//     W(p) = min(frontier + lookahead, earliest pending nbi deadline,
+//                earliest parked mid-charge op *targeting p*)
+//
+// is woken at once and runs unsynchronized until its own clock reaches
+// W(p). The lookahead is the minimum blocking remote-op latency of the
+// network (NetworkParams::min_remote_latency): any cross-PE effect
+// initiated at or after the frontier lands at frontier + lookahead, i.e.
+// provably outside every window, so in-window execution touches per-PE
+// state only.
+//
+// Globally ordered actions — cross-PE blocking ops, every nbi enqueue, and
+// reads of cross-initiator pending counters — park via global_begin()/
+// global_sync() and are released one at a time, exactly at the global
+// frontier, with an exact horizon (the next event time). That reproduces
+// the serial sequencer's total order bit-for-bit: schedules, nbi sequence
+// numbers, per-PE FabricStats and clocks are byte-identical to the serial
+// and reference engines (tests/test_determinism_ab.cpp enforces it).
+// While parked, a gated PE constrains concurrent windows only by its
+// declared conflict footprint (TimeModel::global_begin(pe, target)): a
+// pre-charge park (global_begin) or a sync park resumes into state shared
+// only with other gated actions and caps nobody; a mid-charge park of a
+// blocking op resumes by applying its effect on its target's memory and
+// caps that target alone; an opaque-footprint gate (fault injection) caps
+// every PE — the fully conservative legacy rule. A PE granted a *solo*
+// release stays the unique lex-minimum below its horizon, so its next
+// gated action may begin without parking at all (the solo license).
+//
+// Structure: PEs are partitioned into contiguous shards, one pair of
+// ReadyHeaps (private / global parked) plus one mutex per shard. A parker
+// touches only its own shard lock; the last runner to park becomes the
+// *driver* — it takes every shard lock, fires the delivery hook at the new
+// time floor, and releases the next window or solo frontier. now(pe) stays
+// a lock-free acquire-load mirror.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/ready_heap.hpp"
+#include "net/time_model.hpp"
+#include "net/types.hpp"
+
+namespace sws::net {
+
+class ParallelTimeModel final : public TimeModel {
+ public:
+  /// `shards` worker-lock groups (clamped to [1, npes]); `lookahead` is the
+  /// conservative window width — the minimum cost of any cross-PE blocking
+  /// op (0 collapses every release to a solo handoff: correct, lockstep).
+  ParallelTimeModel(int npes, int shards, Nanos lookahead);
+  ~ParallelTimeModel() override;
+
+  void reset(int npes) override;
+  void pe_begin(int pe) override;
+  void pe_end(int pe) override;
+  void advance(int pe, Nanos dt) override;
+
+  /// Lock-free acquire-load of the PE's published clock. Exact for the
+  /// owning thread and for anything ordered after it (joins, releases).
+  Nanos now(int pe) const override;
+
+  void clamp_horizon(int pe, Nanos deadline) override;
+  void set_delivery_hook(DeliveryHook hook) override;
+  bool is_virtual() const noexcept override { return true; }
+  int npes() const noexcept override { return static_cast<int>(slots_.size()); }
+
+  void global_begin(int pe) override;
+  void global_begin(int pe, int target) override;
+  void global_end(int pe) override;
+  void global_sync(int pe) override;
+  bool concurrent_windows() const noexcept override { return true; }
+
+  // --- engine introspection (obs layer, bench) ---------------------------
+  struct EngineStats {
+    std::uint64_t windows = 0;       ///< multi-PE concurrent releases
+    std::uint64_t window_pes = 0;    ///< PEs woken across all windows
+    std::uint64_t solo_private = 0;  ///< solo frontier releases (private)
+    std::uint64_t solo_global = 0;   ///< serialized global ops / syncs
+    std::uint64_t cap_lookahead = 0;  ///< window edge set by the lookahead
+    std::uint64_t cap_global = 0;     ///< ... by an opaque-footprint gate
+    std::uint64_t cap_deadline = 0;   ///< ... by a pending nbi deadline
+    std::uint64_t cap_target = 0;  ///< window PEs horizon-capped per-target
+    std::uint64_t deferred = 0;    ///< window candidates held back by a cap
+    std::uint64_t license_skips = 0;  ///< global parks elided by the
+                                      ///< solo-frontier license
+    std::uint64_t parks = 0;          ///< every park event, all PEs
+  };
+  EngineStats engine_stats() const;
+  int nshards() const noexcept { return static_cast<int>(shards_.size()); }
+  /// Releases granted to PEs of shard `s` (driver-written, read post-run).
+  std::uint64_t shard_releases(int s) const { return shard_releases_[s]; }
+  Nanos lookahead() const noexcept { return lookahead_; }
+
+ private:
+  struct alignas(64) PeSlot {
+    /// Authoritative clock, written only by the owning PE thread (or by
+    /// reset). Atomic so now() can mirror it lock-free.
+    std::atomic<Nanos> vtime{0};
+    /// Run-to cap: advance() is lock-free while strictly below this.
+    /// Written by the driver before release; the shard-mutex handoff
+    /// orders the accesses.
+    Nanos horizon = 0;
+    /// Set between global_begin and global_end: a horizon crossing inside
+    /// a globally ordered op parks into the *global* heap so the op's
+    /// charge/effect stay at their exact serial position.
+    bool in_global = false;
+    /// Conflict footprint declared at global_begin: the PE id whose
+    /// observable state this gate's action touches when resuming from an
+    /// in-gate park, or a TimeModel sentinel. Owner-written while running;
+    /// driver-read while the owner is parked (shard-mutex ordered).
+    int gtarget = -1;  // TimeModel::kOpaqueTarget
+    /// Why this PE is parked (meaningful only while in a heap): a private
+    /// horizon crossing, the pre-charge park at global_begin, a mid-charge
+    /// crossing inside a gate, or a global_sync read barrier. Determines
+    /// whether the park caps concurrent windows (see drive()).
+    enum class Park : std::uint8_t { kPriv, kBegin, kMid, kSync };
+    Park park_kind = Park::kPriv;
+    /// Solo-frontier license: set by the driver on a solo release. While
+    /// the clock stays strictly below the granted horizon the PE remains
+    /// the unique lex-minimum of the system (the horizon was derived from
+    /// the next parked clock and the pending-delivery floor), so a
+    /// globally ordered action may *begin* without parking — the park
+    /// would be released immediately with identical state. Cleared on
+    /// every park; never set for window releases (peers run concurrently).
+    bool solo_license = false;
+    /// Wake predicate. The release-store (after horizon is written) pairs
+    /// with the waiter's acquire-load, so the granted horizon is visible
+    /// without the waiter ever touching a shard lock on wakeup.
+    std::atomic<bool> released{false};
+    /// Per-slot wait channel, *not* the shard mutex: the driver drops every
+    /// shard lock before notifying, so a woken PE resumes immediately
+    /// instead of piling up behind the driver's locks (on few-core hosts
+    /// that re-block would double the context switches per release).
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    ReadyHeap priv;  ///< parked private PEs, keyed (vtime, pe)
+    ReadyHeap glob;  ///< parked globally ordered PEs
+  };
+
+  /// Insert `pe` into its shard heap, hand off runner-ship, and block
+  /// until the driver releases it. The last runner to park drives.
+  void park_and_wait(int pe, PeSlot::Park kind);
+  /// Sole executor (runs when running_ hits 0): takes every shard lock,
+  /// fires the delivery hook at the frontier, pops the release batch and
+  /// writes its horizons, then *drops the locks* before waking anyone —
+  /// either a window of private PEs or the solo frontier.
+  void drive();
+
+  std::vector<std::unique_ptr<PeSlot>> slots_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<int> shard_of_;  ///< pe -> shard index
+  /// PEs currently running (not parked). The acq_rel fetch_sub chain is
+  /// the synchronization backbone: the thread that decrements to zero
+  /// observes every earlier parker's state and becomes the driver.
+  std::atomic<int> running_{0};
+  Nanos lookahead_ = 0;
+  int shards_requested_ = 1;
+  DeliveryHook hook_;
+
+  // Stats: driver-only fields are plain (drive() is serialized by
+  // construction); parks_ is touched by every PE thread.
+  EngineStats stats_{};
+  std::atomic<std::uint64_t> parks_{0};
+  std::atomic<std::uint64_t> license_skips_{0};
+  std::vector<std::uint64_t> shard_releases_;
+  std::vector<int> release_scratch_;  ///< window batch; driver-only
+  std::vector<int> defer_scratch_;    ///< cap-blocked candidates; driver-only
+  // Per-target window caps, epoch-stamped so a drive never pays O(npes)
+  // to clear them: cap_[p] is valid only when cap_epoch_[p] == epoch_.
+  std::vector<Nanos> cap_;
+  std::vector<std::uint64_t> cap_epoch_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace sws::net

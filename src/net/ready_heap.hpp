@@ -42,6 +42,24 @@ class ReadyHeap {
     }
   }
 
+  /// Re-initialize *empty* but able to hold any pe in [0, n). The sharded
+  /// sequencer keys each shard's heap by the full PE id space and inserts
+  /// only its own subset; parked and running PEs move in and out freely.
+  void clear(int n) {
+    SWS_ASSERT(n >= 0);
+    heap_.clear();
+    pos_.assign(static_cast<std::size_t>(n), -1);
+  }
+
+  /// Add `pe` (currently absent) at `vtime`.
+  void insert(int pe, Nanos vtime) {
+    SWS_ASSERT(pe >= 0 && pe < static_cast<int>(pos_.size()));
+    SWS_ASSERT_MSG(!contains(pe), "insert of a PE already in the heap");
+    pos_[static_cast<std::size_t>(pe)] = static_cast<int>(heap_.size());
+    heap_.push_back(Entry{vtime, pe});
+    sift_up(heap_.size() - 1);
+  }
+
   bool empty() const noexcept { return heap_.empty(); }
   int size() const noexcept { return static_cast<int>(heap_.size()); }
   bool contains(int pe) const {
@@ -64,6 +82,14 @@ class ReadyHeap {
     if (heap_.size() > 1) s = heap_[1].vtime;
     if (heap_.size() > 2 && heap_[2].vtime < s) s = heap_[2].vtime;
     return s;
+  }
+
+  /// Visit every element in unspecified (heap-internal) order. The sharded
+  /// sequencer's driver uses this to scan parked global PEs for per-target
+  /// window caps; O(size), no allocation.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const Entry& e : heap_) f(e.pe, e.vtime);
   }
 
   Nanos vtime_of(int pe) const {

@@ -99,6 +99,48 @@ class TimeModel {
 
   virtual bool is_virtual() const noexcept = 0;
   virtual int npes() const noexcept = 0;
+
+  // --- concurrent-window extensions (ParallelTimeModel) ------------------
+  //
+  // The sharded sequencer releases *windows* of PEs that run concurrently
+  // below a conservative lookahead horizon. Actions that touch another
+  // PE's state (or globally ordered fabric state like the nbi sequence
+  // counter) must first be serialized at the global (vtime, pe) frontier.
+  // The serial backends run one PE at a time, so these default to no-ops.
+
+  /// Conflict footprint sentinels for global_begin(pe, target):
+  ///  * kOpaqueTarget — unknown footprint: while this gate's PE is parked,
+  ///    no other PE may run past its clock (fully conservative; the
+  ///    fabric uses it when fault/crash injection adds shared state).
+  ///  * kNoConflictTarget — the gate only touches state shared with other
+  ///    gated actions (nbi pending queue, sequence counter): parked, it
+  ///    never needs to cap a concurrent window (deliveries are fenced
+  ///    separately by the pending-deadline cap).
+  static constexpr int kOpaqueTarget = -1;
+  static constexpr int kNoConflictTarget = -2;
+
+  /// `pe` is about to perform a globally ordered action (cross-PE blocking
+  /// op or nbi enqueue). Parks until `pe` is the unique global frontier;
+  /// on return the op's charge + effect run in exact serial lex order.
+  virtual void global_begin(int pe) { (void)pe; }
+  /// As above, with the action's conflict footprint: `target` is the PE
+  /// whose observable state the action touches when it resumes from parks
+  /// *inside* the gate (a blocking op applies its effect after charging),
+  /// or one of the sentinels. The sharded engine uses it to cap concurrent
+  /// windows per target instead of globally; serial backends ignore it.
+  virtual void global_begin(int pe, int target) {
+    (void)target;
+    global_begin(pe);
+  }
+  /// The globally ordered action completed; `pe` may continue privately.
+  virtual void global_end(int pe) { (void)pe; }
+  /// Serialize a read of globally mutated state (e.g. the per-target nbi
+  /// pending counter) without marking `pe` as inside an op: parks until
+  /// every lex-earlier global action has applied.
+  virtual void global_sync(int pe) { (void)pe; }
+  /// True when windows of PE threads may run concurrently — callers use it
+  /// to gate global_begin/end/sync so the serial hot path stays untouched.
+  virtual bool concurrent_windows() const noexcept { return false; }
 };
 
 /// Deterministic discrete-event sequencer (see file comment).

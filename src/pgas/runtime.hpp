@@ -28,6 +28,15 @@ struct RuntimeConfig {
   /// strategy (no ready heap, no run-to-horizon batching). Schedules are
   /// identical; exists for A/B determinism tests and benchmarks.
   bool sequencer_reference = false;
+  /// Virtual mode only: engine parallelism. 1 (default) = the serial
+  /// baton-passing sequencer. >1 = the sharded ParallelTimeModel with
+  /// this many shard lock groups, releasing *windows* of PEs that run
+  /// concurrently below a conservative lookahead horizon. Schedules stay
+  /// byte-identical across every value (tests/test_determinism_ab.cpp);
+  /// only wall-clock changes. Ignored (serial) under sequencer_reference
+  /// or when a crash plan is armed — crash-stop visibility polling
+  /// assumes the serial total order.
+  int engine_threads = 1;
   /// Publish runtime/fabric accounting into the metrics registry at the
   /// end of every run() (docs/observability.md). Off the hot path either
   /// way — publishing happens once, after the PE threads join.

@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <mutex>
 #include <random>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "net/parallel_time_model.hpp"
 #include "net/ready_heap.hpp"
 #include "net/time_model.hpp"
 
@@ -307,6 +310,90 @@ TEST(ReadyHeap, MatchesNaiveScanUnderRandomOps) {
     ASSERT_EQ(h.top(), naive_top()) << "step " << step;
     ASSERT_EQ(h.second_vtime(), naive_second()) << "step " << step;
   }
+}
+
+// --- ParallelTimeModel: the sharded windowed sequencer, bare ------------
+//
+// End-to-end byte-identity is enforced by tests/test_determinism_ab.cpp;
+// these exercise the model directly: gated actions (with declared
+// conflict footprints) must serialize in exact (vtime, pe) order at any
+// shard count, and the solo license must elide redundant global parks.
+
+TEST(ParallelTime, GatedActionsMatchSerialOrder) {
+  // Mixed private/gated event stream. Each PE logs (pe, clock) at every
+  // gate entry — the global serialization point — and the sequence must
+  // be identical between the serial sequencer (global_begin is a no-op:
+  // one PE runs at a time) and the windowed engine at several shard
+  // counts, which exercises windows, per-target caps, deferrals, and
+  // license skips on the same schedule.
+  const int npes = 6;
+  auto program = [npes](TimeModel& tm, std::vector<std::pair<int, Nanos>>& log,
+                        std::mutex& mu) {
+    run_pes(tm, npes, [&](int pe) {
+      for (int i = 0; i < 60; ++i) {
+        tm.advance(pe, 100 + 7 * ((pe * 31 + i) % 5));
+        if (i % 3 == pe % 3) {
+          const int target = (pe + 1 + i) % npes;
+          if (target == pe) continue;
+          tm.global_begin(pe, target);
+          {
+            // The append runs right after gate entry, where the PE is
+            // the sole (or licensed solo) runner, so appends are already
+            // serialized in virtual order; the mutex only keeps the
+            // data-race checker happy.
+            std::lock_guard<std::mutex> lk(mu);
+            log.emplace_back(pe, tm.now(pe));
+          }
+          tm.advance(pe, 1500);  // mid-charge park: past the lookahead
+          tm.global_end(pe);
+        }
+      }
+    });
+  };
+
+  std::vector<std::pair<int, Nanos>> serial_log;
+  std::vector<Nanos> serial_clocks;
+  {
+    VirtualTimeModel tm(npes);
+    std::mutex mu;
+    program(tm, serial_log, mu);
+    for (int pe = 0; pe < npes; ++pe) serial_clocks.push_back(tm.now(pe));
+  }
+  ASSERT_FALSE(serial_log.empty());
+
+  for (const int shards : {1, 2, 4}) {
+    ParallelTimeModel tm(npes, shards, /*lookahead=*/1400);
+    std::vector<std::pair<int, Nanos>> log;
+    std::mutex mu;
+    program(tm, log, mu);
+    EXPECT_EQ(log, serial_log) << "shards=" << shards;
+    for (int pe = 0; pe < npes; ++pe)
+      EXPECT_EQ(tm.now(pe), serial_clocks[static_cast<std::size_t>(pe)])
+          << "shards=" << shards << " pe=" << pe;
+    const auto es = tm.engine_stats();
+    // Every park is matched by exactly one release.
+    EXPECT_EQ(es.parks,
+              es.window_pes + es.solo_private + es.solo_global);
+  }
+}
+
+TEST(ParallelTime, SoloLicenseElidesGlobalParks) {
+  // One PE left alone in the system keeps the solo license across gated
+  // actions: after the first park, every further global_begin/global_sync
+  // below its (unbounded) horizon must skip the park entirely.
+  ParallelTimeModel tm(2, 2, /*lookahead=*/1400);
+  run_pes(tm, 2, [&](int pe) {
+    if (pe != 0) return;  // PE 1 exits immediately; PE 0 runs gated ops
+    for (int i = 0; i < 20; ++i) {
+      tm.global_begin(0, 1);
+      tm.advance(0, 1500);
+      tm.global_end(0);
+      tm.global_sync(0);
+    }
+  });
+  const auto es = tm.engine_stats();
+  EXPECT_GE(es.license_skips, 30u);  // 40 gated actions, minus warm-up
+  EXPECT_LE(es.solo_global, 10u);
 }
 
 TEST(RealTime, AdvanceTakesAtLeastDt) {
