@@ -42,6 +42,11 @@ BenchSettings BenchSettings::from_options(const Options& opt) {
   s.seq_reference = opt.get("seq-reference", false);
   s.trace_out = opt.get("trace-out", std::string(""));
   s.metrics_out = opt.get("metrics-out", std::string(""));
+  s.timeseries_out = opt.get("timeseries-out", std::string(""));
+  s.sample_interval_ns = static_cast<net::Nanos>(
+      opt.get("sample-interval-ns", std::int64_t{0}));
+  if (!s.timeseries_out.empty() && s.sample_interval_ns == 0)
+    s.sample_interval_ns = 10'000;  // 10 µs default cadence
   s.engine_threads = static_cast<int>(
       opt.get("engine-threads", std::int64_t{s.engine_threads}));
   return s;
@@ -73,6 +78,7 @@ ConfigResult run_config(core::QueueKind kind, int npes,
   ConfigResult out;
   const bool want_trace = !settings.trace_out.empty();
   const bool want_metrics = !settings.metrics_out.empty();
+  const bool want_timeseries = !settings.timeseries_out.empty();
   obs::MetricsSnapshot merged_metrics;
   for (int rep = 0; rep < settings.reps; ++rep) {
     pgas::RuntimeConfig rcfg;
@@ -106,6 +112,8 @@ ConfigResult run_config(core::QueueKind kind, int npes,
       // sws-analyze's span accounting report orphans.
       pcfg.trace.events = std::size_t{1} << 16;
     }
+    if (want_timeseries)
+      pcfg.trace.sample_interval_ns = settings.sample_interval_ns;
     core::TaskPool pool(rt, registry, pcfg);
 
     rt.run([&](pgas::PeContext& ctx) {
@@ -119,6 +127,10 @@ ConfigResult run_config(core::QueueKind kind, int npes,
     if (want_trace && rep == settings.reps - 1) {
       auto f = open_out(config_file(settings.trace_out, kind, npes));
       pool.dump_trace_json(f);
+    }
+    if (want_timeseries && rep == settings.reps - 1) {
+      auto f = open_out(config_file(settings.timeseries_out, kind, npes));
+      pool.dump_timeseries_json(f);
     }
 
     const core::PoolRunReport r = pool.report();

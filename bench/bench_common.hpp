@@ -13,6 +13,11 @@
 //                          trace JSON to PREFIX.<kind>.p<npes>.json
 //   --metrics-out PREFIX   per config, write the metrics snapshot merged
 //                          across reps to PREFIX.<kind>.p<npes>.json
+//   --timeseries-out PREFIX  per config, dump the last repetition's windowed
+//                          sws-timeseries JSON to PREFIX.<kind>.p<npes>.json
+//   --sample-interval-ns N windowed sampling cadence (default 10000 when
+//                          --timeseries-out is given; sampling never
+//                          perturbs virtual-time schedules)
 #pragma once
 
 #include <functional>
@@ -46,6 +51,12 @@ struct BenchSettings {
   std::string trace_out;
   /// --metrics-out: filename prefix for per-config metrics JSON.
   std::string metrics_out;
+  /// --timeseries-out: filename prefix for per-config windowed time-series
+  /// JSON ("" = sampling off). Like tracing, sampling is observation-only.
+  std::string timeseries_out;
+  /// --sample-interval-ns: virtual-time sampling cadence; 0 picks the
+  /// default (10 µs) when --timeseries-out is set.
+  net::Nanos sample_interval_ns = 0;
   /// --engine-threads: host worker threads for the sharded parallel
   /// sequencer (1 = serial engine; schedules are byte-identical either
   /// way, only wall-clock changes).

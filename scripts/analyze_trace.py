@@ -4,9 +4,15 @@
 Pure-python mirror of tools/sws-analyze (same span model, same checks):
 
     analyze_trace.py trace.json                full report
+    analyze_trace.py --report trace.json       + critical path & hot-victim
+                                               convoy summary
     analyze_trace.py --diff a.json b.json      A/B comparison
     analyze_trace.py --self-check trace.json   protocol op-shape check;
                                                exit 1 on any violation
+    analyze_trace.py --timeseries ts.json ...  also summarize an
+                                               sws-timeseries document and
+                                               verify the accounting
+                                               invariant (exit 1 on mismatch)
 
 The self-check encodes the paper's Fig 2 claim: a successful SWS steal is
 exactly one remote fetch-add + one task-copy get (two if the victim ring
@@ -86,7 +92,8 @@ def parse_trace(path):
             if span is None:
                 run["orphan_ops"] += 1
                 continue
-            span["ops"].append(args.get("op", ""))
+            span["ops"].append({"op": args.get("op", ""),
+                                "ts_ns": ns(ev), "dur_ns": ns(ev, "dur")})
         elif ph == "i":
             # Crash-recovery instants (docs/resilience.md).
             if name == "death_detected":
@@ -108,7 +115,7 @@ def check_success(protocol, span, crash_mode=False):
     failed lock attempt, plus one claim-intent put when the run has a
     crash-stop FaultPlan armed (docs/resilience.md).
     """
-    ops = Counter(span["ops"])
+    ops = Counter(o["op"] for o in span["ops"])
     gets = ops["get"]
     bad = []
     if protocol == "sws":
@@ -203,10 +210,12 @@ def analyze(run, window_ns=0):
         if outcome == "ok":
             w["oks"] += 1
             r["tasks_stolen"] += s["ntasks"]
-            sig = " ".join(f"{k}:{v}" for k, v in sorted(Counter(s["ops"]).items()))
+            sig = " ".join(f"{k}:{v}" for k, v in sorted(
+                Counter(o["op"] for o in s["ops"]).items()))
             r["signatures"][sig or "(none)"] += 1
             total_ops += len(s["ops"])
-            total_blocking += sum(1 for op in s["ops"] if not op.startswith("nbi_"))
+            total_blocking += sum(
+                1 for o in s["ops"] if not o["op"].startswith("nbi_"))
             if run["protocol"] and not run["truncated"]:
                 r["violations"] += check_success(run["protocol"], s,
                                                 run["crash_mode"])
@@ -231,6 +240,243 @@ def analyze(run, window_ns=0):
             f"orphaned span begin/end in an untruncated trace "
             f"({run['orphan_begins']} begins, {run['orphan_ends']} ends)")
     return r
+
+
+def _union_length(intervals):
+    """Total length of the union of [lo, hi) intervals."""
+    if not intervals:
+        return 0
+    intervals.sort()
+    total, (lo, hi) = 0, intervals[0]
+    for nlo, nhi in intervals[1:]:
+        if nlo > hi:
+            total += hi - lo
+            lo, hi = nlo, nhi
+        else:
+            hi = max(hi, nhi)
+    return total + (hi - lo)
+
+
+def _is_search_kind(span):
+    if span["kind"] == "steal":
+        return span["outcome"] != 0
+    return span["kind"] in ("release_span", "acquire_span", "recovery")
+
+
+def critical_path(run):
+    """Walk the termination chain backwards through successful steals.
+
+    Mirrors obs::critical_path: start at the PE whose last span ends
+    latest; at each step the latest successful steal at or before t is the
+    dependency that delivered the work, everything after it on this PE is
+    local (split into search overhead vs work by span overlap), the steal
+    span itself is a hop (split into fabric occupancy vs protocol
+    residue), and the chain continues at the victim. The four blame
+    buckets sum exactly to path_ns.
+    """
+    cp = {"end_pe": -1, "path_ns": run["duration_ns"], "steal_hops": 0,
+          "work_ns": 0, "search_ns": 0, "steal_fabric_ns": 0,
+          "steal_proto_ns": 0, "hop_pes": []}
+    if not run["spans"]:
+        return cp
+    by_pe, ok_steals, last = defaultdict(list), defaultdict(list), None
+    for s in run["spans"]:
+        by_pe[s["pe"]].append(s)
+        if s["kind"] == "steal" and s["outcome"] == 0:
+            ok_steals[s["pe"]].append(s)
+        if (last is None or s["end_ns"] > last["end_ns"]
+                or (s["end_ns"] == last["end_ns"] and s["pe"] < last["pe"])):
+            last = s
+    for v in ok_steals.values():
+        v.sort(key=lambda s: s["end_ns"])
+    cp["end_pe"] = last["pe"]
+    cp["hop_pes"].append(last["pe"])
+
+    def blame_local(pe, lo, hi):
+        if hi <= lo:
+            return
+        iv = [(max(lo, s["begin_ns"]), min(hi, s["end_ns"]))
+              for s in by_pe.get(pe, [])
+              if s["begin_ns"] < hi and s["end_ns"] > lo
+              and _is_search_kind(s)]
+        search = _union_length(iv)
+        cp["search_ns"] += search
+        cp["work_ns"] += (hi - lo) - search
+
+    cur_pe, t = cp["end_pe"], run["duration_ns"]
+    for _ in range(len(run["spans"]) + 1):
+        hop = None
+        for s in ok_steals.get(cur_pe, []):
+            if s["end_ns"] <= t:
+                hop = s
+            else:
+                break
+        if hop is None or hop["begin_ns"] >= t:
+            blame_local(cur_pe, 0, t)
+            break
+        blame_local(cur_pe, hop["end_ns"], t)
+        iv = [(max(hop["begin_ns"], o["ts_ns"]),
+               min(hop["end_ns"], o["ts_ns"] + o["dur_ns"]))
+              for o in hop["ops"]
+              if o["ts_ns"] + o["dur_ns"] > hop["begin_ns"]
+              and o["ts_ns"] < hop["end_ns"]]
+        fabric = _union_length(iv)
+        cp["steal_fabric_ns"] += fabric
+        cp["steal_proto_ns"] += hop["end_ns"] - hop["begin_ns"] - fabric
+        cp["steal_hops"] += 1
+        t, cur_pe = hop["begin_ns"], hop["victim"]
+        cp["hop_pes"].append(cur_pe)
+    return cp
+
+
+def convoy_report(run, window_ns=0):
+    """Rank victims by peak windowed inbound steal pressure."""
+    window_ns = window_ns or max(run["duration_ns"] // 64, 1000)
+    victims = defaultdict(lambda: {"attempts": 0, "ok": 0,
+                                   "windows": Counter()})
+    for s in run["spans"]:
+        if s["kind"] != "steal":
+            continue
+        v = victims[s["victim"]]
+        v["attempts"] += 1
+        if s["outcome"] == 0:
+            v["ok"] += 1
+        v["windows"][s["begin_ns"] // window_ns] += 1
+    out = []
+    for pe, v in victims.items():
+        peak_w, peak_n = 0, 0
+        for w, n in sorted(v["windows"].items()):
+            if n > peak_n:
+                peak_w, peak_n = w, n
+        out.append({"pe": pe, "inbound_attempts": v["attempts"],
+                    "inbound_ok": v["ok"], "peak_window_attempts": peak_n,
+                    "peak_window_start_ns": peak_w * window_ns})
+    out.sort(key=lambda v: (-v["peak_window_attempts"],
+                            -v["inbound_attempts"], v["pe"]))
+    return {"window_ns": window_ns, "victims": out}
+
+
+def print_critical_path(cp):
+    print("critical path (termination chain, walked backwards):")
+    print(f"  path_ns={cp['path_ns']} steal_hops={cp['steal_hops']}")
+
+    def pct(v):
+        return 100.0 * v / cp["path_ns"] if cp["path_ns"] else 0.0
+
+    for label, key in (("task work + park", "work_ns"),
+                       ("steal search", "search_ns"),
+                       ("hop steal fabric", "steal_fabric_ns"),
+                       ("hop steal protocol", "steal_proto_ns")):
+        print(f"  {label:<24}{cp[key]:>12}  ({pct(cp[key]):.1f}%)")
+    chain = cp["hop_pes"]
+    shown = " ".join(str(p) for p in chain[:16])
+    more = f" ... ({len(chain) - 16} more)" if len(chain) > 16 else ""
+    print(f"  chain (end pe first): {shown}{more}")
+
+
+def print_convoy(cr, top=5):
+    print(f"hot victims (inbound steal pressure, window={cr['window_ns']}ns):")
+    if not cr["victims"]:
+        print("  (no steal spans in trace)")
+        return
+    for v in cr["victims"][:top]:
+        print(f"  pe {v['pe']:<6}inbound={v['inbound_attempts']} "
+              f"(ok={v['inbound_ok']})  peak={v['peak_window_attempts']} "
+              f"attempts @t={v['peak_window_start_ns']}ns")
+    if len(cr["victims"]) > top:
+        print(f"  ... {len(cr['victims']) - top} more victims")
+
+
+# The acct.* category names, mirroring core::pool_phase_name.
+ACCT_CATEGORIES = ("working", "probing", "stealing", "parked",
+                   "blocked_nbi", "recovering", "idle_terminating")
+
+
+def load_timeseries(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "sws-timeseries":
+        raise ValueError(f"{path}: not an sws-timeseries document")
+    for s in doc.get("series", []):
+        if len(s["v"]) != len(doc["t"]):
+            raise ValueError(
+                f"{path}: series {s['name']} length disagrees with t")
+    return doc
+
+
+def ts_find(doc, name):
+    for s in doc.get("series", []):
+        if s["name"] == name:
+            return s
+    return None
+
+
+def check_accounting(doc):
+    """Per window, the acct.* deltas must sum exactly to elapsed."""
+    errors = []
+    elapsed = ts_find(doc, "acct.elapsed_ns")
+    if elapsed is None:
+        return errors
+    cats = []
+    for c in ACCT_CATEGORIES:
+        s = ts_find(doc, f"acct.{c}")
+        if s is None:
+            return [f"accounting series missing: acct.{c}"]
+        cats.append(s)
+    for i, t in enumerate(doc["t"]):
+        total = sum(s["v"][i] for s in cats)
+        if total != elapsed["v"][i]:
+            errors.append(f"accounting mismatch at t={t}ns: "
+                          f"sum(categories)={total} != "
+                          f"elapsed={elapsed['v'][i]} "
+                          f"(delta {total - elapsed['v'][i]}ns)")
+            if len(errors) >= 16:
+                errors.append("... further mismatches suppressed")
+                break
+    return errors
+
+
+def timeseries_summary(doc):
+    n = len(doc.get("t", []))
+    hdr = (f"time series: interval={doc.get('interval_ns', 0)}ns samples={n}")
+    if doc.get("protocol"):
+        hdr += f" protocol={doc['protocol']}"
+    if doc.get("npes"):
+        hdr += f" npes={doc['npes']}"
+    if doc.get("truncated"):
+        hdr += " (TRUNCATED at sample cap)"
+    print(hdr)
+    if not n:
+        return
+    elapsed = ts_find(doc, "acct.elapsed_ns")
+    if elapsed is not None:
+        working = ts_find(doc, "acct.working")
+        if working is not None:
+            bars = " .:-=+*#%@"
+            line = "".join(
+                bars[round(9 * min(1.0, max(0.0, w / e)) if e else 0)]
+                for w, e in zip(working["v"], elapsed["v"]))
+            print("utilization (acct.working / acct.elapsed_ns per window, "
+                  "' '=0% '@'=100%):")
+            print(f"  [{line}]")
+        total_elapsed = sum(elapsed["v"])
+        print("phase breakdown (all PEs):")
+        for c in ACCT_CATEGORIES:
+            s = ts_find(doc, f"acct.{c}")
+            if s is None:
+                continue
+            total = sum(s["v"])
+            pct = (f"  ({100.0 * total / total_elapsed:.1f}%)"
+                   if total_elapsed else "")
+            print(f"  acct.{c:<21}{total:>12}{pct}")
+    totals = [(name, sum(s["v"])) for name, s in
+              ((k, ts_find(doc, k)) for k in
+               ("pool.tasks_executed", "pool.steal_attempts",
+                "pool.steals_ok", "fabric.remote_ops")) if s is not None]
+    if totals:
+        print("activity totals:")
+        for name, total in totals:
+            print(f"  {name:<26}{total}")
 
 
 def quantiles(xs):
@@ -291,10 +537,15 @@ def diff(a, b):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("traces", nargs="+", help="trace JSON file(s)")
+    ap.add_argument("traces", nargs="*", help="trace JSON file(s)")
     ap.add_argument("--diff", action="store_true", help="A/B compare two traces")
     ap.add_argument("--self-check", action="store_true",
                     help="exit 1 on protocol violations")
+    ap.add_argument("--report", action="store_true",
+                    help="also print critical path + hot-victim convoys")
+    ap.add_argument("--timeseries", metavar="FILE", default="",
+                    help="summarize an sws-timeseries JSON and verify the "
+                         "accounting invariant (exit 1 on mismatch)")
     ap.add_argument("--window-ns", type=int, default=0)
     args = ap.parse_args()
 
@@ -305,10 +556,32 @@ def main():
              analyze(parse_trace(args.traces[1]), args.window_ns))
         return 0
 
+    def check_timeseries():
+        doc = load_timeseries(args.timeseries)
+        timeseries_summary(doc)
+        errors = check_accounting(doc)
+        for e in errors:
+            print(f"  ! {e}", file=sys.stderr)
+        if errors:
+            print("accounting self-check: FAILED", file=sys.stderr)
+            return 1
+        print(f"accounting self-check: OK ({len(doc['t'])} windows)")
+        return 0
+
+    if not args.traces and args.timeseries:
+        return check_timeseries()
+
     if len(args.traces) != 1:
         ap.error("expected exactly one trace file")
-    r = analyze(parse_trace(args.traces[0]), args.window_ns)
+    run = parse_trace(args.traces[0])
+    r = analyze(run, args.window_ns)
     report(r)
+    if args.report:
+        print_critical_path(critical_path(run))
+        print_convoy(convoy_report(run, args.window_ns))
+    rc = 0
+    if args.timeseries:
+        rc = check_timeseries()
     if args.self_check:
         if not r["protocol"]:
             print("self-check: trace carries no sws_run_meta protocol",
@@ -323,7 +596,7 @@ def main():
             return 1
         print(f"self-check: OK ({r['steals']['ok']} successful "
               f"{r['protocol']} steals validated)")
-    return 0
+    return rc
 
 
 if __name__ == "__main__":

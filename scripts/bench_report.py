@@ -147,10 +147,37 @@ def newest_baseline(exclude):
     return best
 
 
-def compare(path, report):
-    """Non-gating delta print: committed baseline vs this run."""
+def band(regression_pct, warn_pct, fail_pct):
+    """Tolerance band for one row. `regression_pct` is how much *worse*
+    this run is than the baseline (<= 0 means no regression). Deltas
+    within the warn threshold are measurement noise on shared CI runners;
+    past the fail threshold the row is a real regression."""
+    if regression_pct > fail_pct:
+        return "FAIL"
+    if regression_pct > warn_pct:
+        return "WARN"
+    return "ok"
+
+
+def compare(path, report, warn_pct=10.0, fail_pct=25.0):
+    """Tolerance-banded delta print: committed baseline vs this run.
+
+    Returns the number of FAIL rows (regressions past `fail_pct`). The
+    caller decides whether that gates — CI's `--compare newest` stays
+    informational unless --gate-regressions is passed.
+    """
     with open(path) as f:
         base = json.load(f)
+    fails = 0
+
+    def emit(key, text, regression_pct):
+        nonlocal fails
+        verdict = band(regression_pct, warn_pct, fail_pct)
+        if verdict == "FAIL":
+            fails += 1
+        tag = "" if verdict == "ok" else f"  [{verdict}]"
+        print(f"  {row_name(key)}: {text}{tag}")
+
     base_opt = index_rows(base.get("sim_engine", {}).get("optimized", []))
     for r in report["sim_engine"]["optimized"]:
         key = (r["bench"], r["pes"], r.get("engine_threads", 1))
@@ -158,8 +185,9 @@ def compare(path, report):
             continue
         old = base_opt[key]["events_per_sec"]
         delta = 100.0 * (r["events_per_sec"] - old) / old
-        print(f"  {row_name(key)}: {r['events_per_sec']:.3g} ev/s "
-              f"({delta:+.1f}% vs committed)")
+        # Higher events/sec is better: a regression is a negative delta.
+        emit(key, f"{r['events_per_sec']:.3g} ev/s "
+                  f"({delta:+.1f}% vs committed)", -delta)
     base_scale = index_rows(base.get("engine_scale", []))
     for r in report.get("engine_scale", []):
         key = (r["bench"], r["pes"], r.get("engine_threads", 1))
@@ -167,8 +195,13 @@ def compare(path, report):
             continue
         old = base_scale[key]["wall_s"]
         delta = 100.0 * (r["wall_s"] - old) / old
-        print(f"  {row_name(key)}: {r['wall_s']:.3g} s wall "
-              f"({delta:+.1f}% vs committed)")
+        # Lower wall time is better: a regression is a positive delta.
+        emit(key, f"{r['wall_s']:.3g} s wall "
+                  f"({delta:+.1f}% vs committed)", delta)
+    if fails:
+        print(f"  {fails} row(s) regressed past {fail_pct:.0f}%",
+              file=sys.stderr)
+    return fails
 
 
 def main():
@@ -179,9 +212,19 @@ def main():
                     help="CI smoke: 64 PEs, fewer events, no e2e runs")
     ap.add_argument("--skip-e2e", action="store_true")
     ap.add_argument("--compare", metavar="FILE",
-                    help="also print rate/wall deltas vs FILE; 'newest' "
-                         "picks the highest-numbered committed BENCH_*.json "
-                         "(never fails)")
+                    help="also print tolerance-banded rate/wall deltas vs "
+                         "FILE; 'newest' picks the highest-numbered "
+                         "committed BENCH_*.json (informational unless "
+                         "--gate-regressions)")
+    ap.add_argument("--warn-threshold", type=float, default=10.0,
+                    metavar="PCT", help="flag rows regressing past PCT "
+                                        "as WARN (default 10)")
+    ap.add_argument("--fail-threshold", type=float, default=25.0,
+                    metavar="PCT", help="flag rows regressing past PCT "
+                                        "as FAIL (default 25)")
+    ap.add_argument("--gate-regressions", action="store_true",
+                    help="exit 1 when any --compare row lands in the FAIL "
+                         "band (opt-in; CI smoke stays informational)")
     ap.add_argument("--pre-change-jsonl",
                     help="seed the pre_change section: sim_engine JSONL "
                          "captured on the pre-overhaul tree")
@@ -255,15 +298,20 @@ def main():
         if sp:
             report["speedup_vs_pre_change"] = sp
 
+    fails = 0
     if args.compare:
         target = args.compare
         if target == "newest":
             target = newest_baseline(exclude=args.out)
         if target:
-            print(f"delta vs {target} (informational):", file=sys.stderr)
+            mode = "gating" if args.gate_regressions else "informational"
+            print(f"delta vs {target} ({mode}, warn>"
+                  f"{args.warn_threshold:.0f}% fail>"
+                  f"{args.fail_threshold:.0f}%):", file=sys.stderr)
             try:
-                compare(target, report)
-            except Exception as e:  # non-gating by design
+                fails = compare(target, report, args.warn_threshold,
+                                args.fail_threshold)
+            except Exception as e:  # malformed baseline never blocks a run
                 print(f"  comparison skipped: {e}", file=sys.stderr)
         else:
             print("no committed baseline to compare against", file=sys.stderr)
@@ -272,6 +320,8 @@ def main():
         json.dump(report, f, indent=2, sort_keys=True)
         f.write("\n")
     print(f"wrote {args.out}", file=sys.stderr)
+    if args.gate_regressions and fails:
+        sys.exit(1)
 
 
 if __name__ == "__main__":

@@ -65,6 +65,14 @@ void LogHistogram::merge(const LogHistogram& other) noexcept {
   total_ += other.total_;
 }
 
+void LogHistogram::subtract(const LogHistogram& other) noexcept {
+  total_ = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    buckets_[b] -= std::min(buckets_[b], other.buckets_[b]);
+    total_ += buckets_[b];
+  }
+}
+
 std::uint64_t LogHistogram::quantile(double q) const noexcept {
   if (total_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);

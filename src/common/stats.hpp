@@ -49,6 +49,11 @@ class LogHistogram {
 
   void add(std::uint64_t x) noexcept;
   void merge(const LogHistogram& other) noexcept;
+  /// Per-bucket saturating subtraction: the windowed delta of two
+  /// cumulative histograms (`later.subtract(earlier)`). Buckets never go
+  /// negative even if the operands are unrelated; the total is recomputed
+  /// from the surviving buckets so it stays consistent.
+  void subtract(const LogHistogram& other) noexcept;
 
   std::uint64_t count() const noexcept { return total_; }
   std::uint64_t bucket(std::size_t b) const noexcept { return buckets_[b]; }

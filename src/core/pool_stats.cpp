@@ -4,6 +4,20 @@
 
 namespace sws::core {
 
+const char* pool_phase_name(PoolPhase p) noexcept {
+  switch (p) {
+    case PoolPhase::kWorking: return "working";
+    case PoolPhase::kProbing: return "probing";
+    case PoolPhase::kStealing: return "stealing";
+    case PoolPhase::kParked: return "parked";
+    case PoolPhase::kBlockedNbi: return "blocked_nbi";
+    case PoolPhase::kRecovering: return "recovering";
+    case PoolPhase::kIdleTerm: return "idle_terminating";
+    case PoolPhase::kCount_: break;
+  }
+  return "?";
+}
+
 PoolRunReport aggregate_reports(const std::vector<WorkerStats>& per_pe) {
   PoolRunReport r;
   r.npes = static_cast<int>(per_pe.size());

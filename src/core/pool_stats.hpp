@@ -13,6 +13,27 @@
 
 namespace sws::core {
 
+/// Exhaustive per-PE time taxonomy: every nanosecond of a PE's run is
+/// attributed to exactly one category, and the categories sum *exactly* to
+/// the PE's elapsed virtual time (tests/test_obs.cpp enforces it). The
+/// scheduler transitions between categories at phase boundaries; the
+/// windowed sampler reads the live accounting mid-run.
+enum class PoolPhase : std::uint8_t {
+  kWorking = 0,   ///< executing tasks, local queue ops, inbox drains, setup
+  kProbing,       ///< steal attempts that end empty-handed (search)
+  kStealing,      ///< steal attempts that land work (transfer included)
+  kParked,        ///< inter-attempt backoff pauses
+  kBlockedNbi,    ///< waiting for outstanding non-blocking ops to complete
+  kRecovering,    ///< crash-recovery sweeps of dead PEs' queues
+  kIdleTerm,      ///< termination detection + final teardown barrier
+  kCount_,
+};
+
+inline constexpr std::size_t kNumPoolPhases =
+    static_cast<std::size_t>(PoolPhase::kCount_);
+
+const char* pool_phase_name(PoolPhase p) noexcept;
+
 struct WorkerStats {
   std::uint64_t tasks_executed = 0;
   std::uint64_t tasks_spawned = 0;   ///< children + seeds added by this PE
@@ -29,6 +50,12 @@ struct WorkerStats {
   net::Nanos term_check_ns = 0;      ///< time in termination detection
   net::Nanos compute_time_ns = 0;    ///< task bodies (charged compute)
   net::Nanos run_time_ns = 0;        ///< this PE's whole-run time
+  /// Exhaustive phase taxonomy (see PoolPhase): indexed by category, sums
+  /// exactly to the elapsed time between run_pe entry and teardown
+  /// (`accounted_ns`). Unlike steal/search_time_ns above — which measure
+  /// only the op spans the paper plots — this covers *every* nanosecond.
+  std::array<net::Nanos, kNumPoolPhases> phase_ns{};
+  net::Nanos accounted_ns = 0;       ///< total span the taxonomy covers
   // Crash-recovery accounting (zero in crash-free runs).
   std::uint64_t tasks_reexecuted = 0;  ///< fenced from dead claims, re-run
   std::uint64_t tasks_rerouted = 0;    ///< inbox pushes redirected from dead
@@ -56,6 +83,9 @@ struct WorkerStats {
     term_check_ns += o.term_check_ns;
     compute_time_ns += o.compute_time_ns;
     run_time_ns = run_time_ns > o.run_time_ns ? run_time_ns : o.run_time_ns;
+    for (std::size_t i = 0; i < phase_ns.size(); ++i)
+      phase_ns[i] += o.phase_ns[i];
+    accounted_ns += o.accounted_ns;
     tasks_reexecuted += o.tasks_reexecuted;
     tasks_rerouted += o.tasks_rerouted;
     deaths_witnessed += o.deaths_witnessed;

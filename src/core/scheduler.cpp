@@ -1,10 +1,12 @@
 #include "core/scheduler.hpp"
 
 #include <algorithm>
+#include <iomanip>
 #include <string>
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "net/parallel_time_model.hpp"
 
 namespace sws::core {
 
@@ -115,6 +117,7 @@ TaskPool::TaskPool(pgas::Runtime& rt, TaskRegistry& registry, PoolConfig cfg)
     : rt_(rt),
       registry_(registry),
       cfg_(cfg),
+      phase_(static_cast<std::size_t>(rt.npes())),
       last_stats_(static_cast<std::size_t>(rt.npes())) {
   // The bulk-claim knob lives on StealTuning (the user-facing pacing
   // struct) but the queue implements it; mirror so either spelling works,
@@ -159,10 +162,117 @@ TaskPool::TaskPool(pgas::Runtime& rt, TaskRegistry& registry, PoolConfig cfg)
               (static_cast<std::uint64_t>(r.bytes) << 16));
     });
   }
+  if (cfg_.trace.sample_interval_ns > 0) {
+    timeseries_ =
+        std::make_unique<obs::TimeSeries>(cfg_.trace.sample_interval_ns);
+    setup_timeseries();
+    // The hook fires under the sequencer's serialization every time the
+    // global floor crosses a boundary; it only *reads* pool/fabric state,
+    // so sampled runs stay byte-identical to unsampled ones.
+    rt_.time().set_sample_hook(
+        [this](net::Nanos boundary) { timeseries_->sample(boundary); },
+        cfg_.trace.sample_interval_ns);
+  }
 }
 
 TaskPool::~TaskPool() {
   if (cfg_.trace.enable) rt_.fabric().set_op_observer(nullptr);
+  if (timeseries_) rt_.time().set_sample_hook(nullptr, 0);
+}
+
+void TaskPool::setup_timeseries() {
+  using Mode = obs::TimeSeries::Mode;
+  obs::TimeSeries& ts = *timeseries_;
+  const int npes = rt_.npes();
+  ts.add_meta("protocol",
+              cfg_.kind == QueueKind::kSws ? "\"sws\"" : "\"sdc\"");
+  ts.add_meta("npes", std::to_string(npes));
+
+  // Phase accounting: one series per category, each sampling the accrued
+  // time plus the open phase's elapsed — so at *every* sample the
+  // categories sum exactly to acct.elapsed_ns (sws-analyze --report and
+  // tests/test_obs.cpp check the invariant to the nanosecond).
+  for (std::size_t c = 0; c < kNumPoolPhases; ++c) {
+    ts.add_series(
+        std::string("acct.") + pool_phase_name(static_cast<PoolPhase>(c)),
+        Mode::kDelta, [this, c, npes] {
+          std::uint64_t sum = 0;
+          for (int pe = 0; pe < npes; ++pe) {
+            const PhaseSlot& ps = phase_[static_cast<std::size_t>(pe)];
+            sum += ps.accrued[c];
+            if (ps.active && static_cast<std::size_t>(ps.cur) == c)
+              sum += rt_.time().now(pe) - ps.mark;
+          }
+          return sum;
+        });
+  }
+  ts.add_series("acct.elapsed_ns", Mode::kDelta, [this, npes] {
+    std::uint64_t sum = 0;
+    for (int pe = 0; pe < npes; ++pe) {
+      const PhaseSlot& ps = phase_[static_cast<std::size_t>(pe)];
+      sum += (ps.active ? rt_.time().now(pe) : ps.end) - ps.base;
+    }
+    return sum;
+  });
+
+  const auto add_pool = [&](const char* name,
+                            std::uint64_t WorkerStats::*field) {
+    ts.add_series(name, Mode::kDelta, [this, npes, field] {
+      std::uint64_t sum = 0;
+      for (int pe = 0; pe < npes; ++pe) {
+        const PhaseSlot& ps = phase_[static_cast<std::size_t>(pe)];
+        const WorkerStats& s =
+            ps.live ? *ps.live : last_stats_[static_cast<std::size_t>(pe)];
+        sum += s.*field;
+      }
+      return sum;
+    });
+  };
+  add_pool("pool.tasks_executed", &WorkerStats::tasks_executed);
+  add_pool("pool.steals_ok", &WorkerStats::steals_ok);
+  add_pool("pool.steal_attempts", &WorkerStats::steal_attempts);
+
+  const auto add_fabric = [&](const char* name,
+                              std::uint64_t net::FabricStats::*field) {
+    ts.add_series(name, Mode::kDelta, [this, npes, field] {
+      std::uint64_t sum = 0;
+      for (int pe = 0; pe < npes; ++pe) sum += rt_.fabric().stats(pe).*field;
+      return sum;
+    });
+  };
+  add_fabric("fabric.remote_ops", &net::FabricStats::remote_ops);
+  add_fabric("fabric.blocking_ns", &net::FabricStats::blocking_ns);
+  add_fabric("fabric.occupancy_wait_ns",
+             &net::FabricStats::occupancy_wait_ns);
+
+  // Sharded-engine gauges (PR 9) become windowed series when the runtime
+  // uses the parallel sequencer; engine_stats() is lock-free and the hook
+  // runs inside drive(), the engine's sole executor.
+  if (const auto* eng =
+          dynamic_cast<const net::ParallelTimeModel*>(&rt_.time())) {
+    using EngineStats = net::ParallelTimeModel::EngineStats;
+    const auto add_engine = [&](const char* name,
+                                std::uint64_t EngineStats::*field) {
+      ts.add_series(name, Mode::kDelta,
+                    [eng, field] { return eng->engine_stats().*field; });
+    };
+    add_engine("engine.windows", &EngineStats::windows);
+    add_engine("engine.window_pes", &EngineStats::window_pes);
+    add_engine("engine.solo_private", &EngineStats::solo_private);
+    add_engine("engine.solo_global", &EngineStats::solo_global);
+    add_engine("engine.deferred", &EngineStats::deferred);
+    add_engine("engine.parks", &EngineStats::parks);
+  }
+}
+
+void TaskPool::finalize_timeseries() const {
+  if (!timeseries_) return;
+  // Capture the final partial window at the clocks' max. sample() ignores
+  // non-advancing times, so repeated dumps stay idempotent.
+  net::Nanos end = 0;
+  for (int pe = 0; pe < rt_.npes(); ++pe)
+    end = std::max(end, rt_.time().now(pe));
+  timeseries_->sample(end);
 }
 
 std::uint32_t TaskPool::drain_inbox(Worker& w) {
@@ -195,11 +305,30 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
                              const std::function<void(Worker&)>& seed) {
   Worker w(*this, ctx);
 
+  // Phase accounting starts before anything can advance this PE's clock:
+  // every later nanosecond lands in exactly one PoolPhase bucket. The
+  // sampler cannot observe this slot mid-reset — no boundary can be
+  // crossed until every PE (including this one) has advanced past it.
+  PhaseSlot& ps = phase_[static_cast<std::size_t>(ctx.pe())];
+  ps = PhaseSlot{};
+  ps.base = ps.mark = ctx.now();
+  ps.active = true;
+  ps.live = &w.stats_;
+  const auto set_phase = [&](PoolPhase p) {
+    const net::Nanos pnow = ctx.now();
+    ps.accrued[static_cast<std::size_t>(ps.cur)] += pnow - ps.mark;
+    ps.mark = pnow;
+    ps.cur = p;
+  };
+
   queue_->reset_pe(ctx);
   term_->reset_pe(ctx);
   if (inbox_) inbox_->reset_pe(ctx);
   if (recovery_) recovery_->reset_pe(ctx);
-  if (ctx.pe() == 0) tracer_.clear();
+  if (ctx.pe() == 0) {
+    tracer_.clear();
+    if (timeseries_) timeseries_->clear();
+  }
   ctx.barrier();
 
   seed(w);
@@ -253,6 +382,7 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
 
   bool done = false;
   while (!done) {
+    set_phase(PoolPhase::kWorking);
     queue_->progress(ctx);
     drain_inbox(w);
     // Owner-side fencing inside queue wait loops can surface recovered
@@ -312,6 +442,7 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
     std::uint32_t fails = 0;
     std::uint32_t fast_retries = 0;
     net::Nanos backoff = st.backoff_min_ns;
+    set_phase(PoolPhase::kProbing);
     while (true) {
       // Remotely-spawned tasks may land while we search.
       if (drain_inbox(w) > 0) break;
@@ -324,6 +455,7 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
         // the same dead peer's state every attempt.
         if (ctx.now() - last_fence >= recovery_->config().lease_ns) {
           last_fence = ctx.now();
+          set_phase(PoolPhase::kRecovering);
           std::uint64_t span = 0;
           if (tracer_.enabled()) {
             span = next_span();
@@ -358,6 +490,7 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
             tracer_.end(ctx.pe(), ctx.now(), TraceKind::kRecoverySpan, span,
                         recovered);
           }
+          set_phase(PoolPhase::kProbing);
           if (recovered > 0 || queue_->local_count(ctx) > 0)
             break;  // recovered work to process
         }
@@ -417,6 +550,15 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
           if (tracer_.enabled())
             tracer_.record(ctx.pe(), ctx.now(), TraceKind::kStealOk,
                            static_cast<std::uint64_t>(victim), res.ntasks);
+          // The attempt accrued as kProbing (its outcome was unknown while
+          // it ran); it succeeded, so re-attribute its span to kStealing.
+          // Closing first guarantees the probing bucket holds >= dt. A
+          // window boundary inside the span can make that window's probing
+          // delta locally negative — the exports carry signed deltas.
+          set_phase(PoolPhase::kProbing);
+          ps.accrued[static_cast<std::size_t>(PoolPhase::kProbing)] -= dt;
+          ps.accrued[static_cast<std::size_t>(PoolPhase::kStealing)] += dt;
+          set_phase(PoolPhase::kWorking);
           for (const Task& stolen : loot) {
             if (!queue_->push_local(ctx, stolen)) w.execute(stolen);
           }
@@ -439,15 +581,17 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
 
       if (fails % st.term_check_interval == 0 || ctx.npes() == 1) {
         const net::Nanos t0 = ctx.now();
+        set_phase(PoolPhase::kIdleTerm);
         const bool finished = term_->check(ctx);
         w.stats_.term_check_ns += ctx.now() - t0;
         if (tracer_.enabled())
           tracer_.record(ctx.pe(), ctx.now(), TraceKind::kTermCheck,
                          finished ? 1 : 0);
         if (finished) {
-          done = true;
+          done = true;  // stay in kIdleTerm through teardown
           break;
         }
+        set_phase(PoolPhase::kProbing);
       }
 
       net::Nanos pause;
@@ -483,8 +627,10 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
                       : static_cast<net::Nanos>(grown);
       }
       const net::Nanos t0 = ctx.now();
+      set_phase(PoolPhase::kParked);
       ctx.compute(pause);
       w.stats_.search_time_ns += ctx.now() - t0;
+      set_phase(PoolPhase::kProbing);
     }
   }
   if (tracer_.enabled())
@@ -502,11 +648,14 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
     w.stats_.deaths_witnessed =
         static_cast<std::uint64_t>(recovery_->known_count(ctx.pe()));
     term_->on_exit(ctx);
+    set_phase(PoolPhase::kBlockedNbi);
     ctx.quiet();
     while (ctx.fabric().pending_to_synced(ctx.pe()) > 0)
       ctx.compute(recovery_->config().probe_backoff_ns);
   } else {
+    set_phase(PoolPhase::kBlockedNbi);
     ctx.quiet();  // complete our in-flight completion notifications
+    set_phase(PoolPhase::kIdleTerm);
     ctx.barrier();
   }
   // After everyone's quiet (+ the barrier, crash-free), no nbi op of ours
@@ -515,7 +664,16 @@ WorkerStats TaskPool::run_pe(pgas::PeContext& ctx,
   SWS_ASSERT_MSG(ctx.fabric().pending(ctx.pe()) == 0,
                  "nbi ops still pending after pool teardown quiet");
 
+  // Freeze the accounting: close the open phase, publish the taxonomy into
+  // the stats, then retire the live pointer so late samples (other PEs
+  // still tearing down) read the just-copied last_stats_ instead.
+  set_phase(ps.cur);
+  ps.end = ps.mark;
+  ps.active = false;
+  w.stats_.phase_ns = ps.accrued;
+  w.stats_.accounted_ns = ps.end - ps.base;
   last_stats_[static_cast<std::size_t>(ctx.pe())] = w.stats_;
+  ps.live = nullptr;
   return w.stats_;
 }
 
@@ -526,7 +684,47 @@ void TaskPool::dump_trace_json(std::ostream& os) const {
   meta.slot_bytes = cfg_.queue.slot_bytes;
   meta.topo = rt_.fabric().model().topology().spec().to_string();
   meta.crashes = rt_.fabric().crashes_planned();
-  tracer_.dump_chrome_json(os, meta);
+  finalize_timeseries();
+  const auto* eng =
+      dynamic_cast<const net::ParallelTimeModel*>(&rt_.time());
+  tracer_.dump_chrome_json(os, meta, [&](std::ostream& xs) {
+    // Sampled series become Perfetto counter tracks alongside the events.
+    if (timeseries_) timeseries_->write_chrome_counters(xs);
+    if (eng == nullptr) return;
+    // Parallel-engine gauges as single-point counter tracks at the run's
+    // end, so traced runs carry them even without windowed sampling.
+    net::Nanos tend = 0;
+    for (int pe = 0; pe < rt_.npes(); ++pe)
+      tend = std::max(tend, rt_.time().now(pe));
+    const auto es = eng->engine_stats();
+    const auto row = [&](const char* name, std::uint64_t v) {
+      xs << ",\n{\"name\":\"" << name << "\",\"ph\":\"C\",\"ts\":"
+         << tend / 1000 << "." << std::setw(3) << std::setfill('0')
+         << tend % 1000 << std::setfill(' ')
+         << ",\"pid\":0,\"tid\":0,\"args\":{\"value\":" << v << "}}";
+    };
+    row("engine.windows", es.windows);
+    row("engine.window_pes", es.window_pes);
+    row("engine.solo_private", es.solo_private);
+    row("engine.solo_global", es.solo_global);
+    row("engine.cap_lookahead", es.cap_lookahead);
+    row("engine.cap_global", es.cap_global);
+    row("engine.cap_deadline", es.cap_deadline);
+    row("engine.cap_target", es.cap_target);
+    row("engine.deferred", es.deferred);
+    row("engine.license_skips", es.license_skips);
+    row("engine.parks", es.parks);
+  });
+}
+
+void TaskPool::dump_timeseries_json(std::ostream& os) const {
+  if (!timeseries_) {
+    os << "{\"schema\":\"sws-timeseries\",\"interval_ns\":0,\"samples\":0,"
+          "\"truncated\":0,\"t\":[],\"series\":[]}\n";
+    return;
+  }
+  finalize_timeseries();
+  timeseries_->write_json(os);
 }
 
 void TaskPool::publish_metrics(obs::MetricsRegistry& reg) const {
@@ -570,6 +768,19 @@ void TaskPool::publish_metrics(obs::MetricsRegistry& reg) const {
              [](const WorkerStats& s) { return s.term_check_ns; });
   set_worker("pool.compute_time_ns", "charged task compute",
              [](const WorkerStats& s) { return s.compute_time_ns; });
+  // Exhaustive phase taxonomy: per PE the categories sum exactly to
+  // pool.phase.accounted_ns (docs/observability.md).
+  for (std::size_t c = 0; c < kNumPoolPhases; ++c) {
+    const auto id = reg.counter(
+        std::string("pool.phase.") +
+            pool_phase_name(static_cast<PoolPhase>(c)) + "_ns",
+        "time attributed to this phase (taxonomy sums to accounted_ns)");
+    for (int pe = 0; pe < npes; ++pe)
+      reg.set(id, pe, last_stats_[static_cast<std::size_t>(pe)].phase_ns[c]);
+  }
+  set_worker("pool.phase.accounted_ns",
+             "elapsed span the phase taxonomy covers",
+             [](const WorkerStats& s) { return s.accounted_ns; });
   const auto run_time =
       reg.gauge("pool.run_time_ns", "per-PE whole-run time (max = Fig 8 y)");
   for (int pe = 0; pe < npes; ++pe)

@@ -30,6 +30,7 @@
 #include "core/termination.hpp"
 #include "core/trace.hpp"
 #include "core/victim.hpp"
+#include "obs/timeseries.hpp"
 
 namespace sws::core {
 
@@ -59,6 +60,14 @@ struct StealTuning {
 struct TraceConfig {
   bool enable = false;
   std::size_t events = 4096;  ///< per-PE trace ring size
+  /// Windowed time-series sampling interval (virtual ns; 0 = off). When
+  /// set, the pool installs a net::SampleHook on the runtime's time model
+  /// and snapshots cumulative pool/fabric/accounting state every interval.
+  /// Sampling is observation-only: sampled runs stay byte-identical to
+  /// unsampled ones (tests/test_determinism_ab.cpp). Independent of
+  /// `enable` — a run can sample without event tracing; with both on, the
+  /// trace dump gains one Perfetto counter track per sampled series.
+  net::Nanos sample_interval_ns = 0;
 };
 
 struct PoolConfig {
@@ -156,8 +165,15 @@ class TaskPool {
   Tracer& tracer() noexcept { return tracer_; }
   /// Chrome trace-event JSON of the last run, stamped with run metadata
   /// (protocol, npes, slot_bytes) so sws-analyze can validate protocol op
-  /// signatures without side channels.
+  /// signatures without side channels. With sampling enabled the dump also
+  /// carries one counter track per sampled series; traced parallel-engine
+  /// runs additionally get end-of-run engine.* gauge tracks.
   void dump_trace_json(std::ostream& os) const;
+  /// Null unless TraceConfig::sample_interval_ns > 0.
+  obs::TimeSeries* timeseries() noexcept { return timeseries_.get(); }
+  /// Compact "sws-timeseries" JSON of the sampled windows (final partial
+  /// window included). Requires sampling; no-ops (empty object) otherwise.
+  void dump_timeseries_json(std::ostream& os) const;
   /// Publish the last run's per-PE worker and queue statistics into `reg`
   /// under the pool.* / queue.* namespaces (docs/observability.md).
   /// Overwrites previously published values.
@@ -171,6 +187,27 @@ class TaskPool {
 
  private:
   friend class Worker;
+
+  /// Live per-PE phase accounting (PoolPhase taxonomy). Owner-written by
+  /// the PE's thread at phase boundaries; the sampling hook reads it while
+  /// every PE thread is parked (the sequencer's serialization orders the
+  /// accesses), so no atomics are needed.
+  struct alignas(64) PhaseSlot {
+    std::array<net::Nanos, kNumPoolPhases> accrued{};
+    net::Nanos base = 0;  ///< run_pe entry time
+    net::Nanos mark = 0;  ///< start of the open phase
+    net::Nanos end = 0;   ///< teardown time (valid once !active)
+    PoolPhase cur = PoolPhase::kWorking;
+    bool active = false;
+    /// The owner's live WorkerStats (stack of run_pe) while running; null
+    /// between runs — samplers fall back to last_stats_.
+    const WorkerStats* live = nullptr;
+  };
+
+  /// Register the sampled series on timeseries_ (ctor helper).
+  void setup_timeseries();
+  /// Capture the final partial window at the clocks' max (idempotent).
+  void finalize_timeseries() const;
 
   /// Drain the inbox into the local queue; returns tasks moved.
   std::uint32_t drain_inbox(Worker& w);
@@ -186,6 +223,8 @@ class TaskPool {
   std::unique_ptr<TaskInbox> inbox_;
   std::unique_ptr<DeathRegistry> recovery_;  ///< crash-mode runs only
   Tracer tracer_;
+  std::unique_ptr<obs::TimeSeries> timeseries_;  ///< sampling runs only
+  std::vector<PhaseSlot> phase_;
   std::vector<WorkerStats> last_stats_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iomanip>
 #include <ostream>
+#include <sstream>
 
 #include "common/assert.hpp"
 
@@ -233,6 +234,11 @@ void Tracer::dump_chrome_json(std::ostream& os) const {
 }
 
 void Tracer::dump_chrome_json(std::ostream& os, const TraceMeta& meta) const {
+  dump_chrome_json(os, meta, ExtraRows{});
+}
+
+void Tracer::dump_chrome_json(std::ostream& os, const TraceMeta& meta,
+                              const ExtraRows& extra) const {
   os << "[";
   bool first = true;
   if (!meta.protocol.empty() || meta.npes > 0) {
@@ -250,6 +256,15 @@ void Tracer::dump_chrome_json(std::ostream& os, const TraceMeta& meta) const {
     first = false;
     os << "\n";
     json_event(os, e);
+  }
+  if (extra) {
+    std::ostringstream rows;
+    extra(rows);
+    std::string s = rows.str();
+    if (!s.empty()) {
+      if (first) s.erase(0, 1);  // no prior row: drop the leading comma
+      os << s;
+    }
   }
   os << "\n]\n";
 }

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -129,6 +130,16 @@ class Tracer {
   /// it to validate protocol op signatures.
   void dump_chrome_json(std::ostream& os) const;
   void dump_chrome_json(std::ostream& os, const TraceMeta& meta) const;
+
+  /// Writes additional rows into the open trace-event array, each row
+  /// prefixed with ",\n" (obs::TimeSeries::write_chrome_counters follows
+  /// this convention). The tracer fixes up the leading comma when the
+  /// array is otherwise empty.
+  using ExtraRows = std::function<void(std::ostream&)>;
+  /// As above, appending caller-supplied rows — counter tracks sampled
+  /// outside the ring buffers — before the array closes.
+  void dump_chrome_json(std::ostream& os, const TraceMeta& meta,
+                        const ExtraRows& extra) const;
 
   /// Count of retained events of one kind across all PEs (all phases).
   std::uint64_t count(TraceKind kind) const;

@@ -69,6 +69,7 @@ void ParallelTimeModel::reset(int npes) {
   cap_.assign(static_cast<std::size_t>(npes), ReadyHeap::kNoVtime);
   cap_epoch_.assign(static_cast<std::size_t>(npes), 0);
   epoch_ = 0;
+  next_sample_ = sample_interval_;
   // Every PE thread is "running" until it parks in pe_begin; the last
   // arrival drives the first release (all clocks 0 -> one full window).
   running_.store(npes, std::memory_order_relaxed);
@@ -137,6 +138,17 @@ void ParallelTimeModel::drive() {
   // skipped over (same contract as the serial sequencer).
   const Nanos nd = hook_ ? hook_(fc) : kNoPendingDeadline;
 
+  // Windowed sampling: every PE thread is parked, so the hook reads
+  // clocks, metrics, and scheduler state race-free. One call per crossed
+  // boundary, in order; observation-only — schedules stay byte-identical
+  // to sampling off (and to the serial engine, per the A/B suite).
+  if (sample_interval_ > 0) {
+    while (fc >= next_sample_) {
+      sample_hook_(next_sample_);
+      next_sample_ += sample_interval_;
+    }
+  }
+
   if (!fglob) {
     // Window attempt: wake every private PE strictly below its horizon
     // W(p). The base edge is the lookahead (or an earlier pending nbi
@@ -153,6 +165,10 @@ void ParallelTimeModel::drive() {
       w = nd;
       cause = kDead;
     }
+    // Cap windows at the next sampling boundary so the driver regains
+    // control (and samples) exactly when the floor crosses it. A smaller
+    // window never changes the schedule, only the release granularity.
+    if (sample_interval_ > 0 && next_sample_ < w) w = next_sample_;
     ++epoch_;
     Nanos opaque = ReadyHeap::kNoVtime;
     for (auto& sh : shards_)
@@ -279,6 +295,9 @@ void ParallelTimeModel::drive() {
     h = m + ((fp < q) ? Nanos{1} : Nanos{0});
     if (nd < h) h = nd;
   }
+  // Sampling boundary cap (next_sample_ > fc after the catch-up above, so
+  // the progress invariant below still holds).
+  if (sample_interval_ > 0 && next_sample_ < h) h = next_sample_;
   // Progress: the frontier is the lex minimum, so a clock tie means the
   // other PE has a higher id (fp < q) and the +1 applies; the hook only
   // reports deadlines strictly beyond the floor it swept.
@@ -343,6 +362,12 @@ void ParallelTimeModel::clamp_horizon(int pe, Nanos deadline) {
 
 void ParallelTimeModel::set_delivery_hook(DeliveryHook hook) {
   hook_ = std::move(hook);
+}
+
+void ParallelTimeModel::set_sample_hook(SampleHook hook, Nanos interval_ns) {
+  sample_hook_ = std::move(hook);
+  sample_interval_ = sample_hook_ ? interval_ns : 0;
+  next_sample_ = sample_interval_;
 }
 
 void ParallelTimeModel::global_begin(int pe) {

@@ -74,6 +74,7 @@ class ParallelTimeModel final : public TimeModel {
 
   void clamp_horizon(int pe, Nanos deadline) override;
   void set_delivery_hook(DeliveryHook hook) override;
+  void set_sample_hook(SampleHook hook, Nanos interval_ns) override;
   bool is_virtual() const noexcept override { return true; }
   int npes() const noexcept override { return static_cast<int>(slots_.size()); }
 
@@ -173,6 +174,11 @@ class ParallelTimeModel final : public TimeModel {
   Nanos lookahead_ = 0;
   int shards_requested_ = 1;
   DeliveryHook hook_;
+  /// Windowed sampling (driver-only while running: drive() is serialized
+  /// by the running_ chain, and every PE thread is parked when it fires).
+  SampleHook sample_hook_;
+  Nanos sample_interval_ = 0;  ///< 0 = sampling off
+  Nanos next_sample_ = 0;      ///< next unfired boundary
 
   // Stats: driver-only fields are plain (drive() is serialized by
   // construction); parks_ is touched by every PE thread.

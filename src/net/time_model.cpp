@@ -23,11 +23,19 @@ void VirtualTimeModel::reset(int npes) {
   // Horizons start at 0, so the first advance of every PE enters the
   // sequencer and computes a real horizon.
   active_.store(npes > 0 ? 0 : -1, std::memory_order_relaxed);
+  next_sample_ = sample_interval_;
 }
 
 void VirtualTimeModel::set_delivery_hook(DeliveryHook hook) {
   std::lock_guard<std::mutex> lk(mu_);
   hook_ = std::move(hook);
+}
+
+void VirtualTimeModel::set_sample_hook(SampleHook hook, Nanos interval_ns) {
+  std::lock_guard<std::mutex> lk(mu_);
+  sample_hook_ = std::move(hook);
+  sample_interval_ = sample_hook_ ? interval_ns : 0;
+  next_sample_ = sample_interval_;
 }
 
 void VirtualTimeModel::set_ready_arbiter(ReadyArbiter arb) {
@@ -93,11 +101,24 @@ Nanos VirtualTimeModel::horizon_locked(int pe) {
       slots_[static_cast<std::size_t>(pe)]->vtime.load(
           std::memory_order_relaxed);
   if (hook_) next_deadline = hook_(now);
+  // Windowed sampling: fire once per boundary the floor has crossed, in
+  // order. Observation-only — the hook reads state, never schedules
+  // events — so the schedule is byte-identical with sampling off.
+  if (sample_interval_ > 0) {
+    while (now >= next_sample_) {
+      sample_hook_(next_sample_);
+      next_sample_ += sample_interval_;
+    }
+  }
   // Batching off: reference mode measures the legacy per-event lock, and
   // an installed arbiter must see every advance as a potential tie.
   if (reference_ || arbiter_) return 0;
   Nanos h = heap_.second_vtime();
   if (next_deadline < h) h = next_deadline;
+  // Cap batches at the next sampling boundary so samples land exactly
+  // when the floor crosses it (a smaller horizon never changes the
+  // schedule — reference mode pins it to 0 and stays byte-identical).
+  if (sample_interval_ > 0 && next_sample_ < h) h = next_sample_;
   return h;
 }
 

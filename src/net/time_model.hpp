@@ -67,6 +67,18 @@ using DeliveryHook = std::function<Nanos(Nanos now)>;
 using ReadyArbiter =
     std::function<int(int caller, const std::vector<int>& ready, Nanos now)>;
 
+/// Observation-only callback fired by the virtual sequencers each time the
+/// global time floor crosses a sampling boundary (`boundary` = k*interval
+/// for k = 1, 2, ...; boundaries are never skipped, so a long batch fires
+/// one call per crossed boundary, in order). Runs under the sequencer's
+/// serialization — exactly one thread executes it, with every PE thread
+/// parked — so it may read clocks, metrics slabs, and scheduler state
+/// lock-free. It must never advance clocks, issue fabric operations, or
+/// call back into the time model: sampling is observation-only, and the
+/// determinism A/B suite enforces that sampled runs are byte-identical to
+/// unsampled ones. Real-time backends ignore it.
+using SampleHook = std::function<void(Nanos boundary)>;
+
 class TimeModel {
  public:
   virtual ~TimeModel() = default;
@@ -96,6 +108,16 @@ class TimeModel {
   }
 
   virtual void set_delivery_hook(DeliveryHook hook) = 0;
+
+  /// Install (or clear, with nullptr / interval 0) the windowed sampling
+  /// hook. Virtual backends fire it at every multiple of `interval_ns`
+  /// the global floor crosses, capping run-to-horizon batches (but never
+  /// schedules) at the next boundary so samples land on time. Real
+  /// backend: no-op. Must not be called while PE threads are active.
+  virtual void set_sample_hook(SampleHook hook, Nanos interval_ns) {
+    (void)hook;
+    (void)interval_ns;
+  }
 
   virtual bool is_virtual() const noexcept = 0;
   virtual int npes() const noexcept = 0;
@@ -163,6 +185,7 @@ class VirtualTimeModel final : public TimeModel {
 
   void clamp_horizon(int pe, Nanos deadline) override;
   void set_delivery_hook(DeliveryHook hook) override;
+  void set_sample_hook(SampleHook hook, Nanos interval_ns) override;
   bool is_virtual() const noexcept override { return true; }
   int npes() const noexcept override { return static_cast<int>(slots_.size()); }
 
@@ -215,6 +238,9 @@ class VirtualTimeModel final : public TimeModel {
   std::atomic<int> active_{-1};  ///< written under mu_; read lock-free by asserts
   DeliveryHook hook_;
   ReadyArbiter arbiter_;
+  SampleHook sample_hook_;
+  Nanos sample_interval_ = 0;  ///< 0 = sampling off
+  Nanos next_sample_ = 0;      ///< next unfired boundary; guarded by mu_
   bool reference_ = false;
   std::vector<int> ready_scratch_;  ///< reused per pick; guarded by mu_
 };

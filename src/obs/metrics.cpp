@@ -60,6 +60,23 @@ void MetricsSnapshot::merge(const MetricsSnapshot& o) {
   }
 }
 
+void MetricsSnapshot::diff(const MetricsSnapshot& earlier) {
+  for (Entry& e : entries) {
+    const Entry* base = earlier.find(e.name);
+    if (base == nullptr) continue;  // delta vs an implicit zero baseline
+    SWS_CHECK(base->kind == e.kind, "metric kind mismatch in diff");
+    // Gauges report a level, not an accumulation: the window's value is
+    // the last one written, i.e. this (later) snapshot's value as-is.
+    if (e.kind == MetricKind::kGauge) continue;
+    for (std::size_t pe = 0; pe < e.per_pe.size(); ++pe) {
+      const std::uint64_t b =
+          pe < base->per_pe.size() ? base->per_pe[pe] : 0;
+      e.per_pe[pe] -= std::min(e.per_pe[pe], b);
+    }
+    e.hist.subtract(base->hist);
+  }
+}
+
 namespace {
 
 bool per_pe_interesting(const MetricsSnapshot::Entry& e) noexcept {

@@ -57,6 +57,16 @@ struct MetricsSnapshot {
   /// name; entries only present in `o` are appended.
   void merge(const MetricsSnapshot& o);
 
+  /// Windowed delta: turn this (later) snapshot into `this - earlier`.
+  /// Counters subtract (saturating at 0, so an unrelated or reset
+  /// baseline cannot produce wrap-around garbage); histograms subtract
+  /// bucket-wise the same way. Gauges are *last-value-wins*: a max-gauge
+  /// has no meaningful difference over a window, so the entry keeps this
+  /// snapshot's value — the level observed at the window's end. Entries
+  /// absent from `earlier` are kept verbatim (delta vs an implicit zero);
+  /// entries only present in `earlier` are ignored.
+  void diff(const MetricsSnapshot& earlier);
+
   /// Aligned human-readable table, one metric per line.
   void write_text(std::ostream& os) const;
   /// {"schema":"sws-metrics", ...} — the format scripts/analyze_trace.py

@@ -280,6 +280,13 @@ RunTrace parse_chrome_trace(std::istream& is) {
       it->second.ops.push_back(std::move(op));
     } else if (ph == "C") {
       ++rt.counters;
+      CounterSample cs;
+      cs.name = name;
+      cs.pe = pe;
+      cs.ts_ns = ts;
+      cs.value = static_cast<std::int64_t>(
+          std::llround(args ? args->num_or("value", 0.0) : 0.0));
+      rt.counter_samples.push_back(std::move(cs));
     } else {
       ++rt.instants;
       if (name == "death_detected") {
@@ -645,6 +652,392 @@ void write_diff(std::ostream& os, const AnalyzeReport& a,
     diff_u64(os, "deaths detected", a.deaths_detected, b.deaths_detected);
     diff_u64(os, "tasks re-executed", a.tasks_recovered, b.tasks_recovered);
     diff_u64(os, "tasks rerouted", a.rerouted_tasks, b.rerouted_tasks);
+  }
+}
+
+// ----------------------------------------------------------- critical path
+
+namespace {
+
+/// Total length of the union of [lo, hi) intervals (merges overlaps so
+/// nothing is double-blamed).
+std::uint64_t union_length(std::vector<std::pair<std::uint64_t,
+                                                 std::uint64_t>>& iv) {
+  if (iv.empty()) return 0;
+  std::sort(iv.begin(), iv.end());
+  std::uint64_t total = 0;
+  std::uint64_t lo = iv.front().first;
+  std::uint64_t hi = iv.front().second;
+  for (std::size_t i = 1; i < iv.size(); ++i) {
+    if (iv[i].first > hi) {
+      total += hi - lo;
+      lo = iv[i].first;
+      hi = iv[i].second;
+    } else {
+      hi = std::max(hi, iv[i].second);
+    }
+  }
+  return total + (hi - lo);
+}
+
+/// True for span kinds that count as steal-search overhead (not useful
+/// work) when they overlap a critical-path local segment.
+bool is_search_kind(const Span& s) {
+  if (s.kind == "steal") return s.outcome() != 0;
+  return s.kind == "release_span" || s.kind == "acquire_span" ||
+         s.kind == "recovery";
+}
+
+}  // namespace
+
+CriticalPath critical_path(const RunTrace& rt) {
+  CriticalPath cp;
+  cp.path_ns = rt.duration_ns;
+  if (rt.spans.empty()) return cp;
+
+  // Per-PE indexes: all spans (begin-sorted, inherited from rt.spans) for
+  // the blame overlap scan, successful steals (end-sorted) for the walk.
+  std::unordered_map<int, std::vector<const Span*>> by_pe;
+  std::unordered_map<int, std::vector<const Span*>> ok_steals;
+  const Span* last = nullptr;
+  for (const Span& s : rt.spans) {
+    by_pe[s.pe].push_back(&s);
+    if (s.kind == "steal" && s.outcome() == 0) ok_steals[s.pe].push_back(&s);
+    if (last == nullptr || s.end_ns > last->end_ns ||
+        (s.end_ns == last->end_ns && s.pe < last->pe))
+      last = &s;
+  }
+  for (auto& [pe, v] : ok_steals) {
+    (void)pe;
+    std::sort(v.begin(), v.end(), [](const Span* x, const Span* y) {
+      return x->end_ns < y->end_ns;
+    });
+  }
+
+  cp.end_pe = last->pe;
+  cp.hop_pes.push_back(cp.end_pe);
+
+  // Blame one local segment (lo, hi] on PE `pe`: search-kind span overlap
+  // is search time, the remainder is work (task bodies + park waits — the
+  // trace does not span those, so they are the unspanned residue).
+  const auto blame_local = [&](int pe, std::uint64_t lo, std::uint64_t hi) {
+    if (hi <= lo) return;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> iv;
+    const auto it = by_pe.find(pe);
+    if (it != by_pe.end()) {
+      for (const Span* s : it->second) {
+        if (s->begin_ns >= hi) break;  // begin-sorted: nothing later overlaps
+        if (s->end_ns <= lo || !is_search_kind(*s)) continue;
+        iv.emplace_back(std::max(lo, s->begin_ns), std::min(hi, s->end_ns));
+      }
+    }
+    const std::uint64_t search = union_length(iv);
+    cp.search_ns += search;
+    cp.work_ns += (hi - lo) - search;
+  };
+
+  int cur_pe = cp.end_pe;
+  std::uint64_t t = rt.duration_ns;
+  // Walk backwards: the latest successful steal at or before t is the
+  // dependency that delivered cur_pe's work; everything after it on cur_pe
+  // is local, the span itself is a hop, and the chain continues at the
+  // victim. Hop count is bounded by the span count (each hop moves t to an
+  // earlier steal begin), but guard anyway against degenerate
+  // zero-duration cycles.
+  for (std::size_t guard = 0; guard <= rt.spans.size(); ++guard) {
+    const Span* hop = nullptr;
+    const auto it = ok_steals.find(cur_pe);
+    if (it != ok_steals.end()) {
+      // Latest success with end_ns <= t (end-sorted vector).
+      const auto& v = it->second;
+      auto pos = std::upper_bound(
+          v.begin(), v.end(), t, [](std::uint64_t tt, const Span* s) {
+            return tt < s->end_ns;
+          });
+      if (pos != v.begin()) hop = *(pos - 1);
+    }
+    if (hop == nullptr || hop->begin_ns >= t) {
+      // Root of the chain: everything back to t=0 is local to this PE.
+      blame_local(cur_pe, 0, t);
+      break;
+    }
+    blame_local(cur_pe, hop->end_ns, t);
+    // Hop blame: fabric-op occupancy inside the steal span vs protocol
+    // residue (serialization, retries between ops, victim-side latency).
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> iv;
+    for (const TraceOp& op : hop->ops) {
+      const std::uint64_t lo = std::max(hop->begin_ns, op.ts_ns);
+      const std::uint64_t hi =
+          std::min(hop->end_ns, op.ts_ns + op.dur_ns);
+      if (hi > lo) iv.emplace_back(lo, hi);
+    }
+    const std::uint64_t fabric = union_length(iv);
+    cp.steal_fabric_ns += fabric;
+    cp.steal_proto_ns += hop->duration_ns() - fabric;
+    ++cp.steal_hops;
+    t = hop->begin_ns;
+    cur_pe = hop->victim();
+    cp.hop_pes.push_back(cur_pe);
+  }
+  return cp;
+}
+
+ConvoyReport convoy_report(const RunTrace& rt, const WindowConfig& wc) {
+  ConvoyReport cr;
+  cr.window_ns = wc.window_ns != 0
+                     ? wc.window_ns
+                     : std::max<std::uint64_t>(rt.duration_ns / 64, 1000);
+  struct Pressure {
+    std::uint64_t attempts = 0, ok = 0;
+    std::map<std::uint64_t, std::uint64_t> windows;
+  };
+  std::map<int, Pressure> per_victim;
+  for (const Span& s : rt.spans) {
+    if (s.kind != "steal") continue;
+    Pressure& p = per_victim[s.victim()];
+    ++p.attempts;
+    if (s.outcome() == 0) ++p.ok;
+    ++p.windows[s.begin_ns / cr.window_ns];
+  }
+  for (const auto& [pe, p] : per_victim) {
+    ConvoyVictim v;
+    v.pe = pe;
+    v.inbound_attempts = p.attempts;
+    v.inbound_ok = p.ok;
+    for (const auto& [w, n] : p.windows) {
+      if (n > v.peak_window_attempts) {
+        v.peak_window_attempts = n;
+        v.peak_window_start_ns = w * cr.window_ns;
+      }
+    }
+    cr.victims.push_back(v);
+  }
+  std::sort(cr.victims.begin(), cr.victims.end(),
+            [](const ConvoyVictim& a, const ConvoyVictim& b) {
+              if (a.peak_window_attempts != b.peak_window_attempts)
+                return a.peak_window_attempts > b.peak_window_attempts;
+              if (a.inbound_attempts != b.inbound_attempts)
+                return a.inbound_attempts > b.inbound_attempts;
+              return a.pe < b.pe;
+            });
+  return cr;
+}
+
+void write_critical_path(std::ostream& os, const CriticalPath& cp) {
+  os << "critical path (termination chain, walked backwards):\n";
+  metric_line(os, "path_ns", cp.path_ns);
+  metric_line(os, "steal hops", cp.steal_hops);
+  const auto pct = [&](std::uint64_t v) {
+    return cp.path_ns != 0
+               ? 100.0 * static_cast<double>(v) /
+                     static_cast<double>(cp.path_ns)
+               : 0.0;
+  };
+  const auto blame = [&](const char* label, std::uint64_t v) {
+    os << "  " << std::left << std::setw(26) << label << std::right << v
+       << "  (" << std::fixed << std::setprecision(1) << pct(v) << "%)"
+       << std::defaultfloat << "\n";
+  };
+  blame("task work + park", cp.work_ns);
+  blame("steal search", cp.search_ns);
+  blame("hop steal fabric", cp.steal_fabric_ns);
+  blame("hop steal protocol", cp.steal_proto_ns);
+  os << "  chain (end pe first):";
+  const std::size_t shown = std::min<std::size_t>(cp.hop_pes.size(), 16);
+  for (std::size_t i = 0; i < shown; ++i) os << " " << cp.hop_pes[i];
+  if (cp.hop_pes.size() > shown)
+    os << " ... (" << cp.hop_pes.size() - shown << " more)";
+  os << "\n";
+}
+
+void write_convoy(std::ostream& os, const ConvoyReport& cr, std::size_t top) {
+  os << "hot victims (inbound steal pressure, window=" << cr.window_ns
+     << "ns):\n";
+  if (cr.victims.empty()) {
+    os << "  (no steal spans in trace)\n";
+    return;
+  }
+  const std::size_t shown = std::min(top, cr.victims.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    const ConvoyVictim& v = cr.victims[i];
+    os << "  pe " << std::left << std::setw(6) << v.pe << std::right
+       << "inbound=" << v.inbound_attempts << " (ok=" << v.inbound_ok
+       << ")  peak=" << v.peak_window_attempts << " attempts @t="
+       << v.peak_window_start_ns << "ns\n";
+  }
+  if (cr.victims.size() > shown)
+    os << "  ... " << cr.victims.size() - shown << " more victims\n";
+}
+
+// ------------------------------------------------------------- time series
+
+const TimeSeriesData::Series* TimeSeriesData::find(
+    const std::string& name) const noexcept {
+  for (const Series& s : series)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+TimeSeriesData parse_timeseries(std::istream& is) {
+  JsonParser parser(is);
+  const JsonValue root = parser.parse();
+  if (root.type != JsonValue::Type::kObject ||
+      root.str_or("schema", "") != "sws-timeseries")
+    throw std::runtime_error(
+        "timeseries JSON: not an sws-timeseries document");
+
+  TimeSeriesData ts;
+  ts.interval_ns =
+      static_cast<std::uint64_t>(root.num_or("interval_ns", 0.0));
+  ts.truncated = root.num_or("truncated", 0.0) != 0.0;
+  ts.protocol = root.str_or("protocol", "");
+  ts.npes = static_cast<int>(root.num_or("npes", 0.0));
+
+  const JsonValue* t = root.get("t");
+  if (t != nullptr && t->type == JsonValue::Type::kArray)
+    for (const JsonValue& v : t->arr)
+      ts.t.push_back(static_cast<std::uint64_t>(v.number));
+
+  const JsonValue* series = root.get("series");
+  if (series != nullptr && series->type == JsonValue::Type::kArray) {
+    for (const JsonValue& sv : series->arr) {
+      if (sv.type != JsonValue::Type::kObject) continue;
+      TimeSeriesData::Series s;
+      s.name = sv.str_or("name", "");
+      s.delta = sv.str_or("mode", "delta") == "delta";
+      const JsonValue* vals = sv.get("v");
+      if (vals != nullptr && vals->type == JsonValue::Type::kArray)
+        for (const JsonValue& v : vals->arr)
+          s.v.push_back(static_cast<std::int64_t>(std::llround(v.number)));
+      if (s.v.size() != ts.t.size())
+        throw std::runtime_error("timeseries JSON: series \"" + s.name +
+                                 "\" length disagrees with \"t\"");
+      ts.series.push_back(std::move(s));
+    }
+  }
+  return ts;
+}
+
+TimeSeriesData parse_timeseries_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open timeseries file: " + path);
+  return parse_timeseries(f);
+}
+
+namespace {
+
+/// The acct.* category series names, mirroring core::pool_phase_name (the
+/// analysis layer deliberately does not link against the scheduler).
+constexpr const char* kAcctCategories[] = {
+    "working",   "probing",    "stealing",         "parked",
+    "blocked_nbi", "recovering", "idle_terminating",
+};
+
+}  // namespace
+
+std::vector<std::string> check_accounting(const TimeSeriesData& ts) {
+  std::vector<std::string> out;
+  const TimeSeriesData::Series* elapsed = ts.find("acct.elapsed_ns");
+  if (elapsed == nullptr) return out;  // no accounting series: nothing to do
+
+  std::vector<const TimeSeriesData::Series*> cats;
+  for (const char* c : kAcctCategories) {
+    const auto* s = ts.find(std::string("acct.") + c);
+    if (s == nullptr) {
+      out.push_back(std::string("accounting series missing: acct.") + c);
+      return out;
+    }
+    cats.push_back(s);
+  }
+  for (std::size_t i = 0; i < ts.t.size(); ++i) {
+    std::int64_t sum = 0;
+    for (const auto* s : cats) sum += s->v[i];
+    if (sum != elapsed->v[i]) {
+      std::ostringstream msg;
+      msg << "accounting mismatch at t=" << ts.t[i] << "ns: sum(categories)="
+          << sum << " != elapsed=" << elapsed->v[i] << " (delta "
+          << sum - elapsed->v[i] << "ns)";
+      out.push_back(msg.str());
+      if (out.size() >= 16) {
+        out.push_back("... further mismatches suppressed");
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void write_timeseries_summary(std::ostream& os, const TimeSeriesData& ts) {
+  os << "time series: interval=" << ts.interval_ns << "ns samples="
+     << ts.t.size()
+     << (ts.protocol.empty() ? "" : " protocol=" + ts.protocol);
+  if (ts.npes > 0) os << " npes=" << ts.npes;
+  if (ts.truncated) os << " (TRUNCATED at sample cap)";
+  os << "\n";
+  if (ts.t.empty()) return;
+
+  const TimeSeriesData::Series* elapsed = ts.find("acct.elapsed_ns");
+  if (elapsed != nullptr) {
+    // Utilization timeline: per-window fraction of all PEs' elapsed time
+    // spent in kWorking, rendered as a compact bar per sampled window.
+    const TimeSeriesData::Series* working = ts.find("acct.working");
+    if (working != nullptr) {
+      static const char kBars[] = " .:-=+*#%@";
+      os << "utilization (acct.working / acct.elapsed_ns per window, "
+            "' '=0% '@'=100%):\n  [";
+      for (std::size_t i = 0; i < ts.t.size(); ++i) {
+        double frac = 0.0;
+        if (elapsed->v[i] > 0)
+          frac = static_cast<double>(working->v[i]) /
+                 static_cast<double>(elapsed->v[i]);
+        frac = std::min(1.0, std::max(0.0, frac));
+        os << kBars[static_cast<std::size_t>(frac * 9.0 + 0.5)];
+      }
+      os << "]\n";
+    }
+    // Whole-run phase breakdown (sum of per-window deltas per category).
+    std::int64_t total_elapsed = 0;
+    for (const std::int64_t v : elapsed->v) total_elapsed += v;
+    os << "phase breakdown (all PEs):\n";
+    for (const char* c : kAcctCategories) {
+      const auto* s = ts.find(std::string("acct.") + c);
+      if (s == nullptr) continue;
+      std::int64_t total = 0;
+      for (const std::int64_t v : s->v) total += v;
+      os << "  " << std::left << std::setw(26)
+         << (std::string("acct.") + c) << std::right << total;
+      if (total_elapsed > 0)
+        os << "  (" << std::fixed << std::setprecision(1)
+           << 100.0 * static_cast<double>(total) /
+                  static_cast<double>(total_elapsed)
+           << "%)" << std::defaultfloat;
+      os << "\n";
+    }
+  }
+  // Steal / fabric activity over the run, if those series were sampled.
+  const auto total_of = [&](const char* name) -> std::int64_t {
+    const auto* s = ts.find(name);
+    if (s == nullptr) return -1;
+    std::int64_t total = 0;
+    for (const std::int64_t v : s->v) total += v;
+    return total;
+  };
+  const std::int64_t tasks = total_of("pool.tasks_executed");
+  const std::int64_t steals = total_of("pool.steals_ok");
+  const std::int64_t attempts = total_of("pool.steal_attempts");
+  const std::int64_t remote = total_of("fabric.remote_ops");
+  if (tasks >= 0 || steals >= 0 || remote >= 0) {
+    os << "activity totals:\n";
+    if (tasks >= 0)
+      metric_line(os, "tasks executed", static_cast<std::uint64_t>(tasks));
+    if (attempts >= 0)
+      metric_line(os, "steal attempts",
+                  static_cast<std::uint64_t>(attempts));
+    if (steals >= 0)
+      metric_line(os, "steals ok", static_cast<std::uint64_t>(steals));
+    if (remote >= 0)
+      metric_line(os, "remote fabric ops",
+                  static_cast<std::uint64_t>(remote));
   }
 }
 

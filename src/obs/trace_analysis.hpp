@@ -60,6 +60,16 @@ struct Span {
   }
 };
 
+/// One counter-track sample ("ph":"C") — queue depth, pending nbi, or an
+/// injected time-series window value. Values may be negative (delta-mode
+/// series re-attribute small amounts between related categories).
+struct CounterSample {
+  std::string name;
+  int pe = -1;
+  std::uint64_t ts_ns = 0;
+  std::int64_t value = 0;
+};
+
 /// Everything parse_chrome_trace recovers from one trace file.
 struct RunTrace {
   std::string protocol;  ///< from sws_run_meta; "" when absent
@@ -78,6 +88,7 @@ struct RunTrace {
   std::uint64_t reroutes = 0;         ///< rerouted events
   std::uint64_t rerouted_tasks = 0;   ///< tasks re-homed off dead inboxes
   std::uint64_t counters = 0;
+  std::vector<CounterSample> counter_samples;  ///< retained "C" rows
   std::uint64_t fabric_ops = 0;  ///< attributed + orphaned
   std::uint64_t duration_ns = 0;  ///< max event end time
 };
@@ -154,5 +165,82 @@ void write_report(std::ostream& os, const AnalyzeReport& r);
 /// Side-by-side A/B comparison of the headline metrics.
 void write_diff(std::ostream& os, const AnalyzeReport& a,
                 const AnalyzeReport& b);
+
+// ----------------------------------------------------------- critical path
+
+/// The longest dependency chain ending at the run's last event, walked
+/// backwards through the steals that delivered the work: from the PE that
+/// finished last, jump at each successful steal to the victim that held
+/// the tasks beforehand, back to t=0. Every nanosecond of the walked path
+/// is blamed on exactly one category (the four *_ns fields sum to
+/// path_ns) — the "where did the makespan go" view scripts/
+/// analyze_trace.py mirrors.
+struct CriticalPath {
+  int end_pe = -1;             ///< PE whose event closes the run
+  std::uint64_t path_ns = 0;   ///< walked span (== run duration)
+  std::uint64_t steal_hops = 0;
+  /// Blame taxonomy over the path:
+  std::uint64_t work_ns = 0;   ///< unspanned time: task bodies + park waits
+  std::uint64_t search_ns = 0; ///< failed steals + release/acquire/recovery
+  std::uint64_t steal_fabric_ns = 0;  ///< fabric occupancy inside hop steals
+  std::uint64_t steal_proto_ns = 0;   ///< hop-steal latency beyond the wire
+  std::vector<int> hop_pes;    ///< PE chain, end PE first
+};
+
+CriticalPath critical_path(const RunTrace& rt);
+
+/// Hot-victim convoy pressure: inbound steal attempts per victim bucketed
+/// into fixed windows, victims ranked by their peak windowed pressure.
+struct ConvoyVictim {
+  int pe = -1;
+  std::uint64_t inbound_attempts = 0;       ///< whole-run inbound spans
+  std::uint64_t inbound_ok = 0;             ///< ... that lost work
+  std::uint64_t peak_window_attempts = 0;   ///< ranking key
+  std::uint64_t peak_window_start_ns = 0;
+};
+
+struct ConvoyReport {
+  std::uint64_t window_ns = 0;
+  std::vector<ConvoyVictim> victims;  ///< every victim, hottest first
+};
+
+ConvoyReport convoy_report(const RunTrace& rt, const WindowConfig& wc = {});
+
+void write_critical_path(std::ostream& os, const CriticalPath& cp);
+void write_convoy(std::ostream& os, const ConvoyReport& cr,
+                  std::size_t top = 5);
+
+// ------------------------------------------------------------- time series
+
+/// A parsed "sws-timeseries" JSON document (TimeSeries::write_json).
+/// Values are kept exactly as written: per-window deltas for delta-mode
+/// series, raw samples for level-mode.
+struct TimeSeriesData {
+  std::uint64_t interval_ns = 0;
+  bool truncated = false;
+  std::string protocol;
+  int npes = 0;
+  std::vector<std::uint64_t> t;  ///< sample times (ns)
+  struct Series {
+    std::string name;
+    bool delta = false;
+    std::vector<std::int64_t> v;
+  };
+  std::vector<Series> series;
+
+  const Series* find(const std::string& name) const noexcept;
+};
+
+TimeSeriesData parse_timeseries(std::istream& is);
+TimeSeriesData parse_timeseries_file(const std::string& path);
+
+/// The accounting invariant, checked to the nanosecond: in every window
+/// the acct.* category deltas must sum exactly to acct.elapsed_ns.
+/// Returns violation messages; empty = clean (also when the document
+/// carries no acct.* series at all).
+std::vector<std::string> check_accounting(const TimeSeriesData& ts);
+
+/// Utilization timeline + phase breakdown of the sampled windows.
+void write_timeseries_summary(std::ostream& os, const TimeSeriesData& ts);
 
 }  // namespace sws::obs

@@ -38,7 +38,8 @@ struct RunTrace {
   std::uint64_t steal_attempts = 0;
   std::uint64_t bulk_claims = 0;  ///< multi-block claims (SWS bulk mode)
   net::Nanos duration = 0;
-  std::string trace_json;  ///< only when tracing was enabled
+  std::string trace_json;       ///< only when tracing was enabled
+  std::string timeseries_json;  ///< only when windowed sampling was enabled
 };
 
 void expect_identical(const RunTrace& a, const RunTrace& b,
@@ -55,7 +56,8 @@ void expect_identical(const RunTrace& a, const RunTrace& b,
 
 RunTrace run_uts(core::QueueKind kind, int npes, bool reference,
                  bool trace = false, net::NetworkParams net = {},
-                 std::uint32_t bulk = 1, int engine_threads = 1) {
+                 std::uint32_t bulk = 1, int engine_threads = 1,
+                 net::Nanos sample_ns = 0) {
   pgas::RuntimeConfig rc;
   rc.npes = npes;
   rc.heap_bytes = 4 << 20;
@@ -81,6 +83,7 @@ RunTrace run_uts(core::QueueKind kind, int npes, bool reference,
     pc.trace.enable = true;
     pc.trace.events = std::size_t{1} << 18;
   }
+  if (sample_ns > 0) pc.trace.sample_interval_ns = sample_ns;
   core::TaskPool pool(rt, reg, pc);
   rt.fabric().reset_stats();
   rt.run([&](pgas::PeContext& ctx) {
@@ -100,6 +103,11 @@ RunTrace run_uts(core::QueueKind kind, int npes, bool reference,
     std::ostringstream os;
     pool.dump_trace_json(os);
     t.trace_json = os.str();
+  }
+  if (sample_ns > 0) {
+    std::ostringstream os;
+    pool.dump_timeseries_json(os);
+    t.timeseries_json = os.str();
   }
   return t;
 }
@@ -207,6 +215,41 @@ TEST_P(DeterminismAb, TracedRunsDumpByteIdenticalJson) {
   // The dump includes every event in merged (time, pe, seq) order, so
   // any nondeterminism in spans/ops/ordering shows up as a byte diff.
   EXPECT_EQ(a.trace_json, b.trace_json);
+}
+
+TEST_P(DeterminismAb, WindowedSamplingIsObservationOnly) {
+  // The time-series sampler drains windows at virtual-time boundaries but
+  // reads counters and phase clocks without touching them: a sampled run
+  // must be byte-identical to an unsampled one on every observable.
+  const RunTrace off = run_uts(GetParam(), 8, /*reference=*/false);
+  const RunTrace on = run_uts(GetParam(), 8, /*reference=*/false,
+                              /*trace=*/false, {}, /*bulk=*/1, /*threads=*/1,
+                              /*sample_ns=*/10'000);
+  EXPECT_FALSE(on.timeseries_json.empty());
+  expect_identical(off, on, "sampling-off vs sampling-on");
+}
+
+TEST_P(DeterminismAb, SampledRunsDumpByteIdenticalJson) {
+  const RunTrace a = run_uts(GetParam(), 8, /*reference=*/false,
+                             /*trace=*/false, {}, /*bulk=*/1, /*threads=*/1,
+                             /*sample_ns=*/10'000);
+  const RunTrace b = run_uts(GetParam(), 8, /*reference=*/false,
+                             /*trace=*/false, {}, /*bulk=*/1, /*threads=*/1,
+                             /*sample_ns=*/10'000);
+  expect_identical(a, b, "sampled run-to-run");
+  EXPECT_EQ(a.timeseries_json, b.timeseries_json);
+}
+
+TEST_P(DeterminismAb, SamplingAndTracingComposeObservationOnly) {
+  // Both observers on at once (the bench_common --trace-out --timeseries-out
+  // path) must still land on the unobserved schedule.
+  const RunTrace off = run_uts(GetParam(), 8, /*reference=*/false);
+  const RunTrace on = run_uts(GetParam(), 8, /*reference=*/false,
+                              /*trace=*/true, {}, /*bulk=*/1, /*threads=*/1,
+                              /*sample_ns=*/10'000);
+  EXPECT_FALSE(on.trace_json.empty());
+  EXPECT_FALSE(on.timeseries_json.empty());
+  expect_identical(off, on, "unobserved vs trace+sampling");
 }
 
 // Cross-version pins: fingerprints captured from the pre-topology build

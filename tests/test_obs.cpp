@@ -1,11 +1,14 @@
-// Observability layer: metrics registry semantics, trace-analysis span
-// reconstruction, and the end-to-end protocol op-shape claims (Fig 2) on
-// live 2-PE UTS traces.
+// Observability layer: metrics registry semantics, snapshot diff
+// windowing, time-series sampling, trace-analysis span reconstruction
+// (incl. critical path + convoy pressure), and the end-to-end protocol
+// op-shape and time-accounting claims on live 2-PE UTS/BPC traces.
 #include <gtest/gtest.h>
 
+#include <numeric>
 #include <sstream>
 
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace_analysis.hpp"
 #include "sws.hpp"
 
@@ -167,6 +170,223 @@ TEST(MetricsSnapshot, SetHistReplacesWholesale) {
   EXPECT_EQ(reg.total(h), 2u);
 }
 
+// --------------------------------------------- windowed diff edge cases
+
+TEST(LogHistogram, SubtractIsPerBucketAndSaturating) {
+  // 1023 and 1024 land in adjacent log2 buckets; a windowed delta must
+  // subtract per bucket, never across the boundary.
+  LogHistogram later, earlier;
+  later.add(1023);
+  later.add(1024);
+  later.add(1024);
+  earlier.add(1024);
+  later.subtract(earlier);
+  EXPECT_EQ(later.count(), 2u);
+  EXPECT_EQ(later.bucket(9), 1u) << "[512,1024) untouched";
+  EXPECT_EQ(later.bucket(10), 1u) << "[1024,2048) lost exactly one";
+
+  // Unrelated baseline with more samples than we have: saturate at zero.
+  LogHistogram big;
+  big.add(1023);
+  big.add(1023);
+  later.subtract(big);
+  EXPECT_EQ(later.bucket(9), 0u);
+  EXPECT_EQ(later.count(), 1u) << "total recomputed from surviving buckets";
+}
+
+TEST(MetricsSnapshot, DiffAgainstEmptyBaselineIsIdentity) {
+  MetricsRegistry reg(2);
+  reg.add(reg.counter("win.counter"), 0, 12);
+  reg.set(reg.gauge("win.gauge"), 1, 7);
+  MetricsSnapshot later = reg.snapshot();
+  later.diff(MetricsSnapshot{});  // no entries at all: implicit zero
+  EXPECT_EQ(later.find("win.counter")->total(), 12u);
+  EXPECT_EQ(later.find("win.gauge")->total(), 7u);
+}
+
+TEST(MetricsSnapshot, DiffSubtractsCountersSaturating) {
+  MetricsRegistry reg(2);
+  const MetricId c = reg.counter("win.counter");
+  reg.add(c, 0, 5);
+  reg.add(c, 1, 9);
+  MetricsSnapshot earlier = reg.snapshot();
+  reg.add(c, 0, 3);  // pe0 grows to 8; pe1 stays 9
+  MetricsSnapshot later = reg.snapshot();
+  later.diff(earlier);
+  EXPECT_EQ(later.find("win.counter")->per_pe[0], 3u);
+  EXPECT_EQ(later.find("win.counter")->per_pe[1], 0u);
+
+  // A *reset* counter (later < earlier, e.g. across reset_values) must
+  // saturate at 0, not wrap to ~2^64.
+  MetricsSnapshot reset = earlier;
+  reg.reset_values();
+  reg.add(c, 0, 1);
+  MetricsSnapshot after_reset = reg.snapshot();
+  after_reset.diff(reset);
+  EXPECT_EQ(after_reset.find("win.counter")->total(), 0u);
+}
+
+TEST(MetricsSnapshot, DiffGaugeIsLastValueWins) {
+  // Gauges report a level: the window's value is whatever the gauge held
+  // at the window's end, not a difference of levels.
+  MetricsRegistry reg(1);
+  const MetricId g = reg.gauge("win.gauge");
+  reg.set(g, 0, 100);
+  MetricsSnapshot earlier = reg.snapshot();
+  reg.set(g, 0, 40);  // level *dropped* across the window
+  MetricsSnapshot later = reg.snapshot();
+  later.diff(earlier);
+  EXPECT_EQ(later.find("win.gauge")->total(), 40u)
+      << "gauge diff must keep the later level, not subtract";
+}
+
+TEST(MetricsSnapshot, DiffDisjointEntriesKeptVerbatim) {
+  MetricsRegistry a(1), b(1);
+  a.add(a.counter("only.later"), 0, 4);
+  b.add(b.counter("only.earlier"), 0, 9);
+  MetricsSnapshot later = a.snapshot();
+  later.diff(b.snapshot());
+  EXPECT_EQ(later.find("only.later")->total(), 4u);
+  EXPECT_EQ(later.find("only.earlier"), nullptr)
+      << "entries only in the earlier snapshot are ignored";
+}
+
+TEST(MetricsSnapshot, DiffHistogramSubtractsBucketwise) {
+  MetricsRegistry reg(1);
+  const MetricId h = reg.histogram("win.hist");
+  reg.observe(h, 0, 1023);
+  MetricsSnapshot earlier = reg.snapshot();
+  reg.observe(h, 0, 1024);  // boundary neighbour of the baseline sample
+  MetricsSnapshot later = reg.snapshot();
+  later.diff(earlier);
+  EXPECT_EQ(later.find("win.hist")->hist.count(), 1u);
+  EXPECT_EQ(later.find("win.hist")->hist.bucket(10), 1u);
+  EXPECT_EQ(later.find("win.hist")->hist.bucket(9), 0u);
+}
+
+// --------------------------------------------------- time-series sampling
+
+TEST(TimeSeries, DeltaAndLevelExport) {
+  std::uint64_t counter = 0;
+  std::uint64_t level = 0;
+  TimeSeries ts(10);
+  ts.add_series("c", TimeSeries::Mode::kDelta, [&] { return counter; });
+  ts.add_series("l", TimeSeries::Mode::kLevel, [&] { return level; });
+  ts.add_meta("protocol", "\"sws\"");
+  ts.add_meta("npes", "2");
+  counter = 5;
+  level = 3;
+  ts.sample(10);
+  counter = 4;  // re-attribution can shrink a cumulative source
+  level = 9;
+  ts.sample(20);
+  std::ostringstream os;
+  ts.write_json(os);
+  const std::string j = os.str();
+  EXPECT_NE(j.find("\"schema\":\"sws-timeseries\""), std::string::npos);
+  EXPECT_NE(j.find("\"t\":[10,20]"), std::string::npos);
+  EXPECT_NE(j.find("\"name\":\"c\",\"mode\":\"delta\",\"v\":[5,-1]"),
+            std::string::npos)
+      << "delta mode exports signed per-window differences: " << j;
+  EXPECT_NE(j.find("\"name\":\"l\",\"mode\":\"level\",\"v\":[3,9]"),
+            std::string::npos)
+      << "level mode exports raw samples: " << j;
+
+  // Round-trip through the analyzer's parser.
+  std::istringstream is(j);
+  const TimeSeriesData parsed = parse_timeseries(is);
+  EXPECT_EQ(parsed.interval_ns, 10u);
+  EXPECT_EQ(parsed.protocol, "sws");
+  EXPECT_EQ(parsed.npes, 2);
+  ASSERT_EQ(parsed.t.size(), 2u);
+  ASSERT_NE(parsed.find("c"), nullptr);
+  EXPECT_TRUE(parsed.find("c")->delta);
+  EXPECT_EQ(parsed.find("c")->v[1], -1);
+  EXPECT_FALSE(parsed.find("l")->delta);
+}
+
+TEST(TimeSeries, SampleIsMonotoneAndIdempotent) {
+  std::uint64_t v = 0;
+  TimeSeries ts(10);
+  ts.add_series("v", TimeSeries::Mode::kDelta, [&] { return v; });
+  ts.sample(10);
+  ts.sample(10);  // duplicate finalize: ignored
+  ts.sample(5);   // stale time: ignored
+  EXPECT_EQ(ts.samples(), 1u);
+  ts.sample(20);
+  EXPECT_EQ(ts.samples(), 2u);
+  ts.clear();
+  EXPECT_TRUE(ts.empty());
+  ts.sample(10);  // reusable after clear (bench repetitions)
+  EXPECT_EQ(ts.samples(), 1u);
+}
+
+TEST(TimeSeries, TruncatesAtSampleCap) {
+  std::uint64_t v = 0;
+  TimeSeries ts(10, /*max_samples=*/2);
+  ts.add_series("v", TimeSeries::Mode::kDelta, [&] { return v; });
+  ts.sample(10);
+  ts.sample(20);
+  ts.sample(30);  // past the cap: dropped, flagged
+  EXPECT_EQ(ts.samples(), 2u);
+  EXPECT_TRUE(ts.truncated());
+  std::ostringstream os;
+  ts.write_json(os);
+  EXPECT_NE(os.str().find("\"truncated\":1"), std::string::npos);
+}
+
+TEST(TimeSeries, ChromeCounterRowsFollowTracerFormat) {
+  std::uint64_t v = 0;
+  TimeSeries ts(10);
+  ts.add_series("acct.working", TimeSeries::Mode::kDelta, [&] { return v; });
+  v = 1500;
+  ts.sample(12345);
+  std::ostringstream os;
+  ts.write_chrome_counters(os);
+  // ",\n"-prefixed rows, µs timestamps with exact .001 resolution — the
+  // same convention the tracer's own counter rows use.
+  EXPECT_EQ(os.str(),
+            ",\n{\"name\":\"acct.working\",\"ph\":\"C\",\"ts\":12.345,"
+            "\"pid\":0,\"tid\":0,\"args\":{\"value\":1500}}");
+}
+
+TEST(TimeSeriesCheck, AccountingInvariantHoldsAndFails) {
+  const auto doc = [](const char* elapsed) {
+    return std::string(
+               "{\"schema\":\"sws-timeseries\",\"interval_ns\":10,"
+               "\"samples\":2,\"truncated\":0,\"protocol\":\"sws\","
+               "\"npes\":2,\"t\":[10,20],\"series\":["
+               "{\"name\":\"acct.working\",\"mode\":\"delta\",\"v\":[10,9]},"
+               "{\"name\":\"acct.probing\",\"mode\":\"delta\",\"v\":[5,11]},"
+               "{\"name\":\"acct.stealing\",\"mode\":\"delta\",\"v\":[2,10]},"
+               "{\"name\":\"acct.parked\",\"mode\":\"delta\",\"v\":[3,10]},"
+               "{\"name\":\"acct.blocked_nbi\",\"mode\":\"delta\","
+               "\"v\":[0,0]},"
+               "{\"name\":\"acct.recovering\",\"mode\":\"delta\",\"v\":[0,0]},"
+               "{\"name\":\"acct.idle_terminating\",\"mode\":\"delta\","
+               "\"v\":[0,0]},"
+               "{\"name\":\"acct.elapsed_ns\",\"mode\":\"delta\",\"v\":[") +
+           elapsed + "]}]}";
+  };
+  {
+    std::istringstream is(doc("20,40"));
+    EXPECT_TRUE(check_accounting(parse_timeseries(is)).empty());
+  }
+  {
+    std::istringstream is(doc("20,41"));  // one window off by 1 ns
+    const auto errs = check_accounting(parse_timeseries(is));
+    ASSERT_EQ(errs.size(), 1u);
+    EXPECT_NE(errs[0].find("t=20ns"), std::string::npos) << errs[0];
+  }
+  {
+    // No acct.* series at all: nothing to check, vacuously clean.
+    std::istringstream is(
+        "{\"schema\":\"sws-timeseries\",\"interval_ns\":10,\"samples\":0,"
+        "\"truncated\":0,\"t\":[],\"series\":[]}");
+    EXPECT_TRUE(check_accounting(parse_timeseries(is)).empty());
+  }
+}
+
 // ------------------------------------------------- trace-analysis parsing
 
 TEST(TraceAnalysis, ReconstructsSpansFromTracerDump) {
@@ -251,6 +471,86 @@ TEST(TraceAnalysis, MissingTopoMetaFailsLoudly) {
   ASSERT_FALSE(r.violations.empty());
   EXPECT_NE(r.violations.front().find("topo"), std::string::npos)
       << r.violations.front();
+}
+
+// ------------------------------------ critical path + convoy (synthetic)
+
+TEST(TraceAnalysis, CriticalPathBlameSumsToPathLength) {
+  // PE0 works [0,1000) with one failed steal [100,300); PE1 steals from
+  // PE0 over [1000,1400) (one 100 ns fabric op inside) and finishes last.
+  // Expected walk: end at PE1, one hop back to PE0, then local to t=0.
+  core::Tracer t(2, 64);
+  t.begin(0, 100, core::TraceKind::kStealSpan, 5, 1);
+  t.end(0, 300, core::TraceKind::kStealSpan, 5, 1, 1);  // outcome empty
+  t.begin(1, 1000, core::TraceKind::kStealSpan, 77, 0);
+  t.complete(1, 1100, 100, core::TraceKind::kFabricOp, 77,
+             static_cast<std::uint64_t>(net::OpKind::kAmoFetchAdd),
+             0 | (8u << 16));
+  t.end(1, 1400, core::TraceKind::kStealSpan, 77, 0, 0 | (2u << 8));
+  std::ostringstream os;
+  t.dump_chrome_json(os);
+  std::istringstream is(os.str());
+  const RunTrace rt = parse_chrome_trace(is);
+
+  const CriticalPath cp = critical_path(rt);
+  EXPECT_EQ(cp.end_pe, 1);
+  EXPECT_EQ(cp.path_ns, 1400u);
+  EXPECT_EQ(cp.steal_hops, 1u);
+  EXPECT_EQ(cp.steal_fabric_ns, 100u);
+  EXPECT_EQ(cp.steal_proto_ns, 300u) << "hop minus its fabric occupancy";
+  EXPECT_EQ(cp.search_ns, 200u) << "PE0's failed steal [100,300)";
+  EXPECT_EQ(cp.work_ns, 800u);
+  EXPECT_EQ(cp.work_ns + cp.search_ns + cp.steal_fabric_ns +
+                cp.steal_proto_ns,
+            cp.path_ns)
+      << "every path nanosecond blamed exactly once";
+  ASSERT_EQ(cp.hop_pes.size(), 2u);
+  EXPECT_EQ(cp.hop_pes[0], 1);
+  EXPECT_EQ(cp.hop_pes[1], 0);
+}
+
+TEST(TraceAnalysis, ConvoyRanksVictimsByPeakWindowPressure) {
+  // Three thieves hammer victim 0 inside one window; victim 1 sees one
+  // spread-out attempt. Victim 0 must rank first on peak pressure.
+  core::Tracer t(4, 64);
+  for (int pe = 1; pe <= 3; ++pe) {
+    const auto id = static_cast<std::uint64_t>(pe);
+    t.begin(pe, 100 + static_cast<net::Nanos>(pe), core::TraceKind::kStealSpan,
+            id, 0);
+    t.end(pe, 200 + static_cast<net::Nanos>(pe), core::TraceKind::kStealSpan,
+          id, 0, pe == 1 ? 0 : 1);
+  }
+  t.begin(0, 5000, core::TraceKind::kStealSpan, 9, 1);
+  t.end(0, 5100, core::TraceKind::kStealSpan, 9, 1, 1);
+  std::ostringstream os;
+  t.dump_chrome_json(os);
+  std::istringstream is(os.str());
+  const ConvoyReport cr = convoy_report(parse_chrome_trace(is),
+                                        WindowConfig{.window_ns = 1000});
+  ASSERT_EQ(cr.victims.size(), 2u);
+  EXPECT_EQ(cr.victims[0].pe, 0);
+  EXPECT_EQ(cr.victims[0].inbound_attempts, 3u);
+  EXPECT_EQ(cr.victims[0].inbound_ok, 1u);
+  EXPECT_EQ(cr.victims[0].peak_window_attempts, 3u);
+  EXPECT_EQ(cr.victims[0].peak_window_start_ns, 0u);
+  EXPECT_EQ(cr.victims[1].pe, 1);
+  EXPECT_EQ(cr.victims[1].peak_window_attempts, 1u);
+  EXPECT_EQ(cr.victims[1].peak_window_start_ns, 5000u);
+}
+
+TEST(TraceAnalysis, CounterRowsAreRetained) {
+  core::Tracer t(1, 64);
+  t.counter(0, 500, core::TraceKind::kQueueDepth, 7);
+  std::ostringstream os;
+  t.dump_chrome_json(os);
+  std::istringstream is(os.str());
+  const RunTrace rt = parse_chrome_trace(is);
+  EXPECT_EQ(rt.counters, 1u);
+  ASSERT_EQ(rt.counter_samples.size(), 1u);
+  EXPECT_EQ(rt.counter_samples[0].name, "queue_depth");
+  EXPECT_EQ(rt.counter_samples[0].pe, 0);
+  EXPECT_EQ(rt.counter_samples[0].ts_ns, 500u);
+  EXPECT_EQ(rt.counter_samples[0].value, 7);
 }
 
 // ----------------------------------------- live end-to-end (Fig 2 claims)
@@ -390,6 +690,159 @@ TEST(TraceAnalysisLive, MetricsCoverEveryLayer) {
             run.pool_report.total.steals_ok);
   ASSERT_NE(m.find("queue.releases"), nullptr);
   EXPECT_GT(m.find("queue.releases")->total(), 0u);
+}
+
+// -------------------------------------- live per-PE time accounting
+
+/// Every PE's run time must be attributed to exactly one taxonomy
+/// category: sum(phase_ns) == accounted_ns, exact integer arithmetic.
+void expect_accounting_exact(const core::TaskPool& pool, int npes,
+                             const char* what) {
+  for (int pe = 0; pe < npes; ++pe) {
+    const core::WorkerStats& w = pool.worker_stats(pe);
+    const net::Nanos sum = std::accumulate(w.phase_ns.begin(),
+                                           w.phase_ns.end(), net::Nanos{0});
+    EXPECT_EQ(sum, w.accounted_ns) << what << " pe " << pe;
+    EXPECT_GT(w.accounted_ns, 0u) << what << " pe " << pe;
+  }
+}
+
+TEST(TimeAccountingLive, PhaseSumsEqualElapsedOnUtsAndBpc) {
+  for (const auto kind : {core::QueueKind::kSws, core::QueueKind::kSdc}) {
+    const char* kname = kind == core::QueueKind::kSws ? "sws" : "sdc";
+    {
+      pgas::RuntimeConfig rcfg;
+      rcfg.npes = 4;
+      pgas::Runtime rt(rcfg);
+      workloads::UtsParams p;
+      p.b0 = 4;
+      p.gen_mx = 9;
+      p.node_compute_ns = 2000;
+      core::TaskRegistry registry;
+      workloads::UtsBenchmark uts(registry, p);
+      core::PoolConfig pcfg;
+      pcfg.kind = kind;
+      pcfg.queue.slot_bytes = 48;
+      core::TaskPool pool(rt, registry, pcfg);
+      rt.run([&](pgas::PeContext& ctx) {
+        pool.run_pe(ctx, [&](core::Worker& w) { uts.seed(w); });
+      });
+      expect_accounting_exact(pool, rcfg.npes,
+                              (std::string("uts/") + kname).c_str());
+      // kWorking covers at least the charged task compute.
+      core::PoolRunReport r = pool.report();
+      EXPECT_GE(r.total.phase_ns[static_cast<std::size_t>(
+                    core::PoolPhase::kWorking)],
+                r.total.compute_time_ns)
+          << kname;
+    }
+    {
+      pgas::RuntimeConfig rcfg;
+      rcfg.npes = 4;
+      pgas::Runtime rt(rcfg);
+      workloads::BpcParams p;
+      p.consumers_per_producer = 8;
+      p.depth = 6;
+      p.consumer_ns = 50'000;
+      p.producer_ns = 10'000;
+      core::TaskRegistry registry;
+      workloads::BpcBenchmark bpc(registry, p);
+      core::PoolConfig pcfg;
+      pcfg.kind = kind;
+      pcfg.queue.slot_bytes = 48;
+      core::TaskPool pool(rt, registry, pcfg);
+      rt.run([&](pgas::PeContext& ctx) {
+        pool.run_pe(ctx, [&](core::Worker& w) { bpc.seed(w); });
+      });
+      expect_accounting_exact(pool, rcfg.npes,
+                              (std::string("bpc/") + kname).c_str());
+    }
+  }
+}
+
+TEST(TimeAccountingLive, SampledWindowsSumExactlyToElapsed) {
+  // A sampling run: every window's acct.* deltas must sum to the elapsed
+  // delta (the invariant sws-analyze --timeseries re-checks offline), and
+  // the cumulative total must equal the per-PE accounted time.
+  for (const auto kind : {core::QueueKind::kSws, core::QueueKind::kSdc}) {
+    pgas::RuntimeConfig rcfg;
+    rcfg.npes = 2;
+    pgas::Runtime rt(rcfg);
+    workloads::UtsParams p;
+    p.b0 = 4;
+    p.gen_mx = 9;
+    p.node_compute_ns = 2000;
+    core::TaskRegistry registry;
+    workloads::UtsBenchmark uts(registry, p);
+    core::PoolConfig pcfg;
+    pcfg.kind = kind;
+    pcfg.queue.slot_bytes = 48;
+    pcfg.trace.sample_interval_ns = 10'000;  // sampling without tracing
+    core::TaskPool pool(rt, registry, pcfg);
+    rt.run([&](pgas::PeContext& ctx) {
+      pool.run_pe(ctx, [&](core::Worker& w) { uts.seed(w); });
+    });
+
+    std::ostringstream os;
+    pool.dump_timeseries_json(os);
+    std::istringstream is(os.str());
+    const TimeSeriesData ts = parse_timeseries(is);
+    EXPECT_GT(ts.t.size(), 1u) << "expected multiple sampled windows";
+    const auto errs = check_accounting(ts);
+    EXPECT_TRUE(errs.empty()) << errs.front();
+
+    const TimeSeriesData::Series* elapsed = ts.find("acct.elapsed_ns");
+    ASSERT_NE(elapsed, nullptr);
+    const std::int64_t total =
+        std::accumulate(elapsed->v.begin(), elapsed->v.end(),
+                        std::int64_t{0});
+    std::int64_t accounted = 0;
+    for (int pe = 0; pe < rcfg.npes; ++pe)
+      accounted +=
+          static_cast<std::int64_t>(pool.worker_stats(pe).accounted_ns);
+    EXPECT_EQ(total, accounted)
+        << "cumulative sampled elapsed == sum of per-PE accounted time";
+  }
+}
+
+TEST(TimeAccountingLive, SampledTraceCarriesCounterTracks) {
+  // Sampling + tracing: the trace dump gains one Perfetto counter track
+  // per sampled series, which the analyzer retains as counter samples.
+  pgas::RuntimeConfig rcfg;
+  rcfg.npes = 2;
+  pgas::Runtime rt(rcfg);
+  workloads::UtsParams p;
+  p.b0 = 4;
+  p.gen_mx = 9;
+  p.node_compute_ns = 2000;
+  core::TaskRegistry registry;
+  workloads::UtsBenchmark uts(registry, p);
+  core::PoolConfig pcfg;
+  pcfg.queue.slot_bytes = 48;
+  pcfg.trace.enable = true;
+  pcfg.trace.events = std::size_t{1} << 18;
+  pcfg.trace.sample_interval_ns = 10'000;
+  core::TaskPool pool(rt, registry, pcfg);
+  rt.run([&](pgas::PeContext& ctx) {
+    pool.run_pe(ctx, [&](core::Worker& w) { uts.seed(w); });
+  });
+
+  std::ostringstream os;
+  pool.dump_trace_json(os);
+  std::istringstream is(os.str());
+  const RunTrace rt2 = parse_chrome_trace(is);
+  std::uint64_t acct_rows = 0;
+  std::int64_t elapsed_total = 0;
+  for (const CounterSample& cs : rt2.counter_samples) {
+    if (cs.name.rfind("acct.", 0) == 0) ++acct_rows;
+    if (cs.name == "acct.elapsed_ns") elapsed_total += cs.value;
+  }
+  EXPECT_GT(acct_rows, 0u) << "sampled series must appear as C rows";
+  std::int64_t accounted = 0;
+  for (int pe = 0; pe < rcfg.npes; ++pe)
+    accounted +=
+        static_cast<std::int64_t>(pool.worker_stats(pe).accounted_ns);
+  EXPECT_EQ(elapsed_total, accounted);
 }
 
 }  // namespace

@@ -1,11 +1,18 @@
 // sws-analyze: offline analyzer for Tracer::dump_chrome_json traces.
 //
 //   sws-analyze <trace.json>                  full report
+//   sws-analyze --report <trace.json>         run summary: report + critical
+//                                             path + hot-victim convoys
 //   sws-analyze --diff <a.json> <b.json>      A/B comparison
 //   sws-analyze --self-check <trace.json>     protocol op-shape check;
 //                                             exit 1 on any violation
 //
-// Options: --window-ns=N  pathology-scan window (default duration/64)
+// Options: --window-ns=N          pathology-scan window (default duration/64)
+//          --timeseries=FILE      also summarize an sws-timeseries JSON
+//                                 document (bench_common --timeseries-out)
+//                                 and verify its accounting invariant;
+//                                 exit 1 if any window's category deltas
+//                                 fail to sum to the elapsed delta
 //
 // The self-check is what CI runs on every push: each successful SWS steal
 // must be exactly one remote fetch-add + one task-copy get (+ one nbi
@@ -23,9 +30,9 @@
 namespace {
 
 int usage() {
-  std::cerr << "usage: sws-analyze [--self-check] <trace.json>\n"
+  std::cerr << "usage: sws-analyze [--self-check|--report] <trace.json>\n"
             << "       sws-analyze --diff <a.json> <b.json>\n"
-            << "       options: --window-ns=N\n";
+            << "       options: --window-ns=N --timeseries=FILE\n";
   return 2;
 }
 
@@ -38,6 +45,8 @@ int main(int argc, char** argv) {
     sws::obs::WindowConfig wc;
     bool diff = false;
     bool self_check = false;
+    bool report_mode = false;
+    std::string timeseries_file;
     std::vector<std::string> files;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -45,8 +54,12 @@ int main(int argc, char** argv) {
         diff = true;
       } else if (arg == "--self-check") {
         self_check = true;
+      } else if (arg == "--report") {
+        report_mode = true;
       } else if (arg.rfind("--window-ns=", 0) == 0) {
         wc.window_ns = std::stoull(arg.substr(12));
+      } else if (arg.rfind("--timeseries=", 0) == 0) {
+        timeseries_file = arg.substr(13);
       } else if (arg.rfind("--", 0) == 0) {
         std::cerr << "sws-analyze: unknown option " << arg << "\n";
         return usage();
@@ -65,10 +78,46 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    // --timeseries alone (no trace) is a valid invocation: summarize and
+    // self-check the sampled document.
+    if (files.empty() && !timeseries_file.empty() && !self_check) {
+      const auto ts = sws::obs::parse_timeseries_file(timeseries_file);
+      sws::obs::write_timeseries_summary(std::cout, ts);
+      const auto errs = sws::obs::check_accounting(ts);
+      for (const std::string& e : errs) std::cerr << "  ! " << e << "\n";
+      if (!errs.empty()) {
+        std::cerr << "accounting self-check: FAILED\n";
+        return 1;
+      }
+      std::cout << "accounting self-check: OK (" << ts.t.size()
+                << " windows)\n";
+      return 0;
+    }
+
     if (files.size() != 1) return usage();
-    const auto report = sws::obs::analyze(
-        sws::obs::parse_chrome_trace_file(files[0]), wc);
+    const auto rt = sws::obs::parse_chrome_trace_file(files[0]);
+    const auto report = sws::obs::analyze(rt, wc);
     sws::obs::write_report(std::cout, report);
+
+    if (report_mode) {
+      sws::obs::write_critical_path(std::cout, sws::obs::critical_path(rt));
+      sws::obs::write_convoy(std::cout, sws::obs::convoy_report(rt, wc));
+    }
+
+    int rc = 0;
+    if (!timeseries_file.empty()) {
+      const auto ts = sws::obs::parse_timeseries_file(timeseries_file);
+      sws::obs::write_timeseries_summary(std::cout, ts);
+      const auto errs = sws::obs::check_accounting(ts);
+      for (const std::string& e : errs) std::cerr << "  ! " << e << "\n";
+      if (!errs.empty()) {
+        std::cerr << "accounting self-check: FAILED\n";
+        rc = 1;
+      } else {
+        std::cout << "accounting self-check: OK (" << ts.t.size()
+                  << " windows)\n";
+      }
+    }
 
     if (self_check) {
       if (report.protocol.empty()) {
@@ -87,7 +136,7 @@ int main(int argc, char** argv) {
       std::cout << "self-check: OK (" << report.steals_ok << " successful "
                 << report.protocol << " steals validated)\n";
     }
-    return 0;
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "sws-analyze: " << e.what() << "\n";
     return 2;
